@@ -1,0 +1,183 @@
+//! The Co-located TSE adversarial trace generator (§5.1).
+//!
+//! The attacker knows the installed ACL (it is her own, injected through the CMS API).
+//! The trace that maximises the number of MFC masks is:
+//!
+//! * **single header**: one packet matching the allow rule, then one packet per relevant
+//!   bit with that bit inverted — `{001, 101, 011, 000}` for the Fig. 1 ACL, which spawns
+//!   exactly the Fig. 3 cache;
+//! * **multiple headers**: the outer product of the per-field inversion lists, which
+//!   spawns one mask per combination of tested bit positions (Fig. 5, §4.2).
+
+use tse_packet::fields::{FieldSchema, Key};
+
+use crate::scenarios::Scenario;
+
+/// The bit-inversion list for a single field: the allowed value first, then the value
+/// with each bit inverted, most-significant bit first (the order used in §5.1).
+pub fn bit_inversion_list(width: u32, allow_value: u128) -> Vec<u128> {
+    let mut out = Vec::with_capacity(width as usize + 1);
+    let full = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+    let allow = allow_value & full;
+    out.push(allow);
+    for bit in (0..width).rev() {
+        out.push(allow ^ (1u128 << bit));
+    }
+    out
+}
+
+/// Generate the Co-located TSE header trace for an arbitrary WhiteList+DefaultDeny ACL
+/// described as `(field index, allowed value)` pairs in priority order: the outer product
+/// of the per-field bit-inversion lists. Untargeted fields keep the value given in
+/// `base`, so the caller can pin e.g. the destination IP to the attacker's own service.
+pub fn bit_inversion_trace(
+    schema: &FieldSchema,
+    allows: &[(usize, u128)],
+    base: &Key,
+) -> Vec<Key> {
+    let lists: Vec<(usize, Vec<u128>)> = allows
+        .iter()
+        .map(|&(field, value)| (field, bit_inversion_list(schema.width(field), value)))
+        .collect();
+    let mut out = Vec::new();
+    let mut indices = vec![0usize; lists.len()];
+    loop {
+        let mut key = base.clone();
+        for (slot, (field, list)) in lists.iter().enumerate() {
+            key.set(*field, list[indices[slot]]);
+        }
+        out.push(key);
+        // Advance the odometer.
+        let mut pos = lists.len();
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            indices[pos] += 1;
+            if indices[pos] < lists[pos].1.len() {
+                break;
+            }
+            indices[pos] = 0;
+        }
+    }
+}
+
+/// Generate the Co-located trace for one of the paper's scenarios over the OVS schema.
+/// `base` pins the untargeted fields (destination IP of the attacker's service, IP
+/// protocol, etc.).
+pub fn scenario_trace(schema: &FieldSchema, scenario: Scenario, base: &Key) -> Vec<Key> {
+    if !scenario.has_attack_traffic() {
+        return Vec::new();
+    }
+    let allows: Vec<(usize, u128)> = scenario
+        .target_fields()
+        .iter()
+        .map(|t| (schema.field_index(t.name).expect("schema field"), t.allow_value))
+        .collect();
+    bit_inversion_trace(schema, &allows, base)
+}
+
+/// Number of packets the Co-located trace contains for a scenario (Π (w_i + 1)).
+pub fn trace_len(schema: &FieldSchema, scenario: Scenario) -> usize {
+    if !scenario.has_attack_traffic() {
+        return 0;
+    }
+    scenario
+        .target_fields()
+        .iter()
+        .map(|t| schema.width(schema.field_index(t.name).expect("field")) as usize + 1)
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tse_classifier::strategy::{generate_megaflow, GenerationError, MegaflowStrategy};
+    use tse_classifier::tss::TupleSpace;
+
+    #[test]
+    fn single_field_list_matches_paper_example() {
+        // Fig. 1 ACL, 3-bit HYP, allow 001 → { 001, 101, 011, 000 }.
+        assert_eq!(bit_inversion_list(3, 0b001), vec![0b001, 0b101, 0b011, 0b000]);
+    }
+
+    #[test]
+    fn list_length_is_width_plus_one() {
+        assert_eq!(bit_inversion_list(16, 80).len(), 17);
+        assert_eq!(bit_inversion_list(32, 0x0a000001).len(), 33);
+    }
+
+    #[test]
+    fn hyp_trace_spawns_fig3_cache() {
+        let schema = FieldSchema::hyp();
+        let table = tse_classifier::flowtable::FlowTable::fig1_hyp();
+        let strategy = MegaflowStrategy::wildcarding(&schema);
+        let base = schema.zero_value();
+        let trace = bit_inversion_trace(&schema, &[(0, 0b001)], &base);
+        assert_eq!(trace.len(), 4);
+        let mut cache = TupleSpace::new(schema.clone());
+        for h in &trace {
+            if cache.lookup(h, 0.0).action.is_some() {
+                continue;
+            }
+            match generate_megaflow(&table, &cache, h, &strategy) {
+                Ok(g) => {
+                    cache.insert(g.key, g.mask, g.action, 0.0).unwrap();
+                }
+                Err(GenerationError::AlreadyCovered) => {}
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(cache.mask_count(), 3);
+        assert_eq!(cache.entry_count(), 4);
+    }
+
+    #[test]
+    fn two_field_trace_spawns_13_masks() {
+        // §4.2 / §5.1: the Fig. 4 ACL and the outer-product trace give 13 masks.
+        let schema = FieldSchema::hyp2();
+        let table = tse_classifier::flowtable::FlowTable::fig4_hyp2();
+        let strategy = MegaflowStrategy::wildcarding(&schema);
+        let base = schema.zero_value();
+        let trace = bit_inversion_trace(&schema, &[(0, 0b001), (1, 0b1111)], &base);
+        assert_eq!(trace.len(), 4 * 5);
+        let mut cache = TupleSpace::new(schema.clone());
+        for h in &trace {
+            if cache.lookup(h, 0.0).action.is_some() {
+                continue;
+            }
+            match generate_megaflow(&table, &cache, h, &strategy) {
+                Ok(g) => {
+                    cache.insert(g.key, g.mask, g.action, 0.0).unwrap();
+                }
+                Err(GenerationError::AlreadyCovered) => {}
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert_eq!(cache.mask_count(), 13, "3*4 + 1 masks as computed in §4.2");
+    }
+
+    #[test]
+    fn scenario_trace_lengths() {
+        let schema = FieldSchema::ovs_ipv4();
+        assert_eq!(trace_len(&schema, Scenario::Baseline), 0);
+        assert_eq!(trace_len(&schema, Scenario::Dp), 17);
+        assert_eq!(trace_len(&schema, Scenario::SpDp), 17 * 17);
+        assert_eq!(trace_len(&schema, Scenario::SipDp), 17 * 33);
+        assert_eq!(trace_len(&schema, Scenario::SipSpDp), 17 * 33 * 17);
+        let base = schema.zero_value();
+        assert_eq!(scenario_trace(&schema, Scenario::Dp, &base).len(), 17);
+        assert!(scenario_trace(&schema, Scenario::Baseline, &base).is_empty());
+    }
+
+    #[test]
+    fn base_fields_preserved() {
+        let schema = FieldSchema::ovs_ipv4();
+        let ip_dst = schema.field_index("ip_dst").unwrap();
+        let mut base = schema.zero_value();
+        base.set(ip_dst, 0x0a0000c8);
+        let trace = scenario_trace(&schema, Scenario::Dp, &base);
+        assert!(trace.iter().all(|k| k.get(ip_dst) == 0x0a0000c8));
+    }
+}

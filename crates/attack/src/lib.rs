@@ -1,0 +1,36 @@
+//! # tse-attack
+//!
+//! The paper's primary contribution in library form: the **Tuple Space Explosion**
+//! attack against TSS-based packet classifiers.
+//!
+//! * [`scenarios`] — the §5.2 use cases (Baseline, Dp, SpDp, SipDp, SipSpDp) and the
+//!   Fig. 6 ACL they target;
+//! * [`colocated`] — the Co-located TSE trace generator (§5.1): bit-inversion lists and
+//!   their outer product, which spawn the maximum number of MFC masks with the minimum
+//!   number of packets when the ACL is known;
+//! * [`general`] — the General TSE trace generator (§6): uniformly random headers against
+//!   an unknown ACL;
+//! * [`expectation`] — the analytic model (Eq. 1/2, Appendix 11.3) for the expected
+//!   number of masks sparked by `n` random packets — the "E" curves of Fig. 9b;
+//! * [`bounds`] — the Theorem 4.1/4.2 space–time trade-off bounds;
+//! * [`trace`] — turning header sequences into timed, noise-randomised packet traces.
+//!
+//! Everything here is *generation and analysis*: the effect on a switch is measured by
+//! feeding these traces into `tse-switch` / `tse-simnet`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod colocated;
+pub mod expectation;
+pub mod general;
+pub mod scenarios;
+pub mod trace;
+
+pub use bounds::{multi_field_bound, multi_field_extremes, single_field_curve, TradeoffPoint};
+pub use colocated::{bit_inversion_list, bit_inversion_trace, scenario_trace};
+pub use expectation::ExpectationModel;
+pub use general::{random_trace, random_trace_on_fields};
+pub use scenarios::{Scenario, TargetField};
+pub use trace::{AttackTrace, TimedPacket};

@@ -1,0 +1,217 @@
+//! Attack traces as concrete, timed packets.
+//!
+//! The generators in [`crate::colocated`] and [`crate::general`] work on header *keys*;
+//! this module turns them into real [`Packet`]s (with randomised noise fields, §5.2) and
+//! attaches send times for a given packet rate, yielding the trace a real attacker would
+//! replay from a pcap (§5.4).
+
+use rand::Rng;
+
+use tse_packet::builder::PacketBuilder;
+use tse_packet::fields::{FieldSchema, Key};
+use tse_packet::l4::IpProto;
+use tse_packet::Packet;
+
+/// One timed packet of an attack trace.
+#[derive(Debug, Clone)]
+pub struct TimedPacket {
+    /// Send time in seconds from the start of the trace.
+    pub time: f64,
+    /// The packet itself.
+    pub packet: Packet,
+}
+
+/// A replayable attack trace: packets with send times, produced at a constant rate.
+#[derive(Debug, Clone, Default)]
+pub struct AttackTrace {
+    packets: Vec<TimedPacket>,
+}
+
+impl AttackTrace {
+    /// Build a trace from header keys over the OVS IPv4 schema, sent at `rate_pps`
+    /// starting at `start_time`. Each packet's noise fields (TTL, IP id, TCP seq) are
+    /// randomised so every packet is a distinct microflow.
+    pub fn from_keys<R: Rng + ?Sized>(
+        rng: &mut R,
+        schema: &FieldSchema,
+        keys: &[Key],
+        rate_pps: f64,
+        start_time: f64,
+    ) -> Self {
+        assert!(rate_pps > 0.0, "rate must be positive");
+        let ip_src = schema.field_index("ip_src").expect("IPv4 schema");
+        let ip_dst = schema.field_index("ip_dst").expect("IPv4 schema");
+        let tp_src = schema.field_index("tp_src").expect("IPv4 schema");
+        let tp_dst = schema.field_index("tp_dst").expect("IPv4 schema");
+        let interval = 1.0 / rate_pps;
+        let packets = keys
+            .iter()
+            .enumerate()
+            .map(|(i, key)| {
+                let packet = PacketBuilder::from_numeric_v4(
+                    key.get(ip_src) as u32,
+                    key.get(ip_dst) as u32,
+                    IpProto::Tcp,
+                    key.get(tp_src) as u16,
+                    key.get(tp_dst) as u16,
+                )
+                .randomize_noise(rng)
+                .build();
+                TimedPacket { time: start_time + i as f64 * interval, packet }
+            })
+            .collect();
+        AttackTrace { packets }
+    }
+
+    /// Repeat the key sequence until `count` packets have been emitted (the attacker
+    /// replays the pcap in a loop to keep entries alive).
+    pub fn from_keys_cyclic<R: Rng + ?Sized>(
+        rng: &mut R,
+        schema: &FieldSchema,
+        keys: &[Key],
+        rate_pps: f64,
+        start_time: f64,
+        count: usize,
+    ) -> Self {
+        assert!(!keys.is_empty());
+        let repeated: Vec<Key> =
+            (0..count).map(|i| keys[i % keys.len()].clone()).collect();
+        Self::from_keys(rng, schema, &repeated, rate_pps, start_time)
+    }
+
+    /// Build a trace directly from already-timed packets (used to stitch multiple attack
+    /// bursts — e.g. the on/off attacker of Fig. 8b — into one replayable trace).
+    ///
+    /// # Panics
+    /// Panics if the packets are not in non-decreasing time order.
+    pub fn from_timed(packets: Vec<TimedPacket>) -> Self {
+        assert!(
+            packets.windows(2).all(|w| w[0].time <= w[1].time),
+            "timed packets must be sorted by send time"
+        );
+        AttackTrace { packets }
+    }
+
+    /// The timed packets, in send order.
+    pub fn packets(&self) -> &[TimedPacket] {
+        &self.packets
+    }
+
+    /// Number of packets in the trace.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total trace duration in seconds (0 for traces with fewer than two packets).
+    pub fn duration(&self) -> f64 {
+        match (self.packets.first(), self.packets.last()) {
+            (Some(first), Some(last)) => last.time - first.time,
+            _ => 0.0,
+        }
+    }
+
+    /// Aggregate attack bandwidth in bits per second (wire bytes / duration), the number
+    /// the paper quotes as "0.67 Mbps is enough to tear down OVS".
+    pub fn bandwidth_bps(&self) -> f64 {
+        if self.packets.len() < 2 {
+            return 0.0;
+        }
+        let bytes: usize = self.packets.iter().map(|p| p.packet.wire_len()).sum();
+        bytes as f64 * 8.0 / self.duration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colocated::scenario_trace;
+    use crate::scenarios::Scenario;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tse_packet::flowkey::MicroflowKey;
+
+    #[test]
+    fn trace_timing_matches_rate() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut rng = StdRng::seed_from_u64(1);
+        let keys = scenario_trace(&schema, Scenario::Dp, &schema.zero_value());
+        let trace = AttackTrace::from_keys(&mut rng, &schema, &keys, 100.0, 5.0);
+        assert_eq!(trace.len(), 17);
+        assert!((trace.packets()[0].time - 5.0).abs() < 1e-9);
+        assert!((trace.packets()[1].time - 5.01).abs() < 1e-9);
+        assert!((trace.duration() - 0.16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_rate_attack_is_sub_mbps() {
+        // §5/§10: ~1 000 packets at 1 000 pps is ≈0.7 Mbps — a low-rate attack.
+        let schema = FieldSchema::ovs_ipv4();
+        let mut rng = StdRng::seed_from_u64(2);
+        let keys = scenario_trace(&schema, Scenario::SipSpDp, &schema.zero_value());
+        let trace =
+            AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys[..1000.min(keys.len())], 1000.0, 0.0, 1000);
+        let mbps = trace.bandwidth_bps() / 1e6;
+        assert!(mbps < 1.0, "attack rate {mbps} Mbps should stay below 1 Mbps");
+        assert!(mbps > 0.1);
+    }
+
+    #[test]
+    fn noise_makes_every_packet_a_distinct_microflow() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut rng = StdRng::seed_from_u64(3);
+        let keys = vec![schema.zero_value(); 50];
+        let trace = AttackTrace::from_keys(&mut rng, &schema, &keys, 10.0, 0.0);
+        let micro: std::collections::HashSet<MicroflowKey> =
+            trace.packets().iter().map(|p| MicroflowKey::from_packet(&p.packet)).collect();
+        assert!(micro.len() > 45, "noise should make microflow keys distinct: {}", micro.len());
+    }
+
+    #[test]
+    fn cyclic_replay_repeats_keys() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut rng = StdRng::seed_from_u64(4);
+        let keys = scenario_trace(&schema, Scenario::Dp, &schema.zero_value());
+        let trace = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 50.0, 0.0, 100);
+        assert_eq!(trace.len(), 100);
+    }
+
+    #[test]
+    fn from_timed_requires_sorted_times() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut rng = StdRng::seed_from_u64(9);
+        let keys = scenario_trace(&schema, Scenario::Dp, &schema.zero_value());
+        let a = AttackTrace::from_keys(&mut rng, &schema, &keys, 100.0, 0.0);
+        let b = AttackTrace::from_keys(&mut rng, &schema, &keys, 100.0, 10.0);
+        let mut all = a.packets().to_vec();
+        all.extend_from_slice(b.packets());
+        let stitched = AttackTrace::from_timed(all);
+        assert_eq!(stitched.len(), a.len() + b.len());
+        assert!((stitched.duration() - (10.0 + b.duration())).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_timed_rejects_unsorted() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut rng = StdRng::seed_from_u64(9);
+        let keys = scenario_trace(&schema, Scenario::Dp, &schema.zero_value());
+        let a = AttackTrace::from_keys(&mut rng, &schema, &keys, 100.0, 10.0);
+        let b = AttackTrace::from_keys(&mut rng, &schema, &keys, 100.0, 0.0);
+        let mut all = a.packets().to_vec();
+        all.extend_from_slice(b.packets());
+        let _ = AttackTrace::from_timed(all);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let t = AttackTrace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), 0.0);
+        assert_eq!(t.bandwidth_bps(), 0.0);
+    }
+}

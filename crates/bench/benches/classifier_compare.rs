@@ -1,0 +1,56 @@
+//! Criterion bench: TSS (under attack) vs. the attack-immune baselines (linear search,
+//! hierarchical tries, HyperCuts) — the quantitative backing for the §7 mitigation
+//! recommendation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tse_attack::colocated::scenario_trace;
+use tse_attack::scenarios::Scenario;
+use tse_classifier::baseline::{Classifier, HierarchicalTrie, HyperCuts, LinearSearch};
+use tse_classifier::strategy::{generate_megaflow, MegaflowStrategy};
+use tse_classifier::tss::TupleSpace;
+use tse_packet::fields::FieldSchema;
+
+fn bench_compare(c: &mut Criterion) {
+    let schema = FieldSchema::ovs_ipv4();
+    let scenario = Scenario::SipDp;
+    let table = scenario.flow_table(&schema);
+    let strategy = MegaflowStrategy::wildcarding(&schema);
+
+    // TSS cache after the co-located attack.
+    let mut tss = TupleSpace::new(schema.clone());
+    for key in scenario_trace(&schema, scenario, &schema.zero_value()) {
+        if tss.lookup(&key, 0.0).action.is_some() {
+            continue;
+        }
+        if let Ok(g) = generate_megaflow(&table, &tss, &key, &strategy) {
+            tss.insert(g.key, g.mask, g.action, 0.0).unwrap();
+        }
+    }
+    let linear = LinearSearch::build(&table);
+    let trie = HierarchicalTrie::build(&table);
+    let hc = HyperCuts::build(&table);
+
+    let mut victim = schema.zero_value();
+    victim.set(schema.field_index("tp_dst").unwrap(), 80);
+
+    let mut group = c.benchmark_group("classifier_compare_under_attack");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function(format!("tss_{}_masks", tss.mask_count()), |b| {
+        b.iter(|| std::hint::black_box(tss.lookup(&victim, 0.0).action))
+    });
+    group.bench_function("linear_search", |b| {
+        b.iter(|| std::hint::black_box(linear.classify(&victim).action))
+    });
+    group.bench_function("hierarchical_trie", |b| {
+        b.iter(|| std::hint::black_box(trie.classify(&victim).action))
+    });
+    group.bench_function("hypercuts", |b| {
+        b.iter(|| std::hint::black_box(hc.classify(&victim).action))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench: slow-path megaflow generation cost per strategy (the ablation of the
+//! DESIGN.md §7 strategy choice), and the cost of one MFCGuard cleaning pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tse_attack::colocated::scenario_trace;
+use tse_attack::scenarios::Scenario;
+use tse_classifier::strategy::{generate_megaflow, FieldStrategy, MegaflowStrategy};
+use tse_classifier::tss::TupleSpace;
+use tse_mitigation::guard::{GuardConfig, MfcGuard};
+use tse_packet::fields::FieldSchema;
+use tse_switch::datapath::Datapath;
+
+fn bench_generation(c: &mut Criterion) {
+    let schema = FieldSchema::ovs_ipv4();
+    let table = Scenario::SipDp.flow_table(&schema);
+    let strategies = [
+        ("wildcarding", MegaflowStrategy::wildcarding(&schema)),
+        ("chunked_4", MegaflowStrategy::chunked(&schema, 4)),
+        ("exact_match", MegaflowStrategy::uniform(&schema, FieldStrategy::Exact)),
+    ];
+    let trace = scenario_trace(&schema, Scenario::Dp, &schema.zero_value());
+
+    let mut group = c.benchmark_group("megaflow_generation");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, strategy) in &strategies {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut cache = TupleSpace::new(schema.clone());
+                for key in &trace {
+                    if cache.lookup(key, 0.0).action.is_some() {
+                        continue;
+                    }
+                    if let Ok(g) = generate_megaflow(&table, &cache, key, strategy) {
+                        cache.insert(g.key, g.mask, g.action, 0.0).unwrap();
+                    }
+                }
+                std::hint::black_box(cache.mask_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_guard_pass(c: &mut Criterion) {
+    let schema = FieldSchema::ovs_ipv4();
+    let mut group = c.benchmark_group("mfcguard_pass");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("clean_spdp_cache", |b| {
+        b.iter_batched(
+            || {
+                let table = Scenario::SpDp.flow_table(&schema);
+                let mut dp = Datapath::new(table);
+                for (i, key) in
+                    scenario_trace(&schema, Scenario::SpDp, &schema.zero_value()).iter().enumerate()
+                {
+                    dp.process_key(key, 64, i as f64 * 1e-4);
+                }
+                dp
+            },
+            |mut dp| {
+                let mut guard = MfcGuard::new(GuardConfig::default());
+                std::hint::black_box(guard.run_once(&mut dp, 1.0, 100.0).entries_removed)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_guard_pass);
+criterion_main!(benches);

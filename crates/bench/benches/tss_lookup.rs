@@ -1,0 +1,76 @@
+//! Criterion bench: TSS megaflow lookup latency as the number of masks grows
+//! (the micro-benchmark behind Fig. 9a's throughput curve — Observation 1 in wall-clock
+//! form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tse_attack::colocated::scenario_trace;
+use tse_attack::scenarios::Scenario;
+use tse_classifier::strategy::{generate_megaflow, MegaflowStrategy};
+use tse_classifier::tss::TupleSpace;
+use tse_packet::fields::{FieldSchema, Key};
+
+/// Build a cache attacked by the given scenario and return (cache, victim header).
+fn attacked_cache(scenario: Scenario) -> (TupleSpace, Key) {
+    let schema = FieldSchema::ovs_ipv4();
+    let table = if scenario.has_attack_traffic() {
+        scenario.flow_table(&schema)
+    } else {
+        Scenario::Baseline.flow_table(&schema)
+    };
+    let strategy = MegaflowStrategy::wildcarding(&schema);
+    let mut cache = TupleSpace::new(schema.clone());
+    // Victim entry first.
+    let mut victim = schema.zero_value();
+    victim.set(schema.field_index("tp_dst").unwrap(), 80);
+    let g = generate_megaflow(&table, &cache, &victim, &strategy).unwrap();
+    cache.insert(g.key, g.mask, g.action, 0.0).unwrap();
+    // Attack entries.
+    if scenario.has_attack_traffic() {
+        for key in scenario_trace(&schema, scenario, &schema.zero_value()) {
+            if cache.lookup(&key, 0.0).action.is_some() {
+                continue;
+            }
+            if let Ok(g) = generate_megaflow(&table, &cache, &key, &strategy) {
+                cache.insert(g.key, g.mask, g.action, 0.0).unwrap();
+            }
+        }
+    }
+    (cache, victim)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tss_lookup_vs_masks");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for scenario in [Scenario::Baseline, Scenario::Dp, Scenario::SpDp, Scenario::SipDp] {
+        let (mut cache, victim) = attacked_cache(scenario);
+        let masks = cache.mask_count();
+        group.bench_with_input(
+            BenchmarkId::new("victim_lookup", format!("{}_{}masks", scenario.name(), masks)),
+            &victim,
+            |b, v| b.iter(|| std::hint::black_box(cache.lookup(v, 0.0).masks_scanned)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_miss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tss_miss_scans_all_masks");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let schema = FieldSchema::ovs_ipv4();
+    let (mut cache, _) = attacked_cache(Scenario::SipDp);
+    // A header no entry covers under the suppressed deny rules is impossible (entries are
+    // exhaustive for seen traffic), so force a miss by clearing deny entries.
+    cache.remove_where(|e| e.action == tse_classifier::rule::Action::Deny);
+    let probe = Key::from_values(&schema, &[9, 9, 9, 9, 9, 9]);
+    group.bench_function("miss_after_guard_clean", |b| {
+        b.iter(|| std::hint::black_box(cache.lookup(&probe, 0.0).masks_scanned))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_miss);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E-F8a: the synthetic timeline of Fig. 8a — three concurrent TCP victim flows, the
+//! SipDp Co-located attack at 100 pps between t1 = 30 s and t2 = 60 s, victim recovery
+//! ~10 s after the attack stops (the megaflow idle timeout).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tse_attack::colocated::scenario_trace;
+use tse_attack::scenarios::Scenario;
+use tse_attack::trace::AttackTrace;
+use tse_packet::fields::FieldSchema;
+use tse_simnet::offload::OffloadConfig;
+use tse_simnet::runner::ExperimentRunner;
+use tse_simnet::traffic::VictimFlow;
+use tse_switch::datapath::Datapath;
+
+fn main() {
+    let schema = FieldSchema::ovs_ipv4();
+    let table = Scenario::SipDp.flow_table(&schema);
+    let victims = vec![
+        VictimFlow::iperf_tcp("Victim 1", 0x0a000005, 0x0a000063, 10.0).with_src_port(40001),
+        VictimFlow::iperf_tcp("Victim 2", 0x0a000006, 0x0a000063, 10.0).with_src_port(40002),
+        VictimFlow::iperf_tcp("Victim 3", 0x0a000007, 0x0a000063, 10.0).with_src_port(40003),
+    ];
+    // Attack: 100 pps from t1 = 30 s for 30 s (3000 packets), cycling the SipDp trace.
+    let keys = scenario_trace(&schema, Scenario::SipDp, &schema.zero_value());
+    let mut rng = StdRng::seed_from_u64(8);
+    let attack = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 30.0, 3000);
+
+    let mut runner = ExperimentRunner::new(Datapath::new(table), victims, OffloadConfig::gro_off());
+    let timeline = runner.run(&attack, 90.0);
+    println!("== Fig. 8a: synthetic timeline, 3 TCP victims, SipDp attack @100 pps, t1=30 s t2=60 s ==\n");
+    println!("{}", timeline.render_table());
+    println!(
+        "aggregate victim rate: before attack {:.2} Gbps | under attack {:.2} Gbps | after recovery {:.2} Gbps",
+        timeline.mean_total_between(5.0, 29.0),
+        timeline.mean_total_between(40.0, 59.0),
+        timeline.mean_total_between(75.0, 89.0),
+    );
+    println!("paper: 9.7 Gbps aggregate drops below 0.5 Gbps during the attack; recovery lags t2 by ~10 s");
+}

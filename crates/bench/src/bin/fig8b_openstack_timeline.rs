@@ -1,0 +1,57 @@
+//! E-F8b: the OpenStack timeline of Fig. 8b — SipDp (the strongest pattern the OpenStack
+//! security-group API can express), attacker active 0–60 s and again from 90 s, victim
+//! (full-rate UDP iperf) joining at t = 30 s.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tse_attack::colocated::scenario_trace;
+use tse_attack::scenarios::Scenario;
+use tse_attack::trace::AttackTrace;
+use tse_packet::fields::FieldSchema;
+use tse_simnet::cloud::CloudPlatform;
+use tse_simnet::offload::OffloadConfig;
+use tse_simnet::runner::ExperimentRunner;
+use tse_simnet::traffic::VictimFlow;
+use tse_switch::cost::CostModel;
+use tse_switch::datapath::Datapath;
+
+fn main() {
+    let platform = CloudPlatform::OpenStack;
+    let scenario = platform.clamp_scenario(Scenario::SipSpDp);
+    let schema = FieldSchema::ovs_ipv4();
+    let table = scenario.flow_table(&schema);
+
+    // Victim: UDP iperf joining at t = 30 s, offered at the platform's line rate.
+    let victims = vec![
+        VictimFlow::iperf_udp("Victim", 0x0a000005, 0x0a000063, platform.line_rate_gbps())
+            .active_between(30.0, f64::INFINITY),
+    ];
+    // Attacker: 100 pps, on during 0–60 s and again 90–120 s.
+    let keys = scenario_trace(&schema, scenario, &schema.zero_value());
+    let mut rng = StdRng::seed_from_u64(21);
+    let first = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 0.0, 6000);
+    let second = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 90.0, 3000);
+    let mut all: Vec<_> = first.packets().to_vec();
+    all.extend_from_slice(second.packets());
+    let attack = AttackTrace::from_timed(all);
+
+    let offload = OffloadConfig {
+        name: "OpenStack UDP",
+        bytes_per_invocation: 1538,
+        line_rate_gbps: platform.line_rate_gbps(),
+        cost: CostModel::ovs_kernel_default(),
+    };
+    let mut runner = ExperimentRunner::new(Datapath::new(table), victims, offload);
+    let timeline = runner.run(&attack, 120.0);
+    println!("== Fig. 8b: OpenStack (OVN), {} scenario, victim joins at t=30 s ==\n", scenario.name());
+    println!("{}", timeline.render_table());
+    println!(
+        "victim mean: 30–60 s (attacker on) {:.3} Gbps | 70–90 s (attacker off) {:.3} Gbps | 95–120 s (attacker back) {:.3} Gbps",
+        timeline.mean_total_between(30.0, 60.0),
+        timeline.mean_total_between(70.0, 89.0),
+        timeline.mean_total_between(95.0, 119.0),
+    );
+    println!("paper: >90 % reduction while both are active; recovery 10 s after the attacker stops.");
+    println!("note: the paper's re-activation anomaly (long-lived flows barely affected when the");
+    println!("attacker returns) was tied to an unstable OVS build and is not modelled; see EXPERIMENTS.md.");
+}

@@ -1,0 +1,76 @@
+//! # tse-bench
+//!
+//! The benchmark harness of the reproduction. It has two halves:
+//!
+//! * **figure binaries** (`src/bin/`): one binary per table/figure of the paper's
+//!   evaluation, each printing the same rows/series the paper reports (see DESIGN.md §5
+//!   for the experiment index and EXPERIMENTS.md for recorded outputs);
+//! * **criterion micro-benchmarks** (`benches/`): wall-clock measurements of the TSS
+//!   lookup as the mask count grows, the megaflow-generation strategies, and the
+//!   baseline classifiers.
+//!
+//! This library crate only hosts small shared helpers for the binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Format a throughput value as `x.xx Gbps`.
+pub fn gbps(v: f64) -> String {
+    format!("{v:7.3} Gbps")
+}
+
+/// Format a percentage relative to a baseline.
+pub fn percent(value: f64, baseline: f64) -> String {
+    format!("{:6.2} %", 100.0 * value / baseline)
+}
+
+/// Render a simple aligned table: a header row plus data rows of equal arity.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns_columns() {
+        let t = render_table(
+            &["masks", "gbps"],
+            &[vec!["1".into(), "10.0".into()], vec!["8200".into(), "0.02".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("masks"));
+        assert!(lines[3].contains("8200"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert!(gbps(1.5).contains("1.500 Gbps"));
+        assert!(percent(5.0, 10.0).contains("50.00"));
+    }
+}

@@ -1,0 +1,252 @@
+//! The ordered, priority-based flow table — the slow-path's authoritative representation
+//! of the ACL (§2.1, §2.2).
+
+use tse_packet::fields::{FieldSchema, Key};
+
+use crate::rule::{Action, Rule};
+
+/// An ordered set of wildcard rules. Lookup returns the highest-priority matching rule;
+/// ties are broken by insertion order (earlier wins), matching OVS/OpenFlow semantics.
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    schema: FieldSchema,
+    rules: Vec<Rule>,
+}
+
+/// Result of a slow-path lookup: the matched rule index and its action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableMatch {
+    /// Index into [`FlowTable::rules`] of the matched rule.
+    pub rule_index: usize,
+    /// The matched rule's action.
+    pub action: Action,
+    /// Number of rules inspected before the match was found (the slow-path's linear
+    /// cost; feeds the CPU model).
+    pub rules_inspected: usize,
+}
+
+impl FlowTable {
+    /// Create an empty table over the given schema.
+    pub fn new(schema: FieldSchema) -> Self {
+        FlowTable { schema, rules: Vec::new() }
+    }
+
+    /// The schema rules in this table match on.
+    pub fn schema(&self) -> &FieldSchema {
+        &self.schema
+    }
+
+    /// Append a rule.
+    pub fn push(&mut self, rule: Rule) {
+        assert_eq!(
+            rule.key.len(),
+            self.schema.field_count(),
+            "rule key arity must match the table schema"
+        );
+        self.rules.push(rule);
+    }
+
+    /// All rules in insertion order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the table holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Highest-priority match for `header`, if any. Walks rules in decreasing priority
+    /// (stable for equal priorities).
+    pub fn lookup(&self, header: &Key) -> Option<TableMatch> {
+        // Build the priority-ordered view lazily; tables are tiny (a handful of ACL
+        // rules) so a scan is fine and keeps insertion cheap.
+        let mut order: Vec<usize> = (0..self.rules.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.rules[i].priority));
+        let mut inspected = 0;
+        for &i in &order {
+            inspected += 1;
+            if self.rules[i].matches(header) {
+                return Some(TableMatch {
+                    rule_index: i,
+                    action: self.rules[i].action,
+                    rules_inspected: inspected,
+                });
+            }
+        }
+        None
+    }
+
+    /// True if the table is *order-independent*: all pairs of rules are disjoint, so
+    /// priorities are irrelevant (§2.1).
+    pub fn is_order_independent(&self) -> bool {
+        for i in 0..self.rules.len() {
+            for j in (i + 1)..self.rules.len() {
+                if self.rules[i].overlaps(&self.rules[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Indices of rules with strictly higher priority than `rule_index` (ties: earlier
+    /// insertion also counts as higher). These are the rules a generated megaflow must be
+    /// differentiated from.
+    pub fn higher_priority_than(&self, rule_index: usize) -> Vec<usize> {
+        let p = self.rules[rule_index].priority;
+        (0..self.rules.len())
+            .filter(|&i| {
+                self.rules[i].priority > p || (self.rules[i].priority == p && i < rule_index)
+            })
+            .collect()
+    }
+
+    /// Render the table in the style of Fig. 1 / Fig. 4 / Fig. 6.
+    pub fn render(&self) -> String {
+        let mut order: Vec<usize> = (0..self.rules.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.rules[i].priority));
+        order
+            .iter()
+            .map(|&i| format!("#{i} {}", self.rules[i].render(&self.schema)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Convenience constructors for the ACLs used throughout the paper.
+impl FlowTable {
+    /// The Fig. 1 flow table: `001 -> allow`, `*** -> deny` over the 3-bit HYP protocol.
+    pub fn fig1_hyp() -> Self {
+        let schema = FieldSchema::hyp();
+        let mut t = FlowTable::new(schema.clone());
+        t.push(Rule::exact_on_field(&schema, 0, 0b001, 10, Action::Allow));
+        t.push(Rule::match_all(&schema, 0, Action::Deny));
+        t
+    }
+
+    /// The Fig. 4 two-field ACL: `HYP=001 -> allow`, `HYP2=1111 -> allow`, `* -> deny`.
+    pub fn fig4_hyp2() -> Self {
+        let schema = FieldSchema::hyp2();
+        let mut t = FlowTable::new(schema.clone());
+        t.push(Rule::exact_on_field(&schema, 0, 0b001, 20, Action::Allow));
+        t.push(Rule::exact_on_field(&schema, 1, 0b1111, 10, Action::Allow));
+        t.push(Rule::match_all(&schema, 0, Action::Deny));
+        t
+    }
+
+    /// A generic WhiteList+DefaultDeny ACL: one exact-match allow rule per listed
+    /// `(field, value)` pair (priorities decreasing in list order) plus a DefaultDeny.
+    pub fn whitelist_default_deny(schema: &FieldSchema, allows: &[(usize, u128)]) -> Self {
+        let mut t = FlowTable::new(schema.clone());
+        let n = allows.len() as u32;
+        for (i, (field, value)) in allows.iter().enumerate() {
+            t.push(Rule::exact_on_field(
+                schema,
+                *field,
+                *value,
+                10 * (n - i as u32),
+                Action::Allow,
+            ));
+        }
+        t.push(Rule::match_all(schema, 0, Action::Deny));
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tse_packet::fields::Key;
+
+    fn hyp_key(v: u128) -> Key {
+        Key::from_values(&FieldSchema::hyp(), &[v])
+    }
+
+    #[test]
+    fn fig1_lookup_allow_and_deny() {
+        let t = FlowTable::fig1_hyp();
+        let allow = t.lookup(&hyp_key(0b001)).unwrap();
+        assert_eq!(allow.action, Action::Allow);
+        let deny = t.lookup(&hyp_key(0b111)).unwrap();
+        assert_eq!(deny.action, Action::Deny);
+        assert!(deny.rules_inspected >= 2);
+    }
+
+    #[test]
+    fn fig1_is_order_dependent() {
+        // Fig. 1's rules overlap (001 matches both); the table is order-dependent.
+        assert!(!FlowTable::fig1_hyp().is_order_independent());
+    }
+
+    #[test]
+    fn fig4_priorities() {
+        let t = FlowTable::fig4_hyp2();
+        let schema = FieldSchema::hyp2();
+        // HYP=001, HYP2=0000 -> first allow rule.
+        let m = t.lookup(&Key::from_values(&schema, &[0b001, 0b0000])).unwrap();
+        assert_eq!((m.rule_index, m.action), (0, Action::Allow));
+        // HYP=111, HYP2=1111 -> second allow rule.
+        let m = t.lookup(&Key::from_values(&schema, &[0b111, 0b1111])).unwrap();
+        assert_eq!((m.rule_index, m.action), (1, Action::Allow));
+        // HYP=111, HYP2=0000 -> deny.
+        let m = t.lookup(&Key::from_values(&schema, &[0b111, 0b0000])).unwrap();
+        assert_eq!(m.action, Action::Deny);
+    }
+
+    #[test]
+    fn paper_overlap_example_from_section_2_1() {
+        // "a packet with source IP 10.0.0.1, ports 34521/443 matches both the second and
+        // the last flow entries" of Fig. 6 — higher priority wins.
+        let schema = FieldSchema::ovs_ipv4();
+        let ip_src = schema.field_index("ip_src").unwrap();
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        let tp_src = schema.field_index("tp_src").unwrap();
+        let t = FlowTable::whitelist_default_deny(
+            &schema,
+            &[(tp_dst, 80), (ip_src, 0x0a000001), (tp_src, 12345)],
+        );
+        let mut header = schema.zero_value();
+        header.set(ip_src, 0x0a000001);
+        header.set(tp_src, 34521);
+        header.set(tp_dst, 443);
+        let m = t.lookup(&header).unwrap();
+        assert_eq!(m.action, Action::Allow);
+        assert_eq!(m.rule_index, 1); // the ip_src rule, not the DefaultDeny
+    }
+
+    #[test]
+    fn higher_priority_enumeration() {
+        let t = FlowTable::fig4_hyp2();
+        assert_eq!(t.higher_priority_than(2), vec![0, 1]);
+        assert_eq!(t.higher_priority_than(1), vec![0]);
+        assert!(t.higher_priority_than(0).is_empty());
+    }
+
+    #[test]
+    fn empty_table_returns_none() {
+        let t = FlowTable::new(FieldSchema::hyp());
+        assert!(t.lookup(&hyp_key(0)).is_none());
+        assert!(t.is_empty());
+        assert!(t.is_order_independent());
+    }
+
+    #[test]
+    fn render_fig1() {
+        let r = FlowTable::fig1_hyp().render();
+        assert!(r.contains("001 -> allow"));
+        assert!(r.contains("*** -> deny"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = FlowTable::new(FieldSchema::hyp());
+        t.push(Rule::match_all(&FieldSchema::hyp2(), 0, Action::Deny));
+    }
+}

@@ -1,0 +1,434 @@
+//! Slow-path megaflow generation: turning a flow-table decision for one packet into a
+//! megaflow cache entry.
+//!
+//! §3.2 explains that when the slow path installs a new MFC entry `C` for a packet with
+//! header `h` it maintains two invariants — *Cover* (`h` matches `C`) and *Independence*
+//! (`C` is disjoint from every existing entry) — and that within those constraints there
+//! are multiple valid choices, "each striking a different balance between space- and
+//! time-complexity":
+//!
+//! * the **exact-match** strategy (Fig. 2): one mask, exponentially many entries
+//!   (optimal time, `O(2^w)` space — the `k = 1` end of Theorem 4.1);
+//! * the **wildcarding** strategy (Fig. 3): wildcard as many bits as possible, giving the
+//!   smallest cache but one mask per tested bit (`k = w`, the strategy OVS leans toward);
+//! * intermediate, **chunked** constructions that un-wildcard `c` bits at a time
+//!   (`k = ⌈w/c⌉`, the general Theorem 4.1 trade-off).
+//!
+//! OVS additionally mixes strategies per field — e.g. it exact-matches IPv6 source
+//! addresses while bit-level wildcarding TCP ports, producing the §5.4 memory-explosion
+//! anomaly — which is modelled by per-field strategies.
+
+use tse_packet::fields::{FieldSchema, Key, Mask};
+
+use crate::flowtable::FlowTable;
+use crate::rule::Action;
+use crate::tss::TupleSpace;
+
+/// How un-wildcarding is performed within one header field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldStrategy {
+    /// Un-wildcard individual bits, most-significant first (OVS's usual behaviour;
+    /// `k_i = w_i`).
+    BitLevel,
+    /// Any touch of the field un-wildcards the whole field (`k_i = 1`); this is what OVS
+    /// does to IPv6 addresses in the §5.4 anomaly.
+    Exact,
+    /// Un-wildcard whole chunks of the given number of bits (`k_i = ⌈w_i / c⌉`), the
+    /// intermediate points of Theorem 4.1.
+    Chunked(u32),
+}
+
+/// The megaflow-generation strategy: one [`FieldStrategy`] per schema field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MegaflowStrategy {
+    per_field: Vec<FieldStrategy>,
+}
+
+impl MegaflowStrategy {
+    /// The OVS default: bit-level wildcarding on every field.
+    pub fn wildcarding(schema: &FieldSchema) -> Self {
+        Self::uniform(schema, FieldStrategy::BitLevel)
+    }
+
+    /// Exact-match on every field (the Fig. 2 construction).
+    pub fn exact_match(schema: &FieldSchema) -> Self {
+        Self::uniform(schema, FieldStrategy::Exact)
+    }
+
+    /// Chunked un-wildcarding with the same chunk size on every field.
+    pub fn chunked(schema: &FieldSchema, chunk_bits: u32) -> Self {
+        assert!(chunk_bits >= 1);
+        Self::uniform(schema, FieldStrategy::Chunked(chunk_bits))
+    }
+
+    /// The same strategy for every field.
+    pub fn uniform(schema: &FieldSchema, strategy: FieldStrategy) -> Self {
+        MegaflowStrategy { per_field: vec![strategy; schema.field_count()] }
+    }
+
+    /// Explicit per-field strategies (must match the schema's field count).
+    pub fn per_field(strategies: Vec<FieldStrategy>) -> Self {
+        MegaflowStrategy { per_field: strategies }
+    }
+
+    /// The OVS IPv6 behaviour observed in §5.4: exact-match the 128-bit address fields,
+    /// bit-level wildcard everything else.
+    pub fn ovs_ipv6_anomaly(schema: &FieldSchema) -> Self {
+        let per_field = schema
+            .fields()
+            .iter()
+            .map(|f| if f.width >= 64 { FieldStrategy::Exact } else { FieldStrategy::BitLevel })
+            .collect();
+        MegaflowStrategy { per_field }
+    }
+
+    /// Strategy for field `idx`.
+    pub fn field(&self, idx: usize) -> FieldStrategy {
+        self.per_field[idx]
+    }
+
+    /// Expand a single-bit un-wildcarding request into the strategy's granularity: the
+    /// returned bitmap covers the whole field (Exact), the chunk containing `bit`
+    /// (Chunked), or just `bit` (BitLevel).
+    fn expand_bit(&self, schema: &FieldSchema, field: usize, bit: u32) -> u128 {
+        let width = schema.width(field);
+        match self.per_field[field] {
+            FieldStrategy::BitLevel => 1u128 << bit,
+            FieldStrategy::Exact => schema.fields()[field].full_mask(),
+            FieldStrategy::Chunked(c) => {
+                let chunk_index = bit / c;
+                let lo = chunk_index * c;
+                let hi = ((chunk_index + 1) * c).min(width);
+                let ones = if hi - lo == 128 { u128::MAX } else { (1u128 << (hi - lo)) - 1 };
+                ones << lo
+            }
+        }
+    }
+
+    /// Expand a whole-field mask value through the strategy (used for the matched rule's
+    /// own mask).
+    fn expand_mask_field(&self, schema: &FieldSchema, field: usize, mask_bits: u128) -> u128 {
+        if mask_bits == 0 {
+            return 0;
+        }
+        match self.per_field[field] {
+            FieldStrategy::BitLevel => mask_bits,
+            FieldStrategy::Exact => schema.fields()[field].full_mask(),
+            FieldStrategy::Chunked(_) => {
+                let mut out = 0u128;
+                for bit in 0..schema.width(field) {
+                    if mask_bits >> bit & 1 == 1 {
+                        out |= self.expand_bit(schema, field, bit);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A megaflow entry produced by the slow path, ready for insertion into the MFC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedMegaflow {
+    /// The masked key.
+    pub key: Key,
+    /// The generated mask.
+    pub mask: Mask,
+    /// The action of the matched flow-table rule.
+    pub action: Action,
+    /// Index of the matched rule in the flow table.
+    pub rule_index: usize,
+}
+
+/// Errors from megaflow generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerationError {
+    /// The flow table has no matching rule for the header (no DefaultDeny installed).
+    NoMatchingRule,
+    /// An existing cache entry already covers this header (the fast path should have hit;
+    /// the caller usually treats this as "nothing to install").
+    AlreadyCovered,
+    /// Could not make the new entry disjoint from the existing cache (should not happen
+    /// for well-formed tables; kept as a defensive error).
+    CannotDisambiguate,
+}
+
+impl std::fmt::Display for GenerationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenerationError::NoMatchingRule => write!(f, "no matching rule in the flow table"),
+            GenerationError::AlreadyCovered => write!(f, "an existing megaflow already covers the header"),
+            GenerationError::CannotDisambiguate => {
+                write!(f, "unable to construct a disjoint megaflow entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenerationError {}
+
+/// Generate a megaflow entry for `header` against `table`, disjoint from everything in
+/// `cache`, under the given `strategy`.
+///
+/// The construction follows the OVS heuristic the paper describes:
+///
+/// 1. start from the matched rule's own mask (so every packet covered by the new entry
+///    also matches that rule — Cover plus action-correctness);
+/// 2. for every higher-priority rule the header *fails* to match, un-wildcard the bits of
+///    that rule's mask scanned (field order, most-significant bit first) up to and
+///    including the first bit on which the header differs — the "test the bits one by
+///    one" decomposition that yields Fig. 3 and Fig. 5;
+/// 3. as a safety net, while the candidate still overlaps an existing cache entry,
+///    un-wildcard one more differing bit (this loop does not fire for the
+///    WhiteList+DefaultDeny ACLs the paper studies, but keeps generation correct for
+///    arbitrary rule sets).
+pub fn generate_megaflow(
+    table: &FlowTable,
+    cache: &TupleSpace,
+    header: &Key,
+    strategy: &MegaflowStrategy,
+) -> Result<GeneratedMegaflow, GenerationError> {
+    let schema = table.schema();
+    let matched = table.lookup(header).ok_or(GenerationError::NoMatchingRule)?;
+    let rule = &table.rules()[matched.rule_index];
+
+    // Step 1: the matched rule's mask, expanded through the strategy.
+    let mut mask = schema.empty_mask();
+    for f in 0..schema.field_count() {
+        mask.set(f, strategy.expand_mask_field(schema, f, rule.mask.get(f)));
+    }
+
+    // Step 2: differentiate from every higher-priority rule.
+    for &hp_index in &table.higher_priority_than(matched.rule_index) {
+        let hp = &table.rules()[hp_index];
+        debug_assert!(!hp.matches(header), "higher-priority rule would have matched first");
+        let mut found = false;
+        'fields: for f in 0..schema.field_count() {
+            let rule_mask = hp.mask.get(f);
+            if rule_mask == 0 {
+                continue;
+            }
+            let width = schema.width(f);
+            for bit in (0..width).rev() {
+                if rule_mask >> bit & 1 == 0 {
+                    continue;
+                }
+                // Un-wildcard this examined bit of the higher-priority rule.
+                let add = strategy.expand_bit(schema, f, bit);
+                mask.set(f, mask.get(f) | add);
+                let differs = (header.get(f) ^ hp.key.get(f)) >> bit & 1 == 1;
+                if differs {
+                    found = true;
+                    break 'fields;
+                }
+            }
+        }
+        // `found` can only be false if the header actually matches `hp`, which the
+        // debug_assert above excludes; in release builds fall through harmlessly.
+        let _ = found;
+    }
+
+    // Step 3: safety net — resolve any residual overlap with existing cache entries.
+    let total_bits = schema.total_width();
+    let mut iterations = 0;
+    loop {
+        let key = header.apply_mask(&mask);
+        match cache.find_conflict(&key, &mask) {
+            None => {
+                return Ok(GeneratedMegaflow {
+                    key,
+                    mask,
+                    action: matched.action,
+                    rule_index: matched.rule_index,
+                });
+            }
+            Some((conflict_key, conflict_mask)) => {
+                iterations += 1;
+                if iterations > total_bits {
+                    return Err(GenerationError::CannotDisambiguate);
+                }
+                // Find a bit examined by the conflicting entry on which the header
+                // differs and which we have not yet un-wildcarded.
+                let mut added = false;
+                'outer: for f in 0..schema.field_count() {
+                    let candidate_bits =
+                        conflict_mask.get(f) & !mask.get(f) & (header.get(f) ^ conflict_key.get(f));
+                    if candidate_bits != 0 {
+                        let bit = 127 - candidate_bits.leading_zeros();
+                        mask.set(f, mask.get(f) | strategy.expand_bit(schema, f, bit));
+                        added = true;
+                        break 'outer;
+                    }
+                }
+                if !added {
+                    // No differing bit exists: the conflicting entry already covers this
+                    // header, so the fast path would have hit it.
+                    return Err(GenerationError::AlreadyCovered);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flowtable::FlowTable;
+
+    fn hyp_key(v: u128) -> Key {
+        Key::from_values(&FieldSchema::hyp(), &[v])
+    }
+
+    /// Drive the slow path for a sequence of headers and return the resulting cache.
+    fn populate(table: &FlowTable, strategy: &MegaflowStrategy, headers: &[Key]) -> TupleSpace {
+        let mut cache = TupleSpace::new(table.schema().clone());
+        for h in headers {
+            if cache.lookup(h, 0.0).action.is_some() {
+                continue;
+            }
+            match generate_megaflow(table, &cache, h, strategy) {
+                Ok(g) => cache.insert(g.key, g.mask, g.action, 0.0).unwrap(),
+                Err(GenerationError::AlreadyCovered) => {}
+                Err(e) => panic!("generation failed: {e}"),
+            }
+        }
+        cache
+    }
+
+    #[test]
+    fn wildcarding_reproduces_fig3() {
+        // §5.1 single-header adversarial trace: { 001, 101, 011, 000 }.
+        let table = FlowTable::fig1_hyp();
+        let strategy = MegaflowStrategy::wildcarding(table.schema());
+        let trace: Vec<Key> = [0b001u128, 0b101, 0b011, 0b000].iter().map(|&v| hyp_key(v)).collect();
+        let cache = populate(&table, &strategy, &trace);
+        assert_eq!(cache.entry_count(), 4, "Fig. 3 has 4 entries");
+        assert_eq!(cache.mask_count(), 3, "Fig. 3 has 3 masks");
+        assert!(cache.check_independence());
+        // The exact entries of Fig. 3.
+        let rendered = cache.render();
+        assert!(rendered.contains("key=001 mask=111 -> allow"));
+        assert!(rendered.contains("key=100 mask=100 -> deny"));
+        assert!(rendered.contains("key=010 mask=110 -> deny"));
+        assert!(rendered.contains("key=000 mask=111 -> deny"));
+    }
+
+    #[test]
+    fn exact_match_reproduces_fig2() {
+        let table = FlowTable::fig1_hyp();
+        let strategy = MegaflowStrategy::exact_match(table.schema());
+        let trace: Vec<Key> = (0..8u128).map(hyp_key).collect();
+        let cache = populate(&table, &strategy, &trace);
+        assert_eq!(cache.mask_count(), 1, "Fig. 2 uses a single exact mask");
+        assert_eq!(cache.entry_count(), 8, "Fig. 2 has all 2^3 keys");
+    }
+
+    #[test]
+    fn generated_cache_agrees_with_flow_table() {
+        // Semantic equivalence: after populating with every possible header, the cache
+        // gives the same verdict as the slow path for every header.
+        let table = FlowTable::fig4_hyp2();
+        let schema = table.schema().clone();
+        let strategy = MegaflowStrategy::wildcarding(&schema);
+        let all: Vec<Key> = (0..8u128)
+            .flat_map(|a| (0..16u128).map(move |b| (a, b)))
+            .map(|(a, b)| Key::from_values(&schema, &[a, b]))
+            .collect();
+        let mut cache = populate(&table, &strategy, &all);
+        for h in &all {
+            let expect = table.lookup(h).unwrap().action;
+            let got = cache.lookup(h, 0.0).action.unwrap();
+            assert_eq!(got, expect, "header {}", h.to_binary_string(&schema));
+        }
+        assert!(cache.check_independence());
+    }
+
+    #[test]
+    fn two_field_acl_yields_13_masks() {
+        // §4.2: the Fig. 4 ACL yields 3*4 + 1 = 13 masks under the wildcarding strategy
+        // when the whole header space is exercised.
+        let table = FlowTable::fig4_hyp2();
+        let schema = table.schema().clone();
+        let strategy = MegaflowStrategy::wildcarding(&schema);
+        let all: Vec<Key> = (0..8u128)
+            .flat_map(|a| (0..16u128).map(move |b| (a, b)))
+            .map(|(a, b)| Key::from_values(&schema, &[a, b]))
+            .collect();
+        let cache = populate(&table, &strategy, &all);
+        assert_eq!(cache.mask_count(), 13);
+    }
+
+    #[test]
+    fn chunked_strategy_trades_masks_for_entries() {
+        // Theorem 4.1 in executable form on an 8-bit field: k = w/c masks, ~k * 2^c
+        // entries when the whole space is exercised.
+        let schema = FieldSchema::new(vec![tse_packet::fields::FieldDef::new("f", 8)]);
+        let table = FlowTable::whitelist_default_deny(&schema, &[(0, 0x55)]);
+        let all: Vec<Key> = (0..256u128).map(|v| Key::from_values(&schema, &[v])).collect();
+
+        let wild = populate(&table, &MegaflowStrategy::wildcarding(&schema), &all);
+        let chunk4 = populate(&table, &MegaflowStrategy::chunked(&schema, 4), &all);
+        let exact = populate(&table, &MegaflowStrategy::exact_match(&schema), &all);
+
+        // Masks: 8 (+1 for the allow tuple shared) >= 2 >= 1.
+        assert!(wild.mask_count() > chunk4.mask_count());
+        assert!(chunk4.mask_count() > exact.mask_count());
+        // Entries go the other way.
+        assert!(wild.entry_count() < chunk4.entry_count());
+        assert!(chunk4.entry_count() < exact.entry_count());
+        assert_eq!(exact.entry_count(), 256);
+    }
+
+    #[test]
+    fn per_field_exact_explodes_entries_not_masks() {
+        // The IPv6 anomaly in miniature: exact-match the first field, wildcard the second.
+        let schema = FieldSchema::new(vec![
+            tse_packet::fields::FieldDef::new("addr", 8),
+            tse_packet::fields::FieldDef::new("port", 4),
+        ]);
+        let table = FlowTable::whitelist_default_deny(&schema, &[(0, 1), (1, 2)]);
+        let strategy = MegaflowStrategy::per_field(vec![FieldStrategy::Exact, FieldStrategy::BitLevel]);
+        let all: Vec<Key> = (0..256u128)
+            .flat_map(|a| (0..16u128).map(move |b| (a, b)))
+            .map(|(a, b)| Key::from_values(&schema, &[a, b]))
+            .collect();
+        let cache = populate(&table, &strategy, &all);
+        let wild = populate(&table, &MegaflowStrategy::wildcarding(&schema), &all);
+        assert!(cache.mask_count() < wild.mask_count());
+        assert!(cache.entry_count() > 10 * wild.entry_count());
+    }
+
+    #[test]
+    fn already_covered_reported() {
+        let table = FlowTable::fig1_hyp();
+        let strategy = MegaflowStrategy::wildcarding(table.schema());
+        let mut cache = TupleSpace::new(table.schema().clone());
+        let g = generate_megaflow(&table, &cache, &hyp_key(0b111), &strategy).unwrap();
+        cache.insert(g.key, g.mask, g.action, 0.0).unwrap();
+        // 101 is covered by the (1**, deny) entry.
+        let err = generate_megaflow(&table, &cache, &hyp_key(0b101), &strategy);
+        assert_eq!(err, Err(GenerationError::AlreadyCovered));
+    }
+
+    #[test]
+    fn empty_table_is_an_error() {
+        let schema = FieldSchema::hyp();
+        let table = FlowTable::new(schema.clone());
+        let cache = TupleSpace::new(schema.clone());
+        let err = generate_megaflow(
+            &table,
+            &cache,
+            &hyp_key(0),
+            &MegaflowStrategy::wildcarding(&schema),
+        );
+        assert_eq!(err, Err(GenerationError::NoMatchingRule));
+    }
+
+    #[test]
+    fn ovs_ipv6_anomaly_strategy_selects_exact_for_wide_fields() {
+        let schema = FieldSchema::ovs_ipv6();
+        let s = MegaflowStrategy::ovs_ipv6_anomaly(&schema);
+        assert_eq!(s.field(0), FieldStrategy::Exact); // ip6_src
+        assert_eq!(s.field(5), FieldStrategy::BitLevel); // tp_dst
+    }
+}

@@ -1,0 +1,524 @@
+//! The Tuple Space Search megaflow cache (MFC).
+//!
+//! The MFC is an unordered set of key/mask pairs `C = {(K, M)}` (§3.2). TSS maintains
+//! the list of distinct masks `M` (the "tuple space") and, for each mask, a hash map
+//! from masked keys to entries. Lookup (Alg. 1) iterates over the masks in order and
+//! performs one hash probe per mask, early-exiting on the first hit — which is only
+//! correct because entries are kept pairwise disjoint (Inv(2)).
+//!
+//! > *Observation 1: the time-complexity of TSS lookup grows linearly with the number of
+//! > distinct masks O(|M|) and the space-complexity linearly with the number of entries
+//! > O(|C|).*
+//!
+//! This module exposes exactly those two quantities ([`TupleSpace::mask_count`] /
+//! [`TupleSpace::entry_count`]) plus the per-lookup work ([`LookupOutcome::masks_scanned`])
+//! that the switch's cost model converts into throughput.
+
+use std::collections::HashMap;
+
+use tse_packet::fields::{self, FieldSchema, Key, Mask};
+
+use crate::rule::Action;
+
+/// One megaflow entry: a key under a mask, its action, and bookkeeping used by the
+/// eviction policy and MFCGuard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MegaflowEntry {
+    /// Masked key (always stored canonicalised: `key & mask`).
+    pub key: Key,
+    /// The entry's mask (shared with every other entry in the same tuple).
+    pub mask: Mask,
+    /// Cached action.
+    pub action: Action,
+    /// Number of fast-path hits.
+    pub hits: u64,
+    /// Simulation time (seconds) of the last hit or of insertion.
+    pub last_used: f64,
+    /// Simulation time the entry was installed.
+    pub installed_at: f64,
+}
+
+/// Result of a TSS lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupOutcome {
+    /// The matched action, or `None` on a cache miss.
+    pub action: Option<Action>,
+    /// Number of masks scanned (= number of hash probes). On a miss this equals the
+    /// total number of masks — the attacker's whole point.
+    pub masks_scanned: usize,
+}
+
+/// How the mask list is ordered during lookup. Real OVS periodically sorts masks by hit
+/// count so that frequently hit tuples are probed first; this is exposed as an ablation
+/// (it helps benign traffic a little but cannot help the deny-miss path the attack
+/// exercises, because a miss always scans every mask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaskOrdering {
+    /// Probe masks in insertion order (simplest; the paper's model).
+    #[default]
+    Insertion,
+    /// Probe masks newest-first: a newly created mask is prepended to the probe order.
+    /// This models the observed OVS datapath behaviour that a long-established flow's
+    /// mask does not stay at the front of the scan once an attack starts spawning masks,
+    /// so victim traffic pays the (near-)full scan — the regime measured in Fig. 8a/9a.
+    NewestFirst,
+    /// Probe masks in decreasing hit-count order (OVS's periodic re-sort).
+    HitCount,
+}
+
+/// The TSS megaflow cache.
+#[derive(Debug, Clone)]
+pub struct TupleSpace {
+    schema: FieldSchema,
+    ordering: MaskOrdering,
+    /// Distinct masks in probe order.
+    masks: Vec<Mask>,
+    /// Per-mask hit counters (parallel to `masks`), used by [`MaskOrdering::HitCount`].
+    mask_hits: Vec<u64>,
+    /// Per-mask hash tables: masked key -> entry.
+    tuples: HashMap<Mask, HashMap<Key, MegaflowEntry>>,
+}
+
+impl TupleSpace {
+    /// Create an empty cache.
+    pub fn new(schema: FieldSchema) -> Self {
+        TupleSpace {
+            schema,
+            ordering: MaskOrdering::Insertion,
+            masks: Vec::new(),
+            mask_hits: Vec::new(),
+            tuples: HashMap::new(),
+        }
+    }
+
+    /// Create an empty cache with an explicit mask-ordering policy.
+    pub fn with_ordering(schema: FieldSchema, ordering: MaskOrdering) -> Self {
+        TupleSpace { ordering, ..TupleSpace::new(schema) }
+    }
+
+    /// The schema of keys stored in the cache.
+    pub fn schema(&self) -> &FieldSchema {
+        &self.schema
+    }
+
+    /// Number of distinct masks |M| — the attacker's target metric.
+    pub fn mask_count(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Number of entries |C|.
+    pub fn entry_count(&self) -> usize {
+        self.tuples.values().map(|t| t.len()).sum()
+    }
+
+    /// The distinct masks in current probe order.
+    pub fn masks(&self) -> &[Mask] {
+        &self.masks
+    }
+
+    /// Iterate over all entries.
+    pub fn entries(&self) -> impl Iterator<Item = &MegaflowEntry> {
+        self.tuples.values().flat_map(|t| t.values())
+    }
+
+    /// Megaflow lookup — Algorithm 1 of the paper.
+    ///
+    /// For each mask `M` in the mask list, compute `h AND M` and probe the mask's hash.
+    /// Return a hit on the first match (correct thanks to entry disjointness); a miss
+    /// after all masks have been probed.
+    pub fn lookup(&mut self, header: &Key, now: f64) -> LookupOutcome {
+        let mut scanned = 0;
+        // Collect the hit (if any) first to keep the borrow checker happy, then update
+        // the entry's statistics.
+        let mut hit: Option<(usize, Mask, Key)> = None;
+        for (idx, mask) in self.masks.iter().enumerate() {
+            scanned += 1;
+            let masked = header.apply_mask(mask);
+            if let Some(tuple) = self.tuples.get(mask) {
+                if tuple.contains_key(&masked) {
+                    hit = Some((idx, mask.clone(), masked));
+                    break;
+                }
+            }
+        }
+        match hit {
+            Some((idx, mask, masked)) => {
+                self.mask_hits[idx] += 1;
+                let entry = self
+                    .tuples
+                    .get_mut(&mask)
+                    .and_then(|t| t.get_mut(&masked))
+                    .expect("hit entry must exist");
+                entry.hits += 1;
+                entry.last_used = now;
+                let action = entry.action;
+                if self.ordering == MaskOrdering::HitCount {
+                    self.resort_masks();
+                }
+                LookupOutcome { action: Some(action), masks_scanned: scanned }
+            }
+            None => LookupOutcome { action: None, masks_scanned: scanned },
+        }
+    }
+
+    /// Read-only lookup that does not update statistics (used by tests and MFCGuard).
+    pub fn peek(&self, header: &Key) -> Option<&MegaflowEntry> {
+        for mask in &self.masks {
+            let masked = header.apply_mask(mask);
+            if let Some(entry) = self.tuples.get(mask).and_then(|t| t.get(&masked)) {
+                return Some(entry);
+            }
+        }
+        None
+    }
+
+    /// Insert a new megaflow entry. Enforces the two slow-path invariants of §3.2:
+    ///
+    /// * **Inv(1) Cover** is the caller's responsibility (the generation strategy always
+    ///   derives `key` from the header that sparked the entry);
+    /// * **Inv(2) Independence** is checked here: inserting an entry that overlaps an
+    ///   existing one returns [`InsertError::Overlap`] (a real OVS bug class this
+    ///   reproduction treats as a hard error).
+    pub fn insert(
+        &mut self,
+        key: Key,
+        mask: Mask,
+        action: Action,
+        now: f64,
+    ) -> Result<(), InsertError> {
+        let key = key.apply_mask(&mask);
+        if let Some((existing_key, existing_mask)) = self.find_conflict(&key, &mask) {
+            return Err(InsertError::Overlap { existing_key, existing_mask });
+        }
+        if !self.tuples.contains_key(&mask) {
+            if self.ordering == MaskOrdering::NewestFirst {
+                self.masks.insert(0, mask.clone());
+                self.mask_hits.insert(0, 0);
+            } else {
+                self.masks.push(mask.clone());
+                self.mask_hits.push(0);
+            }
+            self.tuples.insert(mask.clone(), HashMap::new());
+        }
+        let entry = MegaflowEntry {
+            key: key.clone(),
+            mask: mask.clone(),
+            action,
+            hits: 0,
+            last_used: now,
+            installed_at: now,
+        };
+        self.tuples.get_mut(&mask).expect("tuple just ensured").insert(key, entry);
+        Ok(())
+    }
+
+    /// Find an existing entry that overlaps a prospective `(key, mask)` entry, i.e. one
+    /// that would violate the Independence invariant. Returns the conflicting entry's
+    /// key and mask.
+    ///
+    /// This is both the guard used by [`TupleSpace::insert`] and the primitive the
+    /// slow-path megaflow generation uses to decide which extra bits to un-wildcard
+    /// (§3.2): while a conflict exists, the generator narrows the new entry.
+    ///
+    /// Complexity note: for a tuple whose mask is entirely covered by the new mask the
+    /// check is a single hash probe (two entries under comparable masks conflict only if
+    /// they agree on every common bit); only tuples with bits outside the new mask need a
+    /// scan. This keeps generation fast even when a tuple holds hundreds of thousands of
+    /// entries (the IPv6 exact-match anomaly of §5.4).
+    pub fn find_conflict(&self, key: &Key, mask: &Mask) -> Option<(Key, Mask)> {
+        let key = key.apply_mask(mask);
+        for (existing_mask, tuple) in &self.tuples {
+            let common = mask.and(existing_mask);
+            if &common == existing_mask {
+                // Every bit the existing tuple examines is also examined by the new
+                // entry: conflict iff the tuple holds exactly the new key projected onto
+                // the existing mask.
+                let probe = key.apply_mask(existing_mask);
+                if tuple.contains_key(&probe) {
+                    return Some((probe, existing_mask.clone()));
+                }
+            } else {
+                for e in tuple.values() {
+                    if !fields::disjoint(&key, mask, &e.key, &e.mask) {
+                        return Some((e.key.clone(), e.mask.clone()));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Remove every entry for which `predicate` returns true; returns the number of
+    /// removed entries. Masks whose tuple becomes empty are dropped from the mask list —
+    /// this is what shrinks |M| back down (the entire point of MFCGuard).
+    pub fn remove_where<F: FnMut(&MegaflowEntry) -> bool>(&mut self, mut predicate: F) -> usize {
+        let mut removed = 0;
+        for tuple in self.tuples.values_mut() {
+            let before = tuple.len();
+            tuple.retain(|_, e| !predicate(e));
+            removed += before - tuple.len();
+        }
+        self.drop_empty_masks();
+        removed
+    }
+
+    /// Expire entries idle for longer than `idle_timeout` seconds (OVS's 10 s policy,
+    /// §5.4: "the 10 sec idle MFC timeout in OVS, keeping the attacker's entries alive
+    /// for an extended time"). Returns the number of expired entries.
+    pub fn expire_idle(&mut self, now: f64, idle_timeout: f64) -> usize {
+        self.remove_where(|e| now - e.last_used > idle_timeout)
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.masks.clear();
+        self.mask_hits.clear();
+        self.tuples.clear();
+    }
+
+    /// Verify the Independence invariant over the whole cache (O(n²); used by tests and
+    /// property checks, not by the data path).
+    pub fn check_independence(&self) -> bool {
+        let entries: Vec<&MegaflowEntry> = self.entries().collect();
+        for i in 0..entries.len() {
+            for j in (i + 1)..entries.len() {
+                if !fields::disjoint(
+                    &entries[i].key,
+                    &entries[i].mask,
+                    &entries[j].key,
+                    &entries[j].mask,
+                ) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn drop_empty_masks(&mut self) {
+        let tuples = &mut self.tuples;
+        let mut kept_hits = Vec::with_capacity(self.masks.len());
+        let mut kept_masks = Vec::with_capacity(self.masks.len());
+        for (mask, hits) in self.masks.drain(..).zip(self.mask_hits.drain(..)) {
+            let empty = tuples.get(&mask).map(|t| t.is_empty()).unwrap_or(true);
+            if empty {
+                tuples.remove(&mask);
+            } else {
+                kept_masks.push(mask);
+                kept_hits.push(hits);
+            }
+        }
+        self.masks = kept_masks;
+        self.mask_hits = kept_hits;
+    }
+
+    fn resort_masks(&mut self) {
+        let mut order: Vec<usize> = (0..self.masks.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.mask_hits[i]));
+        self.masks = order.iter().map(|&i| self.masks[i].clone()).collect();
+        self.mask_hits = order.iter().map(|&i| self.mask_hits[i]).collect();
+    }
+
+    /// Render the cache in the style of Fig. 2 / Fig. 3 / Fig. 5 (one line per entry,
+    /// binary key and mask).
+    pub fn render(&self) -> String {
+        let mut lines = Vec::new();
+        for (i, mask) in self.masks.iter().enumerate() {
+            let mut keys: Vec<&MegaflowEntry> = self.tuples[mask].values().collect();
+            keys.sort_by(|a, b| a.key.cmp(&b.key));
+            for e in keys {
+                lines.push(format!(
+                    "mask[{i}] key={} mask={} -> {}",
+                    e.key.to_binary_string(&self.schema),
+                    e.mask.to_binary_string(&self.schema),
+                    e.action
+                ));
+            }
+        }
+        lines.join("\n")
+    }
+}
+
+/// Errors from [`TupleSpace::insert`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertError {
+    /// The new entry overlaps an existing entry, violating Inv(2).
+    Overlap {
+        /// Key of the conflicting entry.
+        existing_key: Key,
+        /// Mask of the conflicting entry.
+        existing_mask: Mask,
+    },
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::Overlap { existing_key, existing_mask } => write!(
+                f,
+                "entry overlaps existing megaflow (key {existing_key}, mask {existing_mask})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hyp_schema() -> FieldSchema {
+        FieldSchema::hyp()
+    }
+
+    fn k(v: u128) -> Key {
+        Key::from_values(&hyp_schema(), &[v])
+    }
+
+    /// Build the Fig. 3 wildcarded MFC by hand.
+    fn fig3_cache() -> TupleSpace {
+        let mut c = TupleSpace::new(hyp_schema());
+        c.insert(k(0b001), k(0b111), Action::Allow, 0.0).unwrap();
+        c.insert(k(0b100), k(0b100), Action::Deny, 0.0).unwrap();
+        c.insert(k(0b010), k(0b110), Action::Deny, 0.0).unwrap();
+        c.insert(k(0b000), k(0b111), Action::Deny, 0.0).unwrap();
+        c
+    }
+
+    #[test]
+    fn fig3_has_4_entries_and_3_masks() {
+        let c = fig3_cache();
+        assert_eq!(c.entry_count(), 4);
+        assert_eq!(c.mask_count(), 3); // 111 is shared by two entries
+        assert!(c.check_independence());
+    }
+
+    #[test]
+    fn fig3_classifies_whole_header_space_like_fig1_acl() {
+        let mut c = fig3_cache();
+        for h in 0..8u128 {
+            let out = c.lookup(&k(h), 0.0);
+            let expected = if h == 0b001 { Action::Allow } else { Action::Deny };
+            assert_eq!(out.action, Some(expected), "header {h:03b}");
+        }
+    }
+
+    #[test]
+    fn fig2_exact_match_uses_single_mask() {
+        // The exact-match strategy of Fig. 2: all 8 keys under the single mask 111.
+        let mut c = TupleSpace::new(hyp_schema());
+        for h in 0..8u128 {
+            let action = if h == 0b001 { Action::Allow } else { Action::Deny };
+            c.insert(k(h), k(0b111), action, 0.0).unwrap();
+        }
+        assert_eq!(c.mask_count(), 1);
+        assert_eq!(c.entry_count(), 8);
+        // Every lookup scans exactly one mask: optimal time, exponential space.
+        for h in 0..8u128 {
+            assert_eq!(c.lookup(&k(h), 0.0).masks_scanned, 1);
+        }
+    }
+
+    #[test]
+    fn miss_scans_all_masks() {
+        let mut c = TupleSpace::new(hyp_schema());
+        c.insert(k(0b001), k(0b111), Action::Allow, 0.0).unwrap();
+        c.insert(k(0b110), k(0b110), Action::Deny, 0.0).unwrap();
+        let out = c.lookup(&k(0b010), 0.0);
+        assert_eq!(out.action, None);
+        assert_eq!(out.masks_scanned, 2);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut c = TupleSpace::new(hyp_schema());
+        c.insert(k(0b001), k(0b111), Action::Allow, 0.0).unwrap();
+        // (000, 000) covers everything, including 001 -> overlap.
+        let err = c.insert(k(0b000), k(0b000), Action::Deny, 0.0);
+        assert!(matches!(err, Err(InsertError::Overlap { .. })));
+        assert_eq!(c.entry_count(), 1);
+    }
+
+    #[test]
+    fn idle_timeout_expires_only_stale_entries() {
+        let mut c = fig3_cache();
+        // Touch the allow entry at t=9.
+        assert_eq!(c.lookup(&k(0b001), 9.0).action, Some(Action::Allow));
+        // At t=15 with a 10 s timeout: entries last used at t=0 are stale (15 > 10),
+        // the refreshed allow entry survives.
+        let removed = c.expire_idle(15.0, 10.0);
+        assert_eq!(removed, 3);
+        assert_eq!(c.entry_count(), 1);
+        assert_eq!(c.mask_count(), 1);
+        assert_eq!(c.peek(&k(0b001)).unwrap().action, Action::Allow);
+    }
+
+    #[test]
+    fn remove_where_drops_empty_masks() {
+        let mut c = fig3_cache();
+        let removed = c.remove_where(|e| e.action == Action::Deny);
+        assert_eq!(removed, 3);
+        assert_eq!(c.mask_count(), 1);
+        assert_eq!(c.entry_count(), 1);
+        // Deny traffic now misses (goes back to the slow path) but the allow entry is
+        // untouched — MFCGuard's requirement (i).
+        assert_eq!(c.lookup(&k(0b000), 0.0).action, None);
+        assert_eq!(c.lookup(&k(0b001), 0.0).action, Some(Action::Allow));
+    }
+
+    #[test]
+    fn hit_count_ordering_moves_hot_mask_forward() {
+        let mut c = TupleSpace::with_ordering(hyp_schema(), MaskOrdering::HitCount);
+        c.insert(k(0b100), k(0b100), Action::Deny, 0.0).unwrap();
+        c.insert(k(0b001), k(0b111), Action::Allow, 0.0).unwrap();
+        // Initially the deny mask (insertion order) is probed first: allow costs 2.
+        assert_eq!(c.lookup(&k(0b001), 0.0).masks_scanned, 2);
+        // Hit it a few times; the hot mask gets sorted to the front.
+        for _ in 0..3 {
+            c.lookup(&k(0b001), 0.0);
+        }
+        assert_eq!(c.lookup(&k(0b001), 0.0).masks_scanned, 1);
+    }
+
+    #[test]
+    fn newest_first_ordering_pushes_old_masks_back() {
+        let mut c = TupleSpace::with_ordering(hyp_schema(), MaskOrdering::NewestFirst);
+        // "Victim" entry installed first.
+        c.insert(k(0b001), k(0b111), Action::Allow, 0.0).unwrap();
+        assert_eq!(c.lookup(&k(0b001), 0.0).masks_scanned, 1);
+        // Attack masks arrive later but are probed first.
+        c.insert(k(0b100), k(0b100), Action::Deny, 1.0).unwrap();
+        c.insert(k(0b010), k(0b110), Action::Deny, 1.0).unwrap();
+        assert_eq!(c.lookup(&k(0b001), 2.0).masks_scanned, 3);
+    }
+
+    #[test]
+    fn lookup_statistics_updated() {
+        let mut c = fig3_cache();
+        c.lookup(&k(0b001), 5.0);
+        c.lookup(&k(0b001), 7.0);
+        let e = c.peek(&k(0b001)).unwrap();
+        assert_eq!(e.hits, 2);
+        assert!((e.last_used - 7.0).abs() < 1e-9);
+        assert_eq!(e.installed_at, 0.0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = fig3_cache();
+        c.clear();
+        assert_eq!(c.mask_count(), 0);
+        assert_eq!(c.entry_count(), 0);
+        assert_eq!(c.lookup(&k(0b001), 0.0).masks_scanned, 0);
+    }
+
+    #[test]
+    fn render_lists_entries() {
+        let c = fig3_cache();
+        let r = c.render();
+        assert!(r.contains("key=001 mask=111 -> allow"));
+        assert!(r.contains("deny"));
+        assert_eq!(r.lines().count(), 4);
+    }
+}

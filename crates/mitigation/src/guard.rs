@@ -1,0 +1,277 @@
+//! MFCGuard — the short-term mitigation of §8 (Algorithm 2).
+//!
+//! Every `interval` seconds (10 s, matching the MFC eviction cadence) the guard checks
+//! the number of megaflow masks. If it exceeds `mask_threshold`, it scans the cache for
+//! TSE-patterned entries and removes them — but **only entries with a drop action**
+//! (requirement (i)), so traffic that is eventually allowed keeps its fast path. Removal
+//! stops early if the projected slow-path CPU utilisation reaches `cpu_threshold`
+//! (requirement (ii) / the balancing exit of Alg. 2).
+//!
+//! The reproduction also models the undocumented OVS behaviour the authors observed:
+//! entries wiped by the guard are not re-sparked by the slow path (the corresponding
+//! deny rules are *suppressed*), so adversarial packets keep paying the slow-path price
+//! while the victim's fast path stays clean.
+
+use tse_classifier::rule::Action;
+use tse_switch::datapath::Datapath;
+
+use crate::cpu_model::SlowPathCpuModel;
+use crate::pattern::is_tse_pattern;
+
+/// MFCGuard configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardConfig {
+    /// Run the check every this many seconds (Alg. 2 line 1).
+    pub interval: f64,
+    /// Mask-count threshold `m_th` above which cleaning starts.
+    pub mask_threshold: usize,
+    /// Slow-path CPU utilisation threshold `c_th` (percent) at which cleaning stops.
+    pub cpu_threshold: f64,
+    /// Whether wiped deny rules are suppressed from re-installation (the observed OVS
+    /// behaviour; setting this to `false` models a datapath where deleted entries
+    /// re-spark and get wiped again on the next pass).
+    pub suppress_reinstall: bool,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            interval: 10.0,
+            mask_threshold: 50,
+            cpu_threshold: 200.0,
+            suppress_reinstall: true,
+        }
+    }
+}
+
+/// Report of one guard pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardReport {
+    /// Simulation time of the pass.
+    pub time: f64,
+    /// Mask count before cleaning.
+    pub masks_before: usize,
+    /// Mask count after cleaning.
+    pub masks_after: usize,
+    /// Number of megaflow entries removed.
+    pub entries_removed: usize,
+    /// Projected slow-path CPU utilisation (percent) given the observed attack rate.
+    pub projected_cpu_percent: f64,
+    /// Whether cleaning stopped early because of the CPU threshold.
+    pub stopped_by_cpu: bool,
+}
+
+/// The MFCGuard monitor.
+#[derive(Debug, Clone)]
+pub struct MfcGuard {
+    config: GuardConfig,
+    cpu_model: SlowPathCpuModel,
+    last_run: Option<f64>,
+    reports: Vec<GuardReport>,
+}
+
+impl MfcGuard {
+    /// Create a guard with the given configuration and the default CPU model.
+    pub fn new(config: GuardConfig) -> Self {
+        MfcGuard {
+            config,
+            cpu_model: SlowPathCpuModel::ovs_vswitchd_default(),
+            last_run: None,
+            reports: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GuardConfig {
+        &self.config
+    }
+
+    /// All reports generated so far.
+    pub fn reports(&self) -> &[GuardReport] {
+        &self.reports
+    }
+
+    /// The CPU model used for the balancing decision.
+    pub fn cpu_model(&self) -> &SlowPathCpuModel {
+        &self.cpu_model
+    }
+
+    /// Run the guard if the interval has elapsed. `observed_attack_pps` is the measured
+    /// rate of packets currently missing the fast path (what `top` shows translated to a
+    /// rate); it drives the projected-CPU exit condition.
+    pub fn maybe_run(
+        &mut self,
+        datapath: &mut Datapath,
+        now: f64,
+        observed_attack_pps: f64,
+    ) -> Option<GuardReport> {
+        match self.last_run {
+            Some(last) if now - last < self.config.interval => return None,
+            _ => {}
+        }
+        self.last_run = Some(now);
+        Some(self.run_once(datapath, now, observed_attack_pps))
+    }
+
+    /// Run one guard pass unconditionally (Alg. 2 lines 2–14).
+    pub fn run_once(
+        &mut self,
+        datapath: &mut Datapath,
+        now: f64,
+        observed_attack_pps: f64,
+    ) -> GuardReport {
+        let masks_before = datapath.mask_count();
+        let projected_cpu = self.cpu_model.utilization_percent(observed_attack_pps);
+        let mut entries_removed = 0;
+        let mut stopped_by_cpu = false;
+
+        if masks_before > self.config.mask_threshold {
+            if projected_cpu >= self.config.cpu_threshold {
+                // Wiping would push the slow path past the budget: leave the cache alone
+                // (the system is "balanced" in Alg. 2's terms).
+                stopped_by_cpu = true;
+            } else {
+                // Remove every TSE-patterned drop entry. Requirement (i): only deny
+                // entries are ever touched.
+                let table = datapath.table().clone();
+                entries_removed = datapath
+                    .megaflow_mut()
+                    .remove_where(|entry| is_tse_pattern(entry, &table));
+                if self.config.suppress_reinstall {
+                    let deny_rules: Vec<usize> = table
+                        .rules()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.action == Action::Deny)
+                        .map(|(i, _)| i)
+                        .collect();
+                    for r in deny_rules {
+                        datapath.slow_path_mut().suppress_rule(r);
+                    }
+                }
+            }
+        }
+
+        let report = GuardReport {
+            time: now,
+            masks_before,
+            masks_after: datapath.mask_count(),
+            entries_removed,
+            projected_cpu_percent: projected_cpu,
+            stopped_by_cpu,
+        };
+        self.reports.push(report);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tse_attack::colocated::scenario_trace;
+    use tse_attack::scenarios::Scenario;
+    use tse_classifier::rule::Action;
+    use tse_packet::fields::FieldSchema;
+    use tse_switch::datapath::Datapath;
+
+    /// Build a datapath under a Dp/SipDp-style attack with the victim's allow entry
+    /// installed.
+    fn attacked_datapath(scenario: Scenario) -> (Datapath, tse_packet::fields::Key) {
+        let schema = FieldSchema::ovs_ipv4();
+        let table = scenario.flow_table(&schema);
+        let mut dp = Datapath::new(table);
+        // Victim: dst port 80 (allowed by rule #1).
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        let mut victim = schema.zero_value();
+        victim.set(tp_dst, 80);
+        dp.process_key(&victim, 1500, 0.0);
+        // Attack trace.
+        for (i, h) in scenario_trace(&schema, scenario, &schema.zero_value()).iter().enumerate() {
+            dp.process_key(h, 60, 0.1 + i as f64 * 1e-3);
+        }
+        (dp, victim)
+    }
+
+    #[test]
+    fn guard_cleans_attack_masks_but_keeps_victim_entry() {
+        let (mut dp, victim) = attacked_datapath(Scenario::SpDp);
+        let before = dp.mask_count();
+        assert!(before > 50, "attack should have exploded the tuple space: {before}");
+        let mut guard = MfcGuard::new(GuardConfig::default());
+        let report = guard.run_once(&mut dp, 1.0, 100.0);
+        assert_eq!(report.masks_before, before);
+        // Only allow-side masks survive: the victim's plus the (at most w_i per field)
+        // allow-decomposition masks — an order of magnitude below the attack's product.
+        assert!(
+            report.masks_after <= 20 && report.masks_after < before / 5,
+            "deny masks should be wiped: {} -> {}",
+            report.masks_before,
+            report.masks_after
+        );
+        assert!(report.entries_removed > 50);
+        // The victim still hits the fast path, now scanning only the few allow masks.
+        let outcome = dp.process_key(&victim, 1500, 1.1);
+        assert_eq!(outcome.action, Action::Allow);
+        assert!(outcome.masks_scanned <= report.masks_after);
+    }
+
+    #[test]
+    fn guard_respects_interval() {
+        let (mut dp, _) = attacked_datapath(Scenario::Dp);
+        let mut guard = MfcGuard::new(GuardConfig { interval: 10.0, ..GuardConfig::default() });
+        assert!(guard.maybe_run(&mut dp, 0.0, 100.0).is_some());
+        assert!(guard.maybe_run(&mut dp, 5.0, 100.0).is_none());
+        assert!(guard.maybe_run(&mut dp, 10.5, 100.0).is_some());
+        assert_eq!(guard.reports().len(), 2);
+    }
+
+    #[test]
+    fn guard_idles_below_mask_threshold() {
+        let (mut dp, _) = attacked_datapath(Scenario::Dp); // only ~16 masks
+        let mut guard = MfcGuard::new(GuardConfig { mask_threshold: 50, ..GuardConfig::default() });
+        let report = guard.run_once(&mut dp, 0.0, 100.0);
+        assert_eq!(report.entries_removed, 0);
+        assert_eq!(report.masks_before, report.masks_after);
+    }
+
+    #[test]
+    fn guard_stops_when_cpu_budget_exceeded() {
+        let (mut dp, _) = attacked_datapath(Scenario::SpDp);
+        let before = dp.mask_count();
+        let mut guard =
+            MfcGuard::new(GuardConfig { cpu_threshold: 50.0, ..GuardConfig::default() });
+        // 20 kpps of attack would drive the slow path way past 50 %.
+        let report = guard.run_once(&mut dp, 0.0, 20_000.0);
+        assert!(report.stopped_by_cpu);
+        assert_eq!(report.entries_removed, 0);
+        assert_eq!(dp.mask_count(), before);
+    }
+
+    #[test]
+    fn suppression_keeps_attack_out_of_fast_path() {
+        let (mut dp, _) = attacked_datapath(Scenario::SpDp);
+        let schema = FieldSchema::ovs_ipv4();
+        let mut guard = MfcGuard::new(GuardConfig::default());
+        guard.run_once(&mut dp, 1.0, 100.0);
+        let cleaned = dp.mask_count();
+        // Replay the attack: with suppression the deny megaflows are not re-created.
+        for (i, h) in scenario_trace(&schema, Scenario::SpDp, &schema.zero_value()).iter().enumerate() {
+            dp.process_key(h, 60, 2.0 + i as f64 * 1e-3);
+        }
+        assert_eq!(dp.mask_count(), cleaned, "suppressed deny rules must not re-spark masks");
+        assert!(dp.slow_path().suppressed_upcalls() > 100);
+    }
+
+    #[test]
+    fn without_suppression_attack_masks_return() {
+        let (mut dp, _) = attacked_datapath(Scenario::SpDp);
+        let schema = FieldSchema::ovs_ipv4();
+        let mut guard = MfcGuard::new(GuardConfig { suppress_reinstall: false, ..GuardConfig::default() });
+        guard.run_once(&mut dp, 1.0, 100.0);
+        let cleaned = dp.mask_count();
+        for (i, h) in scenario_trace(&schema, Scenario::SpDp, &schema.zero_value()).iter().enumerate() {
+            dp.process_key(h, 60, 2.0 + i as f64 * 1e-3);
+        }
+        assert!(dp.mask_count() > cleaned * 10, "without suppression the attack re-explodes the cache");
+    }
+}

@@ -1,0 +1,22 @@
+//! # tse-mitigation
+//!
+//! The short-term mitigation of §8: **MFCGuard**, a monitor that keeps the tuple space
+//! small for traffic that is eventually allowed.
+//!
+//! * [`guard`] — Algorithm 2: periodic mask-count check, TSE-pattern scan, drop-only
+//!   entry eviction bounded by a slow-path CPU budget;
+//! * [`pattern`] — the TSE-entry detector (deny megaflows that test bits of a
+//!   whitelisted field);
+//! * [`cpu_model`] — the `ovs-vswitchd` CPU model calibrated against Fig. 9c, used both
+//!   for Alg. 2's balancing exit and for regenerating that figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu_model;
+pub mod guard;
+pub mod pattern;
+
+pub use cpu_model::SlowPathCpuModel;
+pub use guard::{GuardConfig, GuardReport, MfcGuard};
+pub use pattern::{allow_exact_fields, is_tse_pattern};

@@ -1,0 +1,410 @@
+//! Generic header-field abstraction: schemas, keys and masks.
+//!
+//! The paper formalises a packet classifier as operating on `n` header fields of bit
+//! widths `w_1, ..., w_n` (§4). The megaflow cache stores *key/mask pairs* `C = (K, M)`
+//! where the mask selects header bits and the key gives their required values.
+//!
+//! Everything in the classifier crate is expressed against this module so that the same
+//! code handles the paper's 3-bit hypothetical "HYP" protocol (Figs. 1–5), the canonical
+//! OVS IPv4 flow key, and IPv6 keys with 128-bit fields.
+
+use std::fmt;
+
+/// Definition of a single header field: a human-readable name and a bit width (≤ 128).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldDef {
+    /// Field name (e.g. `"ip_src"`, `"tcp_dst"`, `"hyp"`).
+    pub name: &'static str,
+    /// Field width in bits; must be between 1 and 128.
+    pub width: u32,
+}
+
+impl FieldDef {
+    /// Create a new field definition.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero or greater than 128.
+    pub const fn new(name: &'static str, width: u32) -> Self {
+        assert!(width >= 1 && width <= 128, "field width must be in 1..=128");
+        FieldDef { name, width }
+    }
+
+    /// All-ones mask value for this field.
+    pub fn full_mask(&self) -> u128 {
+        if self.width == 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.width) - 1
+        }
+    }
+}
+
+/// An ordered collection of header fields a classifier matches on.
+///
+/// Field order matters: it defines rule priority semantics in the paper's examples
+/// (the first allow rule matches on the first field, etc.) and the layout of
+/// [`FieldVec`] values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FieldSchema {
+    fields: Vec<FieldDef>,
+}
+
+impl FieldSchema {
+    /// Build a schema from an explicit field list.
+    ///
+    /// # Panics
+    /// Panics if the list is empty.
+    pub fn new(fields: Vec<FieldDef>) -> Self {
+        assert!(!fields.is_empty(), "schema must have at least one field");
+        FieldSchema { fields }
+    }
+
+    /// The 3-bit single-field hypothetical protocol of §3.2 / Fig. 1.
+    pub fn hyp() -> Self {
+        Self::new(vec![FieldDef::new("hyp", 3)])
+    }
+
+    /// The two-field HYP (3 bits) + HYP2 (4 bits) protocol of §4.2 / Fig. 4.
+    pub fn hyp2() -> Self {
+        Self::new(vec![FieldDef::new("hyp", 3), FieldDef::new("hyp2", 4)])
+    }
+
+    /// The canonical OVS-style IPv4 flow key used throughout §5:
+    /// `ip_src/32, ip_dst/32, ip_proto/8, ttl/8, tp_src/16, tp_dst/16`.
+    pub fn ovs_ipv4() -> Self {
+        Self::new(vec![
+            FieldDef::new("ip_src", 32),
+            FieldDef::new("ip_dst", 32),
+            FieldDef::new("ip_proto", 8),
+            FieldDef::new("ttl", 8),
+            FieldDef::new("tp_src", 16),
+            FieldDef::new("tp_dst", 16),
+        ])
+    }
+
+    /// IPv6 variant of the OVS flow key (128-bit addresses), used for the §5.4 IPv6
+    /// entry-explosion anomaly experiment.
+    pub fn ovs_ipv6() -> Self {
+        Self::new(vec![
+            FieldDef::new("ip6_src", 128),
+            FieldDef::new("ip6_dst", 128),
+            FieldDef::new("ip_proto", 8),
+            FieldDef::new("ttl", 8),
+            FieldDef::new("tp_src", 16),
+            FieldDef::new("tp_dst", 16),
+        ])
+    }
+
+    /// Number of fields in the schema.
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Field definitions in order.
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Bit width of field `idx`.
+    pub fn width(&self, idx: usize) -> u32 {
+        self.fields[idx].width
+    }
+
+    /// Sum of all field widths (the `w` in Theorem 4.1 when there is a single field).
+    pub fn total_width(&self) -> u32 {
+        self.fields.iter().map(|f| f.width).sum()
+    }
+
+    /// Index of the field with the given name, if any.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// An all-zero value vector for this schema.
+    pub fn zero_value(&self) -> FieldVec {
+        FieldVec { values: vec![0; self.fields.len()] }
+    }
+
+    /// A fully wildcarded mask (no bits examined).
+    pub fn empty_mask(&self) -> Mask {
+        self.zero_value()
+    }
+
+    /// A fully exact mask (all bits of all fields examined).
+    pub fn full_mask(&self) -> Mask {
+        FieldVec { values: self.fields.iter().map(|f| f.full_mask()).collect() }
+    }
+}
+
+/// A per-field vector of bit values. Used both as a *key* (header values) and as a
+/// *mask* (which bits are significant), matching the paper's `(K, M)` notation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldVec {
+    values: Vec<u128>,
+}
+
+/// A key: per-field header bit values. Alias of [`FieldVec`].
+pub type Key = FieldVec;
+/// A mask: per-field significant-bit bitmaps. Alias of [`FieldVec`].
+pub type Mask = FieldVec;
+
+impl FieldVec {
+    /// Build from raw per-field values. Values are masked to the schema widths.
+    pub fn from_values(schema: &FieldSchema, values: &[u128]) -> Self {
+        assert_eq!(
+            values.len(),
+            schema.field_count(),
+            "value count must match schema field count"
+        );
+        let values = values
+            .iter()
+            .zip(schema.fields())
+            .map(|(v, f)| v & f.full_mask())
+            .collect();
+        FieldVec { values }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if there are no fields (never the case for schema-derived vectors).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value of field `idx`.
+    pub fn get(&self, idx: usize) -> u128 {
+        self.values[idx]
+    }
+
+    /// Set the value of field `idx`.
+    pub fn set(&mut self, idx: usize, value: u128) {
+        self.values[idx] = value;
+    }
+
+    /// Raw per-field values.
+    pub fn values(&self) -> &[u128] {
+        &self.values
+    }
+
+    /// Bitwise AND with a mask, per field: `h AND M` in Alg. 1.
+    pub fn apply_mask(&self, mask: &Mask) -> FieldVec {
+        debug_assert_eq!(self.len(), mask.len());
+        FieldVec {
+            values: self
+                .values
+                .iter()
+                .zip(mask.values.iter())
+                .map(|(v, m)| v & m)
+                .collect(),
+        }
+    }
+
+    /// Bitwise OR, per field (used to combine masks).
+    pub fn or(&self, other: &FieldVec) -> FieldVec {
+        debug_assert_eq!(self.len(), other.len());
+        FieldVec {
+            values: self
+                .values
+                .iter()
+                .zip(other.values.iter())
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Bitwise AND, per field.
+    pub fn and(&self, other: &FieldVec) -> FieldVec {
+        debug_assert_eq!(self.len(), other.len());
+        FieldVec {
+            values: self
+                .values
+                .iter()
+                .zip(other.values.iter())
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Total number of set bits across all fields. For a mask this is the number of
+    /// examined (non-wildcarded) bits.
+    pub fn popcount(&self) -> u32 {
+        self.values.iter().map(|v| v.count_ones()).sum()
+    }
+
+    /// Number of wildcarded (unexamined) bits of a mask under `schema`.
+    pub fn wildcarded_bits(&self, schema: &FieldSchema) -> u32 {
+        schema.total_width() - self.popcount()
+    }
+
+    /// True if every set bit of `other` is also set in `self` (mask containment).
+    pub fn contains_mask(&self, other: &FieldVec) -> bool {
+        self.values
+            .iter()
+            .zip(other.values.iter())
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Flip bit `bit` of field `idx` (used by the co-located bit-inversion trace
+    /// generator, §5.1).
+    pub fn flip_bit(&mut self, idx: usize, bit: u32) {
+        self.values[idx] ^= 1u128 << bit;
+    }
+
+    /// Render as a binary string per field (LSB right), padded to the schema widths —
+    /// mirrors the presentation of Figs. 1–5.
+    pub fn to_binary_string(&self, schema: &FieldSchema) -> String {
+        self.values
+            .iter()
+            .zip(schema.fields())
+            .map(|(v, f)| format!("{v:0width$b}", width = f.width as usize))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+impl fmt::Display for FieldVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}]",
+            self.values
+                .iter()
+                .map(|v| format!("{v:x}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+/// Check whether a header `h` matches a key/mask pair: `(h AND M) == K`.
+pub fn matches(header: &Key, key: &Key, mask: &Mask) -> bool {
+    header.apply_mask(mask) == *key
+}
+
+/// Check whether two key/mask pairs are *disjoint* (the Independence invariant Inv(2)
+/// of §3.2): they are disjoint iff there exists a bit position examined by both masks
+/// on which their keys differ. If no such bit exists, some packet matches both.
+pub fn disjoint(key_a: &Key, mask_a: &Mask, key_b: &Key, mask_b: &Mask) -> bool {
+    let common = mask_a.and(mask_b);
+    let diff_bits = key_a
+        .values()
+        .iter()
+        .zip(key_b.values())
+        .zip(common.values())
+        .map(|((a, b), m)| (a ^ b) & m)
+        .fold(0u128, |acc, v| acc | v);
+    diff_bits != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hyp_key(schema: &FieldSchema, v: u128) -> Key {
+        Key::from_values(schema, &[v])
+    }
+
+    #[test]
+    fn schema_widths() {
+        let s = FieldSchema::ovs_ipv4();
+        assert_eq!(s.field_count(), 6);
+        assert_eq!(s.total_width(), 32 + 32 + 8 + 8 + 16 + 16);
+        assert_eq!(s.field_index("tp_dst"), Some(5));
+        assert_eq!(s.field_index("nope"), None);
+    }
+
+    #[test]
+    fn full_and_empty_masks() {
+        let s = FieldSchema::hyp();
+        assert_eq!(s.full_mask().get(0), 0b111);
+        assert_eq!(s.empty_mask().get(0), 0);
+        let s6 = FieldSchema::ovs_ipv6();
+        assert_eq!(s6.full_mask().get(0), u128::MAX);
+    }
+
+    #[test]
+    fn matches_masked_bits_only() {
+        let s = FieldSchema::hyp();
+        // Entry #2 of Fig. 3: key=100, mask=100 — matches any header with MSB set.
+        let key = hyp_key(&s, 0b100);
+        let mask = hyp_key(&s, 0b100);
+        assert!(matches(&hyp_key(&s, 0b100), &key, &mask));
+        assert!(matches(&hyp_key(&s, 0b111), &key, &mask));
+        assert!(matches(&hyp_key(&s, 0b101), &key, &mask));
+        assert!(!matches(&hyp_key(&s, 0b011), &key, &mask));
+    }
+
+    #[test]
+    fn disjointness_of_fig3_entries() {
+        let s = FieldSchema::hyp();
+        // Fig. 3 MFC: (001,111) allow, (100,100), (010,110), (000,111) — all disjoint.
+        let entries = [
+            (0b001u128, 0b111u128),
+            (0b100, 0b100),
+            (0b010, 0b110),
+            (0b000, 0b111),
+        ];
+        for (i, (ka, ma)) in entries.iter().enumerate() {
+            for (j, (kb, mb)) in entries.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                assert!(
+                    disjoint(
+                        &hyp_key(&s, *ka),
+                        &hyp_key(&s, *ma),
+                        &hyp_key(&s, *kb),
+                        &hyp_key(&s, *mb)
+                    ),
+                    "entries {i} and {j} must be disjoint"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_detected() {
+        let s = FieldSchema::hyp();
+        // The "invalid strategy" of §4.1: installing (001,111) and (000,000) overlaps.
+        assert!(!disjoint(
+            &hyp_key(&s, 0b001),
+            &hyp_key(&s, 0b111),
+            &hyp_key(&s, 0b000),
+            &hyp_key(&s, 0b000)
+        ));
+    }
+
+    #[test]
+    fn flip_bit_and_popcount() {
+        let s = FieldSchema::hyp2();
+        let mut k = Key::from_values(&s, &[0b001, 0b1111]);
+        assert_eq!(k.popcount(), 5);
+        k.flip_bit(1, 3);
+        assert_eq!(k.get(1), 0b0111);
+        assert_eq!(k.wildcarded_bits(&s), 7 - 4);
+    }
+
+    #[test]
+    fn binary_string_rendering() {
+        let s = FieldSchema::hyp2();
+        let k = Key::from_values(&s, &[0b001, 0b1010]);
+        assert_eq!(k.to_binary_string(&s), "001 1010");
+    }
+
+    #[test]
+    fn values_truncated_to_width() {
+        let s = FieldSchema::hyp();
+        let k = Key::from_values(&s, &[0xff]);
+        assert_eq!(k.get(0), 0b111);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_value_count_panics() {
+        let s = FieldSchema::hyp2();
+        let _ = Key::from_values(&s, &[1]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Cloud-platform models: which ACLs a tenant can express and what the fabric looks
+//! like in the three evaluation environments of Table 1 / §5.5 / §5.6 / §7.
+
+use tse_attack::scenarios::Scenario;
+use tse_packet::fields::FieldSchema;
+use tse_switch::tenant::{AclField, AllowClause, TenantAcl};
+
+/// The evaluation environments of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CloudPlatform {
+    /// The standalone synthetic testbed (§5.4): the operator bootstraps the OVS flow
+    /// table manually, so every field of Fig. 6 is available.
+    Synthetic,
+    /// OpenStack with the OVN backend (§5.5): security groups filter on source IP and
+    /// destination port only, and the CMS's anti-spoofing prevents in-DC source-IP
+    /// spoofing.
+    OpenStack,
+    /// Kubernetes with OVN (§5.6): network policies filter on source IP and destination
+    /// port; Calico-style source-port rules have to be injected manually via the CLI,
+    /// which the paper does to reach the full SipSpDp pattern.
+    Kubernetes,
+}
+
+impl CloudPlatform {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CloudPlatform::Synthetic => "synthetic",
+            CloudPlatform::OpenStack => "OpenStack/OVN",
+            CloudPlatform::Kubernetes => "Kubernetes/OVN",
+        }
+    }
+
+    /// Header fields a tenant ACL may reference on this platform (§7).
+    pub fn allowed_fields(&self) -> Vec<AclField> {
+        match self {
+            CloudPlatform::Synthetic | CloudPlatform::Kubernetes => {
+                vec![AclField::DstPort, AclField::SrcIp, AclField::SrcPort]
+            }
+            CloudPlatform::OpenStack => vec![AclField::DstPort, AclField::SrcIp],
+        }
+    }
+
+    /// The most aggressive scenario expressible on this platform: SipSpDp for the
+    /// synthetic testbed and Kubernetes (with the manual source-port injection), SipDp
+    /// for OpenStack.
+    pub fn max_scenario(&self) -> Scenario {
+        match self {
+            CloudPlatform::Synthetic | CloudPlatform::Kubernetes => Scenario::SipSpDp,
+            CloudPlatform::OpenStack => Scenario::SipDp,
+        }
+    }
+
+    /// Link/line rate between the tenant workloads in Gbps (Table 1: 10 G NICs for the
+    /// synthetic testbed, ~1.4 Gbps measured ceiling for the OpenStack VMs, 1 Gbps
+    /// virtio links for the Kubernetes vagrant boxes).
+    pub fn line_rate_gbps(&self) -> f64 {
+        match self {
+            CloudPlatform::Synthetic => 10.0,
+            CloudPlatform::OpenStack => 1.4,
+            CloudPlatform::Kubernetes => 1.0,
+        }
+    }
+
+    /// Clamp a requested attack scenario to what this platform's CMS API can express.
+    pub fn clamp_scenario(&self, requested: Scenario) -> Scenario {
+        let allowed = self.allowed_fields();
+        let ok = requested
+            .target_fields()
+            .iter()
+            .all(|t| allowed.iter().any(|f| field_name(*f) == t.name));
+        if ok {
+            requested
+        } else {
+            self.max_scenario()
+        }
+    }
+
+    /// Build the attacker tenant's ACL for a scenario on this platform, clamped to the
+    /// expressible fields.
+    pub fn attacker_acl(&self, scenario: Scenario, service_ip: u128) -> TenantAcl {
+        let scenario = self.clamp_scenario(scenario);
+        let allows = scenario
+            .target_fields()
+            .iter()
+            .map(|t| AllowClause { field: field_from_name(t.name), value: t.allow_value })
+            .collect();
+        TenantAcl::new(format!("attacker-{}", self.name()), service_ip, allows)
+    }
+}
+
+fn field_name(f: AclField) -> &'static str {
+    match f {
+        AclField::SrcIp => "ip_src",
+        AclField::SrcPort => "tp_src",
+        AclField::DstPort => "tp_dst",
+    }
+}
+
+fn field_from_name(name: &str) -> AclField {
+    match name {
+        "ip_src" | "ip6_src" => AclField::SrcIp,
+        "tp_src" => AclField::SrcPort,
+        "tp_dst" => AclField::DstPort,
+        other => panic!("unknown ACL field {other}"),
+    }
+}
+
+/// Per-platform expected maximum mask counts quoted in §7: 512 for OpenStack/Kubernetes
+/// ingress policies, 8192 when source-port filtering is available.
+pub fn section7_mask_ceiling(platform: CloudPlatform, schema: &FieldSchema) -> usize {
+    platform.max_scenario().expected_max_masks(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn openstack_cannot_express_source_port_rules() {
+        let p = CloudPlatform::OpenStack;
+        assert_eq!(p.max_scenario(), Scenario::SipDp);
+        assert_eq!(p.clamp_scenario(Scenario::SipSpDp), Scenario::SipDp);
+        assert_eq!(p.clamp_scenario(Scenario::Dp), Scenario::Dp);
+    }
+
+    #[test]
+    fn kubernetes_reaches_full_blown_attack() {
+        let p = CloudPlatform::Kubernetes;
+        assert_eq!(p.clamp_scenario(Scenario::SipSpDp), Scenario::SipSpDp);
+    }
+
+    #[test]
+    fn section7_ceilings() {
+        let schema = FieldSchema::ovs_ipv4();
+        assert_eq!(section7_mask_ceiling(CloudPlatform::OpenStack, &schema), 512);
+        assert_eq!(section7_mask_ceiling(CloudPlatform::Kubernetes, &schema), 8192);
+        assert_eq!(section7_mask_ceiling(CloudPlatform::Synthetic, &schema), 8192);
+    }
+
+    #[test]
+    fn attacker_acl_respects_platform() {
+        let os = CloudPlatform::OpenStack.attacker_acl(Scenario::SipSpDp, 42);
+        assert_eq!(os.len(), 2); // clamped to SipDp: dst port + src ip
+        let k8s = CloudPlatform::Kubernetes.attacker_acl(Scenario::SipSpDp, 42);
+        assert_eq!(k8s.len(), 3);
+        assert_eq!(k8s.service_ip, 42);
+    }
+
+    #[test]
+    fn line_rates_match_table1() {
+        assert_eq!(CloudPlatform::Synthetic.line_rate_gbps(), 10.0);
+        assert!(CloudPlatform::OpenStack.line_rate_gbps() < 2.0);
+        assert_eq!(CloudPlatform::Kubernetes.line_rate_gbps(), 1.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # tse-simnet
+//!
+//! The evaluation substrate of the reproduction: everything the paper's testbed provides
+//! around the switch.
+//!
+//! * [`offload`] — NIC offload configurations (GRO on/off, full hardware offload, UDP)
+//!   and their effect on bytes-per-classifier-invocation (§5.4);
+//! * [`traffic`] — iperf-like victim flows;
+//! * [`runner`] — the timeline experiment runner producing the Fig. 8 time series:
+//!   attack packets replayed through the datapath, victim throughput derived from the
+//!   measured per-invocation cost and the CPU left over;
+//! * [`cloud`] — the platform models (synthetic, OpenStack/OVN, Kubernetes/OVN) with
+//!   their ACL expressiveness limits and link rates (§5.5, §5.6, §7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cloud;
+pub mod offload;
+pub mod runner;
+pub mod traffic;
+
+pub use cloud::{section7_mask_ceiling, CloudPlatform};
+pub use offload::OffloadConfig;
+pub use runner::{ExperimentRunner, Timeline, TimelineSample};
+pub use traffic::VictimFlow;

@@ -1,0 +1,158 @@
+//! NIC offload configurations (§5.4): GRO on/off, jumbo frames, full hardware offload,
+//! and plain UDP.
+//!
+//! Offloads change how many classifier invocations a byte of victim traffic costs: GRO
+//! and jumbo frames let the NIC aggregate many small TCP segments into one large buffer
+//! before OVS sees it, and the Mellanox full-hardware-offload path classifies at NIC
+//! speed — but all of them still run TSS underneath, so the degradation merely shifts.
+
+use tse_switch::cost::CostModel;
+
+/// A victim-side traffic/offload configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffloadConfig {
+    /// Display name (the Fig. 9a legend).
+    pub name: &'static str,
+    /// Bytes of victim traffic carried per classifier invocation: the MTU for plain
+    /// traffic, the aggregated buffer size when GRO/jumbo frames apply.
+    pub bytes_per_invocation: usize,
+    /// Link line rate in Gbps (the upper bound of Fig. 9a's y-axis for this config).
+    pub line_rate_gbps: f64,
+    /// The datapath cost model this configuration runs with.
+    pub cost: CostModel,
+}
+
+impl OffloadConfig {
+    /// TCP with GRO/TSO disabled: every MTU-sized segment is classified individually —
+    /// the configuration most exposed to the attack.
+    pub fn gro_off() -> Self {
+        OffloadConfig {
+            name: "GRO OFF (TCP)",
+            bytes_per_invocation: 1538,
+            line_rate_gbps: 10.0,
+            cost: CostModel::ovs_kernel_default(),
+        }
+    }
+
+    /// TCP with GRO + jumbo frames: the NIC hands OVS ~24 kB buffers, cutting the
+    /// effective packet rate by an order of magnitude (§5.4).
+    pub fn gro_on() -> Self {
+        OffloadConfig {
+            name: "GRO ON (TCP)",
+            bytes_per_invocation: 24_000,
+            line_rate_gbps: 10.0,
+            cost: CostModel::ovs_kernel_default(),
+        }
+    }
+
+    /// Full hardware offload on the Mellanox CX-4 (~30 Gbps baseline) — still TSS, still
+    /// vulnerable once the mask count grows.
+    pub fn full_hw_offload() -> Self {
+        OffloadConfig {
+            name: "FHO ON (TCP)",
+            bytes_per_invocation: 1538,
+            line_rate_gbps: 30.0,
+            cost: CostModel::full_hw_offload(),
+        }
+    }
+
+    /// Plain UDP (the QUIC-relevant case): offloads do not apply, every datagram is
+    /// classified.
+    pub fn udp() -> Self {
+        OffloadConfig {
+            name: "UDP",
+            bytes_per_invocation: 1538,
+            line_rate_gbps: 10.0,
+            cost: CostModel::ovs_kernel_default(),
+        }
+    }
+
+    /// The four configurations of Fig. 9a, in legend order.
+    pub fn fig9a_set() -> Vec<OffloadConfig> {
+        vec![Self::full_hw_offload(), Self::gro_on(), Self::gro_off(), Self::udp()]
+    }
+
+    /// Victim throughput in Gbps when every classifier invocation scans `masks` masks.
+    pub fn victim_gbps(&self, masks: usize) -> f64 {
+        self.cost.capacity_gbps(masks, self.bytes_per_invocation, self.line_rate_gbps)
+    }
+
+    /// The Baseline (1 mask) capacity of this configuration.
+    pub fn baseline_gbps(&self) -> f64 {
+        self.victim_gbps(1)
+    }
+
+    /// Victim throughput as a percentage of this configuration's own baseline.
+    pub fn degradation_percent(&self, masks: usize) -> f64 {
+        100.0 * self.victim_gbps(masks) / self.baseline_gbps()
+    }
+
+    /// Flow-completion time in seconds of a transfer of `gigabytes` at the degraded
+    /// rate (the secondary axis of Fig. 9a, 1 GB TCP with GRO OFF).
+    pub fn flow_completion_time(&self, masks: usize, gigabytes: f64) -> f64 {
+        gigabytes * 8.0 / self.victim_gbps(masks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_match_testbed() {
+        assert!((9.0..=10.5).contains(&OffloadConfig::gro_off().baseline_gbps()));
+        assert_eq!(OffloadConfig::gro_on().baseline_gbps(), 10.0); // line-rate limited
+        assert!((25.0..=30.5).contains(&OffloadConfig::full_hw_offload().baseline_gbps()));
+    }
+
+    #[test]
+    fn section_5_4_degradation_anchors() {
+        // §5.4: at 17/260/516/8200 masks the victim keeps roughly
+        //   GRO ON:  97 / 95 / 76 / 3.9 %
+        //   FHO ON:  88 / 43 / 29 / 2.1 %
+        //   GRO OFF: 53 / 10 / 4.7 / 0.2 %
+        // of its baseline. The model reproduces the ordering and the rough magnitudes.
+        let gro_on = OffloadConfig::gro_on();
+        let fho = OffloadConfig::full_hw_offload();
+        let gro_off = OffloadConfig::gro_off();
+        for &(masks, on_lo, fho_lo, off_hi) in
+            &[(17usize, 90.0, 70.0, 70.0), (260, 80.0, 25.0, 20.0), (516, 50.0, 15.0, 10.0)]
+        {
+            assert!(gro_on.degradation_percent(masks) >= on_lo, "GRO ON @{masks}");
+            assert!(fho.degradation_percent(masks) >= fho_lo, "FHO @{masks}");
+            assert!(gro_off.degradation_percent(masks) <= off_hi, "GRO OFF @{masks}");
+        }
+        // Full-blown attack: everything collapses below ~5 %.
+        for cfg in OffloadConfig::fig9a_set() {
+            assert!(cfg.degradation_percent(8200) < 6.0, "{} @8200", cfg.name);
+        }
+    }
+
+    #[test]
+    fn ordering_between_configs_preserved() {
+        // For any mask count, GRO ON >= FHO-relative? Not necessarily; but GRO ON and
+        // FHO must always beat GRO OFF in absolute throughput.
+        for masks in [1usize, 17, 260, 516, 8200] {
+            let off = OffloadConfig::gro_off().victim_gbps(masks);
+            assert!(OffloadConfig::gro_on().victim_gbps(masks) >= off);
+            assert!(OffloadConfig::full_hw_offload().victim_gbps(masks) >= off);
+        }
+    }
+
+    #[test]
+    fn flow_completion_time_grows_with_masks() {
+        let cfg = OffloadConfig::gro_off();
+        let base = cfg.flow_completion_time(1, 1.0);
+        assert!((0.5..=2.0).contains(&base), "1 GB at ~10 Gbps is ~1 s: {base}");
+        assert!(cfg.flow_completion_time(8200, 1.0) > 100.0 * base);
+    }
+
+    #[test]
+    fn udp_tracks_gro_off() {
+        for masks in [1usize, 260, 8200] {
+            let udp = OffloadConfig::udp().victim_gbps(masks);
+            let off = OffloadConfig::gro_off().victim_gbps(masks);
+            assert!((udp - off).abs() / off < 0.2);
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! The timeline experiment runner: victims + attacker sharing one datapath, sampled once
+//! per second — the machinery behind Fig. 8a/8b/8c.
+//!
+//! Attack packets are low-rate and are pushed through the datapath one by one (they are
+//! what mutates the cache). Victim flows are multi-gigabit, so simulating them per packet
+//! would be pointless; instead each interval probes the datapath with one representative
+//! packet per victim flow (which also keeps the victim's megaflow entry alive, exactly
+//! like the real traffic would), reads off the per-invocation cost, and converts the CPU
+//! budget left over from attack processing into achieved victim throughput.
+
+use tse_attack::trace::AttackTrace;
+use tse_mitigation::guard::MfcGuard;
+use tse_switch::datapath::Datapath;
+
+use crate::offload::OffloadConfig;
+use crate::traffic::VictimFlow;
+
+/// One per-interval sample of the experiment timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineSample {
+    /// Interval start time, seconds.
+    pub time: f64,
+    /// Achieved throughput of each victim flow, Gbps (0 when the flow is inactive).
+    pub victim_gbps: Vec<f64>,
+    /// Attack packets sent during this interval.
+    pub attacker_pps: f64,
+    /// Megaflow masks at the end of the interval.
+    pub mask_count: usize,
+    /// Megaflow entries at the end of the interval.
+    pub entry_count: usize,
+    /// Masks scanned by a victim fast-path lookup during this interval (0 if no victim
+    /// is active).
+    pub victim_masks_scanned: usize,
+}
+
+impl TimelineSample {
+    /// Aggregate victim throughput ("Victim SUM" in Fig. 8a).
+    pub fn total_victim_gbps(&self) -> f64 {
+        self.victim_gbps.iter().sum()
+    }
+}
+
+/// A complete experiment timeline.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Victim flow names, in the order of [`TimelineSample::victim_gbps`].
+    pub victim_names: Vec<String>,
+    /// Per-second samples.
+    pub samples: Vec<TimelineSample>,
+}
+
+impl Timeline {
+    /// Minimum aggregate victim throughput over a time window.
+    pub fn min_total_between(&self, start: f64, stop: f64) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.time >= start && s.time < stop)
+            .map(TimelineSample::total_victim_gbps)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean aggregate victim throughput over a time window.
+    pub fn mean_total_between(&self, start: f64, stop: f64) -> f64 {
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.time >= start && s.time < stop)
+            .map(TimelineSample::total_victim_gbps)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Render the timeline as an aligned text table (one row per second), the textual
+    /// equivalent of the Fig. 8 plots.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("time_s");
+        for name in &self.victim_names {
+            out.push_str(&format!("\t{name}_gbps"));
+        }
+        out.push_str("\tvictim_sum_gbps\tattack_pps\tmfc_masks\tmfc_entries\n");
+        for s in &self.samples {
+            out.push_str(&format!("{:6.0}", s.time));
+            for v in &s.victim_gbps {
+                out.push_str(&format!("\t{v:9.3}"));
+            }
+            out.push_str(&format!(
+                "\t{:9.3}\t{:10.0}\t{:9}\t{:11}\n",
+                s.total_victim_gbps(),
+                s.attacker_pps,
+                s.mask_count,
+                s.entry_count
+            ));
+        }
+        out
+    }
+}
+
+/// The experiment runner.
+#[derive(Debug)]
+pub struct ExperimentRunner {
+    /// The shared hypervisor datapath under test.
+    pub datapath: Datapath,
+    /// Victim flows.
+    pub victims: Vec<VictimFlow>,
+    /// Victim-side offload configuration (bytes per classifier invocation, line rate).
+    pub offload: OffloadConfig,
+    /// Optional MFCGuard instance protecting the datapath.
+    pub guard: Option<MfcGuard>,
+    /// Sampling/measurement interval in seconds.
+    pub sample_interval: f64,
+}
+
+impl ExperimentRunner {
+    /// Create a runner with a 1-second sampling interval and no guard.
+    pub fn new(datapath: Datapath, victims: Vec<VictimFlow>, offload: OffloadConfig) -> Self {
+        ExperimentRunner { datapath, victims, offload, guard: None, sample_interval: 1.0 }
+    }
+
+    /// Attach an MFCGuard instance.
+    pub fn with_guard(mut self, guard: MfcGuard) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Run the experiment for `duration` seconds against the given attack trace and
+    /// return the timeline.
+    pub fn run(&mut self, attack: &AttackTrace, duration: f64) -> Timeline {
+        let dt = self.sample_interval;
+        let mut timeline = Timeline {
+            victim_names: self.victims.iter().map(|v| v.name.clone()).collect(),
+            samples: Vec::new(),
+        };
+        let mut attack_iter = attack.packets().iter().peekable();
+        let steps = (duration / dt).ceil() as usize;
+        for step in 0..steps {
+            let t = step as f64 * dt;
+            let t_end = t + dt;
+
+            // 1. Replay the attack packets that fall into this interval.
+            let mut attack_packets = 0u64;
+            let mut attack_busy = 0.0f64;
+            while let Some(tp) = attack_iter.peek() {
+                if tp.time >= t_end {
+                    break;
+                }
+                let tp = attack_iter.next().expect("peeked");
+                if tp.time >= t {
+                    let outcome = self.datapath.process_packet(&tp.packet, tp.time);
+                    attack_packets += 1;
+                    attack_busy += outcome.cost;
+                }
+            }
+            self.datapath.maybe_expire(t_end);
+
+            // 2. Probe each active victim flow once: refreshes its megaflow entry and
+            //    yields the current per-invocation cost.
+            let mut victim_costs = Vec::with_capacity(self.victims.len());
+            let mut victim_masks_scanned = 0;
+            for flow in &self.victims {
+                if !flow.is_active(t) {
+                    victim_costs.push(None);
+                    continue;
+                }
+                let probe = flow.representative_packet();
+                let outcome = self.datapath.process_packet(&probe, t + dt * 0.5);
+                victim_masks_scanned = victim_masks_scanned.max(outcome.masks_scanned);
+                // Per-invocation cost under this experiment's offload model: re-price the
+                // scan with the offload's cost model (the datapath's own model prices the
+                // attack packets).
+                let cost = match outcome.path {
+                    tse_switch::stats::PathTaken::SlowPath => {
+                        self.offload.cost.slow_path(outcome.masks_scanned)
+                    }
+                    tse_switch::stats::PathTaken::Microflow => self.offload.cost.microflow(),
+                    _ => self.offload.cost.fast_path(outcome.masks_scanned),
+                };
+                victim_costs.push(Some(cost));
+            }
+
+            // 3. Convert the CPU left after attack processing into victim throughput.
+            let available_cpu = (dt - attack_busy).max(0.0);
+            let active: Vec<usize> = victim_costs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.map(|_| i))
+                .collect();
+            let mut victim_gbps = vec![0.0; self.victims.len()];
+            if !active.is_empty() {
+                let share = available_cpu / active.len() as f64;
+                let mut leftover = 0.0;
+                for &i in &active {
+                    let cost = victim_costs[i].expect("active flow has a cost");
+                    let offered_pps = self.victims[i].offered_gbps * 1e9
+                        / 8.0
+                        / self.offload.bytes_per_invocation as f64;
+                    let achievable_pps = share / cost / dt;
+                    let pps = achievable_pps.min(offered_pps);
+                    leftover += (achievable_pps - pps).max(0.0) * cost * dt;
+                    victim_gbps[i] = pps * self.offload.bytes_per_invocation as f64 * 8.0 / 1e9;
+                }
+                // One redistribution pass: give unused CPU to still-limited flows.
+                if leftover > 1e-12 {
+                    let limited: Vec<usize> = active
+                        .iter()
+                        .copied()
+                        .filter(|&i| {
+                            victim_gbps[i] + 1e-9
+                                < self.victims[i].offered_gbps.min(self.offload.line_rate_gbps)
+                        })
+                        .collect();
+                    if !limited.is_empty() {
+                        let extra = leftover / limited.len() as f64;
+                        for &i in &limited {
+                            let cost = victim_costs[i].expect("active");
+                            let extra_gbps = extra / cost / dt
+                                * self.offload.bytes_per_invocation as f64
+                                * 8.0
+                                / 1e9;
+                            victim_gbps[i] =
+                                (victim_gbps[i] + extra_gbps).min(self.victims[i].offered_gbps);
+                        }
+                    }
+                }
+                // Line-rate cap on the aggregate.
+                let total: f64 = victim_gbps.iter().sum();
+                if total > self.offload.line_rate_gbps {
+                    let scale = self.offload.line_rate_gbps / total;
+                    for v in &mut victim_gbps {
+                        *v *= scale;
+                    }
+                }
+            }
+
+            // 4. Let MFCGuard run if attached.
+            if let Some(guard) = &mut self.guard {
+                guard.maybe_run(&mut self.datapath, t_end, attack_packets as f64 / dt);
+            }
+
+            timeline.samples.push(TimelineSample {
+                time: t,
+                victim_gbps,
+                attacker_pps: attack_packets as f64 / dt,
+                mask_count: self.datapath.mask_count(),
+                entry_count: self.datapath.entry_count(),
+                victim_masks_scanned,
+            });
+        }
+        timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tse_attack::colocated::scenario_trace;
+    use tse_attack::scenarios::Scenario;
+    use tse_attack::trace::AttackTrace;
+    use tse_packet::fields::FieldSchema;
+    use tse_switch::datapath::Datapath;
+
+    const VICTIM_IP: u32 = 0x0a00_0063;
+
+    fn setup(scenario: Scenario) -> (ExperimentRunner, AttackTrace) {
+        let schema = FieldSchema::ovs_ipv4();
+        let table = scenario.flow_table(&schema);
+        let datapath = Datapath::new(table);
+        let victims = vec![VictimFlow::iperf_tcp("Victim 1", 0x0a000005, VICTIM_IP, 10.0)];
+        let runner = ExperimentRunner::new(datapath, victims, OffloadConfig::gro_off());
+        // Attack: co-located trace at 100 pps between t=30 s and t≈when the trace ends.
+        let mut rng = StdRng::seed_from_u64(99);
+        let keys = scenario_trace(&schema, scenario, &schema.zero_value());
+        let trace = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 30.0, 3000);
+        (runner, trace)
+    }
+
+    #[test]
+    fn victim_runs_at_baseline_before_attack_and_degrades_during() {
+        let (mut runner, attack) = setup(Scenario::SipDp);
+        let timeline = runner.run(&attack, 90.0);
+        assert_eq!(timeline.samples.len(), 90);
+        let before = timeline.mean_total_between(5.0, 29.0);
+        let during = timeline.mean_total_between(45.0, 59.0);
+        assert!(before > 8.0, "baseline should be near 10 Gbps, got {before}");
+        assert!(
+            during < before * 0.25,
+            "SipDp attack should cut throughput by >75 %: {before} -> {during}"
+        );
+    }
+
+    #[test]
+    fn victim_recovers_after_idle_timeout() {
+        let (mut runner, attack) = setup(Scenario::SipDp);
+        // Attack packets span t=30..60 s (3000 packets at 100 pps).
+        let timeline = runner.run(&attack, 90.0);
+        let recovered = timeline.mean_total_between(75.0, 89.0);
+        assert!(recovered > 8.0, "victim should recover ~10 s after the attack stops: {recovered}");
+        // Mask count also collapses back.
+        let final_masks = timeline.samples.last().unwrap().mask_count;
+        assert!(final_masks < 20, "attack masks should expire: {final_masks}");
+    }
+
+    #[test]
+    fn masks_grow_during_attack() {
+        let (mut runner, attack) = setup(Scenario::SpDp);
+        let timeline = runner.run(&attack, 70.0);
+        let peak = timeline.samples.iter().map(|s| s.mask_count).max().unwrap();
+        assert!(peak > 100, "SpDp should spawn >100 masks, got {peak}");
+    }
+
+    #[test]
+    fn guarded_run_keeps_victim_fast() {
+        use tse_mitigation::guard::{GuardConfig, MfcGuard};
+        let (runner, attack) = setup(Scenario::SipDp);
+        let mut runner = runner.with_guard(MfcGuard::new(GuardConfig {
+            interval: 10.0,
+            mask_threshold: 30,
+            ..GuardConfig::default()
+        }));
+        let timeline = runner.run(&attack, 90.0);
+        // With the guard wiping drop entries every 10 s, the victim's average rate during
+        // the attack stays much higher than the unguarded run.
+        let during = timeline.mean_total_between(45.0, 59.0);
+        assert!(during > 5.0, "guarded victim should keep most of its throughput: {during}");
+    }
+
+    #[test]
+    fn inactive_victims_report_zero() {
+        let schema = FieldSchema::ovs_ipv4();
+        let table = Scenario::Dp.flow_table(&schema);
+        let victims =
+            vec![VictimFlow::iperf_udp("late", 1, VICTIM_IP, 1.0).active_between(30.0, 60.0)];
+        let mut runner = ExperimentRunner::new(Datapath::new(table), victims, OffloadConfig::udp());
+        let timeline = runner.run(&AttackTrace::default(), 40.0);
+        assert_eq!(timeline.samples[10].total_victim_gbps(), 0.0);
+        assert!(timeline.samples[35].total_victim_gbps() > 0.5);
+    }
+
+    #[test]
+    fn render_table_has_header_and_rows() {
+        let (mut runner, attack) = setup(Scenario::Dp);
+        let timeline = runner.run(&attack, 5.0);
+        let table = timeline.render_table();
+        assert!(table.starts_with("time_s"));
+        assert_eq!(table.lines().count(), 6);
+        assert!(table.contains("mfc_masks"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Victim traffic sources: iperf-like bulk flows between tenant workloads.
+
+use tse_packet::builder::PacketBuilder;
+use tse_packet::fields::{FieldSchema, Key};
+use tse_packet::flowkey::FlowKey;
+use tse_packet::l4::IpProto;
+use tse_packet::Packet;
+
+/// An iperf-like victim flow: a single long-lived TCP or UDP stream offered at a fixed
+/// rate between two tenant endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VictimFlow {
+    /// Display name (e.g. "Victim 1").
+    pub name: String,
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address (the victim's service address).
+    pub dst_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port (80 for the canonical web-service victim).
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: IpProto,
+    /// Offered load in Gbps (iperf tries to fill the pipe).
+    pub offered_gbps: f64,
+    /// Time the flow starts, seconds.
+    pub start: f64,
+    /// Time the flow stops, seconds (`f64::INFINITY` for "runs forever").
+    pub stop: f64,
+}
+
+impl VictimFlow {
+    /// A full-rate TCP iperf session to the victim web service on port 80.
+    pub fn iperf_tcp(name: impl Into<String>, src_ip: u32, dst_ip: u32, offered_gbps: f64) -> Self {
+        VictimFlow {
+            name: name.into(),
+            src_ip,
+            dst_ip,
+            src_port: 40_000,
+            dst_port: 80,
+            proto: IpProto::Tcp,
+            offered_gbps,
+            start: 0.0,
+            stop: f64::INFINITY,
+        }
+    }
+
+    /// A full-rate UDP iperf session (the OpenStack experiment of Fig. 8b).
+    pub fn iperf_udp(name: impl Into<String>, src_ip: u32, dst_ip: u32, offered_gbps: f64) -> Self {
+        VictimFlow { proto: IpProto::Udp, ..Self::iperf_tcp(name, src_ip, dst_ip, offered_gbps) }
+    }
+
+    /// Restrict the flow to a time window.
+    pub fn active_between(mut self, start: f64, stop: f64) -> Self {
+        self.start = start;
+        self.stop = stop;
+        self
+    }
+
+    /// Use a distinct source port (so concurrent victim flows are distinct microflows).
+    pub fn with_src_port(mut self, port: u16) -> Self {
+        self.src_port = port;
+        self
+    }
+
+    /// Is the flow offering traffic at time `t`?
+    pub fn is_active(&self, t: f64) -> bool {
+        t >= self.start && t < self.stop
+    }
+
+    /// A representative packet of the flow (used to probe the datapath's current cost
+    /// for this flow and to install/refresh its megaflow entry).
+    pub fn representative_packet(&self) -> Packet {
+        PacketBuilder::from_numeric_v4(self.src_ip, self.dst_ip, self.proto, self.src_port, self.dst_port)
+            .payload_len(1460)
+            .build()
+    }
+
+    /// The flow's classification key under the given schema.
+    pub fn key(&self, schema: &FieldSchema) -> Key {
+        FlowKey::from_packet(&self.representative_packet()).to_key(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activity_window() {
+        let f = VictimFlow::iperf_tcp("v", 1, 2, 10.0).active_between(30.0, 60.0);
+        assert!(!f.is_active(29.9));
+        assert!(f.is_active(30.0));
+        assert!(f.is_active(59.9));
+        assert!(!f.is_active(60.0));
+    }
+
+    #[test]
+    fn default_flow_runs_forever() {
+        let f = VictimFlow::iperf_tcp("v", 1, 2, 10.0);
+        assert!(f.is_active(0.0));
+        assert!(f.is_active(1e9));
+    }
+
+    #[test]
+    fn representative_packet_matches_fields() {
+        let f = VictimFlow::iperf_udp("v", 0x0a000005, 0x0a000063, 1.0).with_src_port(555);
+        let p = f.representative_packet();
+        let k = FlowKey::from_packet(&p);
+        assert_eq!(k.ip_src, 0x0a000005);
+        assert_eq!(k.ip_dst, 0x0a000063);
+        assert_eq!(k.tp_src, 555);
+        assert_eq!(k.tp_dst, 80);
+        assert_eq!(k.ip_proto, 17);
+    }
+
+    #[test]
+    fn key_extraction_uses_schema() {
+        let schema = FieldSchema::ovs_ipv4();
+        let f = VictimFlow::iperf_tcp("v", 7, 9, 1.0);
+        let k = f.key(&schema);
+        assert_eq!(k.get(schema.field_index("ip_src").unwrap()), 7);
+        assert_eq!(k.get(schema.field_index("tp_dst").unwrap()), 80);
+    }
+}

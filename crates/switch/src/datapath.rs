@@ -1,0 +1,402 @@
+//! The OVS-like datapath: microflow cache → megaflow (TSS) cache → slow path, with
+//! idle-timeout eviction and per-packet cost accounting (Fig. 10).
+
+use tse_classifier::flowtable::FlowTable;
+use tse_classifier::microflow::MicroflowCache;
+use tse_classifier::rule::Action;
+use tse_classifier::strategy::MegaflowStrategy;
+use tse_classifier::tss::{MaskOrdering, TupleSpace};
+use tse_packet::fields::{FieldSchema, Key};
+use tse_packet::flowkey::{FlowKey, MicroflowKey};
+use tse_packet::Packet;
+
+use crate::cost::CostModel;
+use crate::slowpath::SlowPath;
+use crate::stats::{DatapathStats, PathTaken};
+
+/// OVS's default megaflow idle timeout, seconds (§5.4: recovery lags the end of the
+/// attack by 10 s because attacker entries stay alive this long).
+pub const DEFAULT_IDLE_TIMEOUT: f64 = 10.0;
+
+/// Datapath configuration.
+#[derive(Debug, Clone)]
+pub struct DatapathConfig {
+    /// Megaflow idle timeout in seconds.
+    pub idle_timeout: f64,
+    /// Capacity of the exact-match microflow cache. The kernel datapath the paper
+    /// measures has no userspace EMC, so the experiment configurations default to 0;
+    /// set a non-zero capacity to model the DPDK datapath's EMC (ablation).
+    pub microflow_capacity: usize,
+    /// Per-packet cost model.
+    pub cost: CostModel,
+    /// Probe order of the megaflow masks. `NewestFirst` models the measured behaviour
+    /// that established victim flows do not keep a privileged front position once the
+    /// attack starts creating masks (DESIGN.md §4).
+    pub mask_ordering: MaskOrdering,
+    /// Interval between idle-expiry sweeps, seconds (OVS revalidator cadence).
+    pub revalidation_interval: f64,
+}
+
+impl Default for DatapathConfig {
+    fn default() -> Self {
+        DatapathConfig {
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            microflow_capacity: 0,
+            cost: CostModel::ovs_kernel_default(),
+            mask_ordering: MaskOrdering::NewestFirst,
+            revalidation_interval: 1.0,
+        }
+    }
+}
+
+/// Result of processing one packet through the datapath.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessOutcome {
+    /// The verdict applied to the packet.
+    pub action: Action,
+    /// Which cache level produced the verdict.
+    pub path: PathTaken,
+    /// Simulated processing time in seconds.
+    pub cost: f64,
+    /// Megaflow masks scanned for this packet (0 for microflow hits).
+    pub masks_scanned: usize,
+}
+
+/// A single software-switch datapath instance (one hypervisor switch shared by all
+/// co-located tenants).
+#[derive(Debug, Clone)]
+pub struct Datapath {
+    schema: FieldSchema,
+    table: FlowTable,
+    slow_path: SlowPath,
+    megaflow: TupleSpace,
+    microflow: MicroflowCache,
+    config: DatapathConfig,
+    stats: DatapathStats,
+    last_sweep: f64,
+}
+
+impl Datapath {
+    /// Create a datapath with the OVS-default wildcarding strategy and default config.
+    pub fn new(table: FlowTable) -> Self {
+        let strategy = MegaflowStrategy::wildcarding(table.schema());
+        Self::with_strategy(table, strategy, DatapathConfig::default())
+    }
+
+    /// Create a datapath with explicit strategy and configuration.
+    pub fn with_strategy(
+        table: FlowTable,
+        strategy: MegaflowStrategy,
+        config: DatapathConfig,
+    ) -> Self {
+        let schema = table.schema().clone();
+        Datapath {
+            megaflow: TupleSpace::with_ordering(schema.clone(), config.mask_ordering),
+            microflow: MicroflowCache::with_capacity(config.microflow_capacity),
+            slow_path: SlowPath::new(strategy),
+            stats: DatapathStats::default(),
+            last_sweep: 0.0,
+            schema,
+            table,
+            config,
+        }
+    }
+
+    /// The installed flow table (the merged ACLs of all tenants).
+    pub fn table(&self) -> &FlowTable {
+        &self.table
+    }
+
+    /// Replace the flow table (e.g. when a tenant injects a new ACL mid-experiment, as in
+    /// the Kubernetes timeline of Fig. 8c). The megaflow cache is revalidated: all
+    /// entries are flushed, exactly as OVS does on a flow-table change.
+    pub fn install_table(&mut self, table: FlowTable) {
+        assert_eq!(
+            table.schema(),
+            &self.schema,
+            "replacement flow table must use the same schema"
+        );
+        self.table = table;
+        self.megaflow.clear();
+        self.microflow.clear();
+    }
+
+    /// The megaflow cache (read-only).
+    pub fn megaflow(&self) -> &TupleSpace {
+        &self.megaflow
+    }
+
+    /// Mutable access to the megaflow cache — this is the interface MFCGuard uses to
+    /// wipe entries (the real tool drives `ovs-dpctl del-flow`).
+    pub fn megaflow_mut(&mut self) -> &mut TupleSpace {
+        &mut self.megaflow
+    }
+
+    /// The slow path (for suppression control and upcall accounting).
+    pub fn slow_path(&self) -> &SlowPath {
+        &self.slow_path
+    }
+
+    /// Mutable access to the slow path.
+    pub fn slow_path_mut(&mut self) -> &mut SlowPath {
+        &mut self.slow_path
+    }
+
+    /// Current number of megaflow masks.
+    pub fn mask_count(&self) -> usize {
+        self.megaflow.mask_count()
+    }
+
+    /// Current number of megaflow entries.
+    pub fn entry_count(&self) -> usize {
+        self.megaflow.entry_count()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DatapathStats {
+        &self.stats
+    }
+
+    /// Reset the statistics (between measurement intervals).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The datapath configuration.
+    pub fn config(&self) -> &DatapathConfig {
+        &self.config
+    }
+
+    /// Run the idle-expiry sweep if the revalidation interval has elapsed.
+    pub fn maybe_expire(&mut self, now: f64) {
+        if now - self.last_sweep >= self.config.revalidation_interval {
+            self.megaflow.expire_idle(now, self.config.idle_timeout);
+            self.last_sweep = now;
+        }
+    }
+
+    /// Process a concrete packet at simulation time `now`.
+    ///
+    /// Non-IP packets never reach the tenant ACL (§5.2 footnote); they are counted as
+    /// [`PathTaken::Unclassified`] and permitted with only the fixed cost.
+    pub fn process_packet(&mut self, pkt: &Packet, now: f64) -> ProcessOutcome {
+        let flow = FlowKey::from_packet(pkt);
+        let schema_is_v6 = self.schema.field_index("ip6_src").is_some();
+        let schema_is_v4 = self.schema.field_index("ip_src").is_some();
+        let family_matches =
+            (flow.is_v6 && schema_is_v6) || (!flow.is_v6 && schema_is_v4);
+        if !family_matches {
+            // Packet family does not match the installed table's schema: treat like
+            // non-IP traffic from the ACL's point of view.
+            let cost = self.config.cost.microflow();
+            self.stats.record(PathTaken::Unclassified, true, 0, cost, pkt.wire_len());
+            return ProcessOutcome {
+                action: Action::Allow,
+                path: PathTaken::Unclassified,
+                cost,
+                masks_scanned: 0,
+            };
+        }
+        let header = flow.to_key(&self.schema);
+        let micro = MicroflowKey::from_packet(pkt);
+        self.process_classified(&header, Some(micro), pkt.wire_len(), now)
+    }
+
+    /// Process a pre-extracted header key (used by the HYP-protocol experiments and unit
+    /// tests that bypass packet construction). `bytes` is the wire size used for
+    /// throughput accounting.
+    pub fn process_key(&mut self, header: &Key, bytes: usize, now: f64) -> ProcessOutcome {
+        self.process_classified(header, None, bytes, now)
+    }
+
+    fn process_classified(
+        &mut self,
+        header: &Key,
+        micro: Option<MicroflowKey>,
+        bytes: usize,
+        now: f64,
+    ) -> ProcessOutcome {
+        self.maybe_expire(now);
+
+        // Level 1: microflow cache (exact match on everything, including noise fields).
+        if let Some(mk) = micro {
+            if let Some(action) = self.microflow.lookup(&mk) {
+                let cost = self.config.cost.microflow();
+                self.stats.record(PathTaken::Microflow, action.permits(), 0, cost, bytes);
+                return ProcessOutcome { action, path: PathTaken::Microflow, cost, masks_scanned: 0 };
+            }
+        }
+
+        // Level 2: megaflow cache (TSS, Alg. 1).
+        let outcome = self.megaflow.lookup(header, now);
+        if let Some(action) = outcome.action {
+            let cost = self.config.cost.fast_path(outcome.masks_scanned);
+            self.stats.record(PathTaken::Megaflow, action.permits(), outcome.masks_scanned, cost, bytes);
+            if let Some(mk) = micro {
+                self.microflow.insert(mk, action);
+            }
+            return ProcessOutcome {
+                action,
+                path: PathTaken::Megaflow,
+                cost,
+                masks_scanned: outcome.masks_scanned,
+            };
+        }
+
+        // Level 3: slow path (upcall).
+        let masks_at_miss = outcome.masks_scanned;
+        let up = self
+            .slow_path
+            .handle_upcall(&self.table, &mut self.megaflow, header, now)
+            .unwrap_or(crate::slowpath::UpcallOutcome {
+                action: Action::Deny,
+                rule_index: usize::MAX,
+                installed: false,
+                new_mask: false,
+            });
+        let cost = self.config.cost.slow_path(masks_at_miss);
+        self.stats.record(PathTaken::SlowPath, up.action.permits(), masks_at_miss, cost, bytes);
+        if let Some(mk) = micro {
+            self.microflow.insert(mk, up.action);
+        }
+        ProcessOutcome {
+            action: up.action,
+            path: PathTaken::SlowPath,
+            cost,
+            masks_scanned: masks_at_miss,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tse_classifier::flowtable::FlowTable;
+    use tse_packet::builder::PacketBuilder;
+    use tse_packet::fields::FieldSchema;
+
+    /// The Fig. 6 ACL over the OVS IPv4 schema: dst port 80, src 10.0.0.1, src port
+    /// 12345 allowed; everything else denied.
+    fn fig6_table() -> FlowTable {
+        let schema = FieldSchema::ovs_ipv4();
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        let ip_src = schema.field_index("ip_src").unwrap();
+        let tp_src = schema.field_index("tp_src").unwrap();
+        FlowTable::whitelist_default_deny(
+            &schema,
+            &[(tp_dst, 80), (ip_src, 0x0a000001), (tp_src, 12345)],
+        )
+    }
+
+    #[test]
+    fn first_packet_takes_slow_path_then_fast_path() {
+        let mut dp = Datapath::new(fig6_table());
+        let pkt = PacketBuilder::tcp_v4([10, 0, 0, 9], [10, 0, 0, 99], 5555, 80).build();
+        let first = dp.process_packet(&pkt, 0.0);
+        assert_eq!(first.path, PathTaken::SlowPath);
+        assert_eq!(first.action, Action::Allow);
+        let second = dp.process_packet(&pkt, 0.001);
+        assert_eq!(second.path, PathTaken::Megaflow);
+        assert_eq!(second.action, Action::Allow);
+        assert!(second.cost < first.cost);
+        assert_eq!(dp.stats().upcalls, 1);
+        assert_eq!(dp.stats().megaflow_hits, 1);
+    }
+
+    #[test]
+    fn denied_traffic_is_dropped_and_cached() {
+        let mut dp = Datapath::new(fig6_table());
+        let pkt = PacketBuilder::udp_v4([10, 3, 3, 3], [10, 0, 0, 99], 4444, 9999).build();
+        assert_eq!(dp.process_packet(&pkt, 0.0).action, Action::Deny);
+        assert_eq!(dp.process_packet(&pkt, 0.1).action, Action::Deny);
+        assert_eq!(dp.stats().denied, 2);
+        assert!(dp.mask_count() >= 1);
+    }
+
+    #[test]
+    fn megaflow_cost_grows_with_masks() {
+        let mut dp = Datapath::new(fig6_table());
+        let victim = PacketBuilder::tcp_v4([10, 0, 0, 9], [10, 0, 0, 99], 5555, 80).build();
+        dp.process_packet(&victim, 0.0);
+        let cheap = dp.process_packet(&victim, 0.001).cost;
+        // Attacker sprays denied packets with pseudo-random headers, spawning masks
+        // (a miniature General TSE).
+        let mut x: u64 = 0x243f_6a88_85a3_08d3;
+        for i in 0..500u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let src = (x >> 32) as u32;
+            let sport = (x >> 16) as u16;
+            let dport = x as u16;
+            let atk = PacketBuilder::tcp_v4(src.to_be_bytes(), [10, 0, 0, 99], sport, dport).build();
+            dp.process_packet(&atk, 0.01 + i as f64 * 1e-4);
+        }
+        assert!(dp.mask_count() > 40, "attack should have spawned masks: {}", dp.mask_count());
+        // With NewestFirst ordering the victim now scans (almost) all masks.
+        let expensive = dp.process_packet(&victim, 0.5).cost;
+        assert!(
+            expensive > 3.0 * cheap,
+            "victim cost should grow with masks: {cheap} -> {expensive}"
+        );
+    }
+
+    #[test]
+    fn idle_timeout_restores_the_cache() {
+        let mut dp = Datapath::new(fig6_table());
+        for i in 0..50u32 {
+            let atk = PacketBuilder::tcp_v4([10, 0, i as u8, 7], [10, 0, 0, 99], 1000 + i as u16, 2000 + i as u16)
+                .build();
+            dp.process_packet(&atk, 0.01);
+        }
+        let with_attack = dp.mask_count();
+        assert!(with_attack > 5);
+        // 15 s later (attack stopped), the sweep at the next packet expires everything.
+        let victim = PacketBuilder::tcp_v4([10, 0, 0, 9], [10, 0, 0, 99], 5555, 80).build();
+        dp.process_packet(&victim, 15.0);
+        assert!(dp.mask_count() < with_attack / 2, "idle entries must expire after the timeout");
+    }
+
+    #[test]
+    fn microflow_cache_short_circuits_when_enabled() {
+        let config = DatapathConfig { microflow_capacity: 64, ..DatapathConfig::default() };
+        let schema = FieldSchema::ovs_ipv4();
+        let strategy = MegaflowStrategy::wildcarding(&schema);
+        let mut dp = Datapath::with_strategy(fig6_table(), strategy, config);
+        let pkt = PacketBuilder::tcp_v4([10, 0, 0, 9], [10, 0, 0, 99], 5555, 80).build();
+        dp.process_packet(&pkt, 0.0);
+        let out = dp.process_packet(&pkt, 0.001);
+        assert_eq!(out.path, PathTaken::Microflow);
+        assert_eq!(out.masks_scanned, 0);
+    }
+
+    #[test]
+    fn install_table_flushes_caches() {
+        let mut dp = Datapath::new(fig6_table());
+        let pkt = PacketBuilder::tcp_v4([10, 0, 0, 9], [10, 0, 0, 99], 5555, 80).build();
+        dp.process_packet(&pkt, 0.0);
+        assert!(dp.entry_count() > 0);
+        dp.install_table(fig6_table());
+        assert_eq!(dp.entry_count(), 0);
+        assert_eq!(dp.mask_count(), 0);
+    }
+
+    #[test]
+    fn ipv6_packet_against_ipv4_table_is_unclassified() {
+        let mut dp = Datapath::new(fig6_table());
+        let pkt = PacketBuilder::tcp_v6([1, 0, 0, 0, 0, 0, 0, 2], [3, 0, 0, 0, 0, 0, 0, 4], 1, 80).build();
+        let out = dp.process_packet(&pkt, 0.0);
+        assert_eq!(out.path, PathTaken::Unclassified);
+        assert_eq!(dp.mask_count(), 0);
+    }
+
+    #[test]
+    fn process_key_supports_hyp_experiments() {
+        let table = FlowTable::fig1_hyp();
+        let schema = table.schema().clone();
+        let mut dp = Datapath::new(table);
+        let allow = tse_packet::fields::Key::from_values(&schema, &[0b001]);
+        let deny = tse_packet::fields::Key::from_values(&schema, &[0b111]);
+        assert_eq!(dp.process_key(&allow, 100, 0.0).action, Action::Allow);
+        assert_eq!(dp.process_key(&deny, 100, 0.0).action, Action::Deny);
+        assert_eq!(dp.stats().upcalls, 2);
+    }
+}

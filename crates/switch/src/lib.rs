@@ -1,0 +1,34 @@
+//! # tse-switch
+//!
+//! An OVS-like software-switch datapath built on the `tse-classifier` substrate:
+//!
+//! * [`datapath`] — the fast-path/slow-path pipeline (microflow cache → TSS megaflow
+//!   cache → slow path) with idle-timeout eviction, exactly the architecture of §2.2 and
+//!   Fig. 10;
+//! * [`slowpath`] — upcall handling: full flow-table classification plus megaflow
+//!   generation/installation, including the entry-suppression behaviour MFCGuard relies
+//!   on;
+//! * [`cost`] — the calibrated per-packet cost model that converts the classifier's
+//!   algorithmic work (masks scanned, upcalls) into simulated seconds and therefore
+//!   throughput (DESIGN.md §4 explains the substitution for the paper's hardware
+//!   testbed);
+//! * [`stats`] — per-path counters and busy-time accounting;
+//! * [`tenant`] — multi-tenant ACL composition: per-tenant ACLs merged into the single
+//!   flow table of the shared hypervisor switch, the abstraction Co-located TSE exploits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod datapath;
+pub mod slowpath;
+pub mod stats;
+pub mod tenant;
+
+pub use cost::CostModel;
+pub use datapath::{Datapath, DatapathConfig, ProcessOutcome, DEFAULT_IDLE_TIMEOUT};
+pub use slowpath::{SlowPath, UpcallOutcome};
+pub use stats::{DatapathStats, PathTaken};
+pub use tenant::{
+    destined_to, merge_tenant_acls, victim_and_attacker_table, AclField, AllowClause, TenantAcl,
+};

@@ -1,0 +1,193 @@
+//! The slow path: full flow-table processing plus megaflow generation and installation
+//! (`ovs-vswitchd`'s upcall handling in the real system).
+
+use tse_classifier::flowtable::FlowTable;
+use tse_classifier::rule::Action;
+use tse_classifier::strategy::{generate_megaflow, GenerationError, MegaflowStrategy};
+use tse_classifier::tss::TupleSpace;
+use tse_packet::fields::Key;
+
+/// Outcome of one slow-path invocation (one upcall).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpcallOutcome {
+    /// The verdict for the packet that triggered the upcall.
+    pub action: Action,
+    /// Index of the flow-table rule that matched.
+    pub rule_index: usize,
+    /// Whether a new megaflow entry was installed into the fast path.
+    pub installed: bool,
+    /// Whether installation created a brand-new mask (grew the tuple space).
+    pub new_mask: bool,
+}
+
+/// The slow path: owns nothing, operates on the flow table and megaflow cache the
+/// datapath hands it. Separated out so that MFCGuard and the CPU model can account
+/// upcall work precisely.
+#[derive(Debug, Clone)]
+pub struct SlowPath {
+    strategy: MegaflowStrategy,
+    /// Rules whose megaflows must *not* be (re-)installed into the fast path. This
+    /// models the behaviour the paper observed while building MFCGuard: "once an MFC
+    /// entry is deleted it will never be sparked again" — entries MFCGuard wipes stay
+    /// out of the fast path and their packets keep hitting the slow path (§8).
+    suppressed_rules: Vec<usize>,
+    /// Count of upcalls that could not install an entry because the covering rule is
+    /// suppressed (these packets will keep coming back).
+    suppressed_upcalls: u64,
+}
+
+impl SlowPath {
+    /// Create a slow path with the given megaflow-generation strategy.
+    pub fn new(strategy: MegaflowStrategy) -> Self {
+        SlowPath { strategy, suppressed_rules: Vec::new(), suppressed_upcalls: 0 }
+    }
+
+    /// The generation strategy in use.
+    pub fn strategy(&self) -> &MegaflowStrategy {
+        &self.strategy
+    }
+
+    /// Mark a flow-table rule as suppressed: packets matching it are still classified
+    /// correctly, but no megaflow is installed for them (they stay on the slow path).
+    pub fn suppress_rule(&mut self, rule_index: usize) {
+        if !self.suppressed_rules.contains(&rule_index) {
+            self.suppressed_rules.push(rule_index);
+        }
+    }
+
+    /// Remove a suppression (MFCGuard re-injection, §8).
+    pub fn unsuppress_rule(&mut self, rule_index: usize) {
+        self.suppressed_rules.retain(|&r| r != rule_index);
+    }
+
+    /// Currently suppressed rule indices.
+    pub fn suppressed_rules(&self) -> &[usize] {
+        &self.suppressed_rules
+    }
+
+    /// Number of upcalls answered without a fast-path install because of suppression.
+    pub fn suppressed_upcalls(&self) -> u64 {
+        self.suppressed_upcalls
+    }
+
+    /// Handle one upcall: classify `header` against `table`, generate a megaflow under
+    /// the Cover/Independence invariants and install it into `cache` (unless the matched
+    /// rule is suppressed or the header is already covered).
+    pub fn handle_upcall(
+        &mut self,
+        table: &FlowTable,
+        cache: &mut TupleSpace,
+        header: &Key,
+        now: f64,
+    ) -> Option<UpcallOutcome> {
+        let matched = table.lookup(header)?;
+        if self.suppressed_rules.contains(&matched.rule_index) {
+            self.suppressed_upcalls += 1;
+            return Some(UpcallOutcome {
+                action: matched.action,
+                rule_index: matched.rule_index,
+                installed: false,
+                new_mask: false,
+            });
+        }
+        match generate_megaflow(table, cache, header, &self.strategy) {
+            Ok(generated) => {
+                let masks_before = cache.mask_count();
+                cache
+                    .insert(generated.key, generated.mask, generated.action, now)
+                    .expect("generated megaflow must be insertable");
+                Some(UpcallOutcome {
+                    action: generated.action,
+                    rule_index: generated.rule_index,
+                    installed: true,
+                    new_mask: cache.mask_count() > masks_before,
+                })
+            }
+            Err(GenerationError::AlreadyCovered) => Some(UpcallOutcome {
+                action: matched.action,
+                rule_index: matched.rule_index,
+                installed: false,
+                new_mask: false,
+            }),
+            Err(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tse_classifier::flowtable::FlowTable;
+    use tse_packet::fields::{FieldSchema, Key};
+
+    fn hyp(v: u128) -> Key {
+        Key::from_values(&FieldSchema::hyp(), &[v])
+    }
+
+    #[test]
+    fn upcall_installs_megaflow() {
+        let table = FlowTable::fig1_hyp();
+        let mut cache = TupleSpace::new(table.schema().clone());
+        let mut sp = SlowPath::new(MegaflowStrategy::wildcarding(table.schema()));
+        let out = sp.handle_upcall(&table, &mut cache, &hyp(0b001), 0.0).unwrap();
+        assert_eq!(out.action, Action::Allow);
+        assert!(out.installed);
+        assert!(out.new_mask);
+        assert_eq!(cache.entry_count(), 1);
+    }
+
+    #[test]
+    fn second_upcall_for_covered_header_installs_nothing() {
+        let table = FlowTable::fig1_hyp();
+        let mut cache = TupleSpace::new(table.schema().clone());
+        let mut sp = SlowPath::new(MegaflowStrategy::wildcarding(table.schema()));
+        sp.handle_upcall(&table, &mut cache, &hyp(0b111), 0.0);
+        // 101 is covered by the (1**) deny megaflow.
+        let out = sp.handle_upcall(&table, &mut cache, &hyp(0b101), 0.0).unwrap();
+        assert_eq!(out.action, Action::Deny);
+        assert!(!out.installed);
+        assert_eq!(cache.entry_count(), 1);
+    }
+
+    #[test]
+    fn suppressed_rule_never_reinstalled() {
+        let table = FlowTable::fig1_hyp();
+        let mut cache = TupleSpace::new(table.schema().clone());
+        let mut sp = SlowPath::new(MegaflowStrategy::wildcarding(table.schema()));
+        sp.suppress_rule(1); // the DefaultDeny rule
+        for h in [0b000u128, 0b100, 0b111] {
+            let out = sp.handle_upcall(&table, &mut cache, &hyp(h), 0.0).unwrap();
+            assert_eq!(out.action, Action::Deny);
+            assert!(!out.installed);
+        }
+        assert_eq!(cache.entry_count(), 0);
+        assert_eq!(sp.suppressed_upcalls(), 3);
+        // Allowed traffic is unaffected.
+        let out = sp.handle_upcall(&table, &mut cache, &hyp(0b001), 0.0).unwrap();
+        assert!(out.installed);
+        // Unsuppress and the deny megaflows come back.
+        sp.unsuppress_rule(1);
+        let out = sp.handle_upcall(&table, &mut cache, &hyp(0b100), 0.0).unwrap();
+        assert!(out.installed);
+    }
+
+    #[test]
+    fn empty_table_returns_none() {
+        let schema = FieldSchema::hyp();
+        let table = FlowTable::new(schema.clone());
+        let mut cache = TupleSpace::new(schema.clone());
+        let mut sp = SlowPath::new(MegaflowStrategy::wildcarding(&schema));
+        assert!(sp.handle_upcall(&table, &mut cache, &hyp(0), 0.0).is_none());
+    }
+
+    #[test]
+    fn suppress_is_idempotent() {
+        let schema = FieldSchema::hyp();
+        let mut sp = SlowPath::new(MegaflowStrategy::wildcarding(&schema));
+        sp.suppress_rule(3);
+        sp.suppress_rule(3);
+        assert_eq!(sp.suppressed_rules(), &[3]);
+        sp.unsuppress_rule(3);
+        assert!(sp.suppressed_rules().is_empty());
+    }
+}

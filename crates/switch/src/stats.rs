@@ -1,0 +1,121 @@
+//! Datapath statistics: per-path packet counters and processing-time accounting.
+
+/// Which level of the cache hierarchy handled a packet (Fig. 10's pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathTaken {
+    /// Exact-match microflow cache hit.
+    Microflow,
+    /// Megaflow (TSS) cache hit.
+    Megaflow,
+    /// Full slow-path processing (flow-table lookup + megaflow install).
+    SlowPath,
+    /// Dropped before classification (e.g. unsupported ethertype).
+    Unclassified,
+}
+
+/// Aggregated counters for a datapath.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DatapathStats {
+    /// Packets handled by the microflow cache.
+    pub microflow_hits: u64,
+    /// Packets handled by the megaflow cache.
+    pub megaflow_hits: u64,
+    /// Packets that needed the slow path (upcalls).
+    pub upcalls: u64,
+    /// Packets ultimately permitted.
+    pub allowed: u64,
+    /// Packets ultimately dropped by policy.
+    pub denied: u64,
+    /// Total masks scanned over all megaflow lookups (hit or miss).
+    pub masks_scanned: u64,
+    /// Total simulated processing time, seconds.
+    pub busy_seconds: f64,
+    /// Total bytes of permitted traffic.
+    pub allowed_bytes: u64,
+}
+
+impl DatapathStats {
+    /// Total packets processed.
+    pub fn packets(&self) -> u64 {
+        self.microflow_hits + self.megaflow_hits + self.upcalls
+    }
+
+    /// Average masks scanned per megaflow lookup (hits + upcalls).
+    pub fn avg_masks_scanned(&self) -> f64 {
+        let lookups = self.megaflow_hits + self.upcalls;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.masks_scanned as f64 / lookups as f64
+        }
+    }
+
+    /// Fraction of packets that needed an upcall.
+    pub fn upcall_ratio(&self) -> f64 {
+        let p = self.packets();
+        if p == 0 {
+            0.0
+        } else {
+            self.upcalls as f64 / p as f64
+        }
+    }
+
+    /// Record one processed packet.
+    pub fn record(&mut self, path: PathTaken, permitted: bool, masks: usize, cost: f64, bytes: usize) {
+        match path {
+            PathTaken::Microflow => self.microflow_hits += 1,
+            PathTaken::Megaflow => self.megaflow_hits += 1,
+            PathTaken::SlowPath => self.upcalls += 1,
+            PathTaken::Unclassified => {}
+        }
+        if permitted {
+            self.allowed += 1;
+            self.allowed_bytes += bytes as u64;
+        } else {
+            self.denied += 1;
+        }
+        self.masks_scanned += masks as u64;
+        self.busy_seconds += cost;
+    }
+
+    /// Reset every counter (used between measurement intervals).
+    pub fn reset(&mut self) {
+        *self = DatapathStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = DatapathStats::default();
+        s.record(PathTaken::Megaflow, true, 5, 1e-6, 1500);
+        s.record(PathTaken::SlowPath, false, 10, 8e-5, 60);
+        s.record(PathTaken::Microflow, true, 0, 4e-7, 1500);
+        assert_eq!(s.packets(), 3);
+        assert_eq!(s.allowed, 2);
+        assert_eq!(s.denied, 1);
+        assert_eq!(s.allowed_bytes, 3000);
+        assert_eq!(s.masks_scanned, 15);
+        assert!((s.avg_masks_scanned() - 7.5).abs() < 1e-9);
+        assert!((s.upcall_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = DatapathStats::default();
+        assert_eq!(s.packets(), 0);
+        assert_eq!(s.avg_masks_scanned(), 0.0);
+        assert_eq!(s.upcall_ratio(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = DatapathStats::default();
+        s.record(PathTaken::Megaflow, true, 1, 1e-6, 100);
+        s.reset();
+        assert_eq!(s, DatapathStats::default());
+    }
+}

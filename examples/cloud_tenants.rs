@@ -1,0 +1,30 @@
+//! Cloud-platform view (§5.5, §5.6, §7): what each orchestrator lets a tenant express,
+//! and how many megaflow masks that translates to on the shared hypervisor switch.
+//!
+//! Run with: `cargo run --example cloud_tenants`
+
+use tse::prelude::*;
+use tse::simnet::cloud::section7_mask_ceiling;
+
+fn main() {
+    let schema = FieldSchema::ovs_ipv4();
+    println!(
+        "{:<16} {:>10} {:>22} {:>14}",
+        "platform", "line rate", "strongest scenario", "mask ceiling"
+    );
+    for platform in [CloudPlatform::Synthetic, CloudPlatform::OpenStack, CloudPlatform::Kubernetes] {
+        println!(
+            "{:<16} {:>8.1} G {:>22} {:>14}",
+            platform.name(),
+            platform.line_rate_gbps(),
+            platform.max_scenario().name(),
+            section7_mask_ceiling(platform, &schema)
+        );
+    }
+
+    // Show the merged flow table two tenants produce on one hypervisor.
+    let victim = TenantAcl::web_service("victim", 0x0a00_0063);
+    let attacker = CloudPlatform::Kubernetes.attacker_acl(Scenario::SipSpDp, 0x0a00_00c8);
+    let table = merge_tenant_acls(&schema, &[victim, attacker]);
+    println!("\nmerged hypervisor flow table ({} rules):\n{}", table.len(), table.render());
+}

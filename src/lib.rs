@@ -1,0 +1,61 @@
+//! # tse — Tuple Space Explosion, reproduced in Rust
+//!
+//! A from-scratch reproduction of *"Tuple Space Explosion: A Denial-of-Service Attack
+//! Against a Software Packet Classifier"* (Csikor et al., ACM CoNEXT 2019): the Tuple
+//! Space Search (TSS) classifier of Open vSwitch, the OVS-like datapath around it, the
+//! Co-located and General TSE attacks, the analytic mask-expectation model, the
+//! Theorem 4.1/4.2 bounds, and the MFCGuard mitigation — plus a simulation substrate
+//! that regenerates every figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the public API of the workspace crates so downstream
+//! users can depend on a single crate:
+//!
+//! ```
+//! use tse::prelude::*;
+//!
+//! // Build the Fig. 6 ACL, attack it with the co-located trace, count the masks.
+//! let schema = FieldSchema::ovs_ipv4();
+//! let table = Scenario::SipDp.flow_table(&schema);
+//! let mut dp = Datapath::new(table);
+//! for key in scenario_trace(&schema, Scenario::SipDp, &schema.zero_value()) {
+//!     dp.process_key(&key, 64, 0.0);
+//! }
+//! assert!(dp.mask_count() > 400);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tse_attack as attack;
+pub use tse_classifier as classifier;
+pub use tse_mitigation as mitigation;
+pub use tse_packet as packet;
+pub use tse_simnet as simnet;
+pub use tse_switch as switch;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use tse_attack::bounds::{multi_field_bound, single_field_curve};
+    pub use tse_attack::colocated::{bit_inversion_list, bit_inversion_trace, scenario_trace};
+    pub use tse_attack::expectation::ExpectationModel;
+    pub use tse_attack::general::random_trace;
+    pub use tse_attack::scenarios::Scenario;
+    pub use tse_attack::trace::AttackTrace;
+    pub use tse_classifier::baseline::{Classifier, HierarchicalTrie, HyperCuts, LinearSearch};
+    pub use tse_classifier::flowtable::FlowTable;
+    pub use tse_classifier::rule::{Action, Rule};
+    pub use tse_classifier::strategy::{generate_megaflow, FieldStrategy, MegaflowStrategy};
+    pub use tse_classifier::tss::{MaskOrdering, TupleSpace};
+    pub use tse_mitigation::guard::{GuardConfig, MfcGuard};
+    pub use tse_packet::builder::PacketBuilder;
+    pub use tse_packet::fields::{FieldDef, FieldSchema, Key, Mask};
+    pub use tse_packet::flowkey::FlowKey;
+    pub use tse_packet::Packet;
+    pub use tse_simnet::cloud::CloudPlatform;
+    pub use tse_simnet::offload::OffloadConfig;
+    pub use tse_simnet::runner::{ExperimentRunner, Timeline};
+    pub use tse_simnet::traffic::VictimFlow;
+    pub use tse_switch::cost::CostModel;
+    pub use tse_switch::datapath::{Datapath, DatapathConfig};
+    pub use tse_switch::tenant::{merge_tenant_acls, AclField, AllowClause, TenantAcl};
+}

@@ -1,0 +1,77 @@
+//! Cross-crate integration tests: classifier invariants exercised through the full
+//! datapath (packet -> flow key -> caches -> verdict).
+
+use proptest::prelude::*;
+use tse::prelude::*;
+
+/// Every packet gets the same verdict from the datapath (whatever cache level answers)
+/// as from a direct slow-path lookup of the flow table.
+#[test]
+fn datapath_never_misclassifies() {
+    let schema = FieldSchema::ovs_ipv4();
+    let table = Scenario::SipSpDp.flow_table(&schema);
+    let reference = table.clone();
+    let mut dp = Datapath::new(table);
+    let mut rng_state = 0x12345678u64;
+    for i in 0..2000u32 {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let src = (rng_state >> 32) as u32;
+        let sport = (rng_state >> 16) as u16;
+        let dport = rng_state as u16;
+        let pkt = PacketBuilder::tcp_v4(src.to_be_bytes(), [10, 0, 0, 99], sport, dport).build();
+        let key = FlowKey::from_packet(&pkt).to_key(&schema);
+        let expected = reference.lookup(&key).unwrap().action;
+        let got = dp.process_packet(&pkt, i as f64 * 1e-3).action;
+        assert_eq!(got, expected, "packet {i} misclassified");
+    }
+    assert!(dp.megaflow().check_independence());
+}
+
+// The megaflow cache stays independent (Inv 2) under arbitrary traffic mixes.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn independence_invariant_holds(headers in proptest::collection::vec((0u32..4096, 0u16..512, 0u16..512), 1..80)) {
+        let schema = FieldSchema::ovs_ipv4();
+        let table = Scenario::SpDp.flow_table(&schema);
+        let mut dp = Datapath::new(table);
+        for (i, (src, sport, dport)) in headers.iter().enumerate() {
+            let pkt = PacketBuilder::udp_v4(src.to_be_bytes(), [10, 0, 0, 99], *sport, *dport).build();
+            dp.process_packet(&pkt, i as f64 * 1e-3);
+        }
+        prop_assert!(dp.megaflow().check_independence());
+        prop_assert!(dp.mask_count() <= dp.entry_count());
+    }
+}
+
+/// Baseline classifiers agree with TSS on the verdict for every packet of a random mix,
+/// while their lookup work stays bounded by the rule set.
+#[test]
+fn baselines_agree_with_tss_and_stay_flat() {
+    let schema = FieldSchema::ovs_ipv4();
+    let table = Scenario::SipDp.flow_table(&schema);
+    let linear = LinearSearch::build(&table);
+    let trie = HierarchicalTrie::build(&table);
+    let hc = HyperCuts::build(&table);
+    let mut dp = Datapath::new(table);
+
+    let mut max_work = 0;
+    let mut state = 99u64;
+    for i in 0..1500u32 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let src = (state >> 32) as u32;
+        let dport = state as u16;
+        let pkt = PacketBuilder::tcp_v4(src.to_be_bytes(), [10, 0, 0, 99], 4000, dport).build();
+        let key = FlowKey::from_packet(&pkt).to_key(&schema);
+        let tss_verdict = dp.process_packet(&pkt, i as f64 * 1e-3).action;
+        for c in [&linear as &dyn Classifier, &trie, &hc] {
+            let r = c.classify(&key);
+            assert_eq!(r.action, Some(tss_verdict), "{} disagrees", c.name());
+            max_work = max_work.max(r.work);
+        }
+    }
+    // The attack exploded the TSS mask count, but the baselines' work is unchanged by
+    // traffic — it only depends on the 3-rule table.
+    assert!(dp.mask_count() > 50, "TSS should have exploded: {}", dp.mask_count());
+    assert!(max_work < 200, "baseline lookup work must stay small: {max_work}");
+}
