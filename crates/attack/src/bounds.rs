@@ -37,7 +37,10 @@ pub fn single_field_entries(width: u32, k: u32) -> f64 {
 /// The full Theorem 4.1 curve for a `w`-bit field: one point per `k ∈ 1..=w`.
 pub fn single_field_curve(width: u32) -> Vec<TradeoffPoint> {
     (1..=width)
-        .map(|k| TradeoffPoint { masks: u64::from(k), entries: single_field_entries(width, k) })
+        .map(|k| TradeoffPoint {
+            masks: u64::from(k),
+            entries: single_field_entries(width, k),
+        })
         .collect()
 }
 
@@ -61,7 +64,10 @@ pub fn multi_field_bound(widths: &[u32], ks: &[u32]) -> (f64, f64) {
 pub fn multi_field_extremes(widths: &[u32]) -> ((f64, f64), (f64, f64)) {
     let ones: Vec<u32> = widths.iter().map(|_| 1).collect();
     let full: Vec<u32> = widths.to_vec();
-    (multi_field_bound(widths, &ones), multi_field_bound(widths, &full))
+    (
+        multi_field_bound(widths, &ones),
+        multi_field_bound(widths, &full),
+    )
 }
 
 #[cfg(test)]

@@ -17,7 +17,11 @@ use crate::scenarios::Scenario;
 /// with each bit inverted, most-significant bit first (the order used in §5.1).
 pub fn bit_inversion_list(width: u32, allow_value: u128) -> Vec<u128> {
     let mut out = Vec::with_capacity(width as usize + 1);
-    let full = if width == 128 { u128::MAX } else { (1u128 << width) - 1 };
+    let full = if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
     let allow = allow_value & full;
     out.push(allow);
     for bit in (0..width).rev() {
@@ -30,11 +34,7 @@ pub fn bit_inversion_list(width: u32, allow_value: u128) -> Vec<u128> {
 /// described as `(field index, allowed value)` pairs in priority order: the outer product
 /// of the per-field bit-inversion lists. Untargeted fields keep the value given in
 /// `base`, so the caller can pin e.g. the destination IP to the attacker's own service.
-pub fn bit_inversion_trace(
-    schema: &FieldSchema,
-    allows: &[(usize, u128)],
-    base: &Key,
-) -> Vec<Key> {
+pub fn bit_inversion_trace(schema: &FieldSchema, allows: &[(usize, u128)], base: &Key) -> Vec<Key> {
     let lists: Vec<(usize, Vec<u128>)> = allows
         .iter()
         .map(|&(field, value)| (field, bit_inversion_list(schema.width(field), value)))
@@ -73,7 +73,12 @@ pub fn scenario_trace(schema: &FieldSchema, scenario: Scenario, base: &Key) -> V
     let allows: Vec<(usize, u128)> = scenario
         .target_fields()
         .iter()
-        .map(|t| (schema.field_index(t.name).expect("schema field"), t.allow_value))
+        .map(|t| {
+            (
+                schema.field_index(t.name).expect("schema field"),
+                t.allow_value,
+            )
+        })
         .collect();
     bit_inversion_trace(schema, &allows, base)
 }
@@ -99,7 +104,10 @@ mod tests {
     #[test]
     fn single_field_list_matches_paper_example() {
         // Fig. 1 ACL, 3-bit HYP, allow 001 → { 001, 101, 011, 000 }.
-        assert_eq!(bit_inversion_list(3, 0b001), vec![0b001, 0b101, 0b011, 0b000]);
+        assert_eq!(
+            bit_inversion_list(3, 0b001),
+            vec![0b001, 0b101, 0b011, 0b000]
+        );
     }
 
     #[test]

@@ -59,9 +59,8 @@ impl ExpectationModel {
                 let mut mask_key: Vec<u32> = Vec::with_capacity(m);
                 mask_key.extend_from_slice(prefix);
                 mask_key.push(widths[i]);
-                mask_key.extend(std::iter::repeat(0).take(m - i - 1));
-                let constrained: u32 =
-                    prefix.iter().sum::<u32>() + widths[i];
+                mask_key.extend(std::iter::repeat_n(0, m - i - 1));
+                let constrained: u32 = prefix.iter().sum::<u32>() + widths[i];
                 let coverage = spark_probability(total_bits - constrained, total_bits);
                 *masks.entry(mask_key).or_insert(0.0) += coverage;
             });
@@ -100,7 +99,10 @@ impl ExpectationModel {
     /// Expected number of distinct MFC masks after `n` independent uniformly random
     /// packets — Eq. 2 generalised to exact per-mask coverage.
     pub fn expected_masks(&self, n: u64) -> f64 {
-        self.masks.values().map(|&p| spark_probability_n(p, n)).sum()
+        self.masks
+            .values()
+            .map(|&p| spark_probability_n(p, n))
+            .sum()
     }
 
     /// Expected number of megaflow *entries* after `n` random packets (each enumerated
@@ -112,7 +114,7 @@ impl ExpectationModel {
         let m = self.widths.len();
         let mut expected = 0.0;
         for i in 0..m {
-            enumerate_prefixes(&self.widths[..i].to_vec(), &mut |prefix| {
+            enumerate_prefixes(&self.widths[..i], &mut |prefix| {
                 let constrained: u32 = prefix.iter().sum::<u32>() + self.widths[i];
                 let p = spark_probability(total_bits - constrained, total_bits);
                 expected += spark_probability_n(p, n);
@@ -163,7 +165,10 @@ mod tests {
         let schema = FieldSchema::ovs_ipv4();
         // Dp: 16 deny prefixes; the rule-1 exact mask coincides with the full-length
         // prefix (just as the first and last entries of Fig. 3 share mask 111).
-        assert_eq!(ExpectationModel::for_scenario(&schema, Scenario::Dp).max_masks(), 16);
+        assert_eq!(
+            ExpectationModel::for_scenario(&schema, Scenario::Dp).max_masks(),
+            16
+        );
         // SipDp: 16*32 deny + 16 rule-2 (shared with deny when l2=32 -> 16 shared) + 1.
         let sipdp = ExpectationModel::for_scenario(&schema, Scenario::SipDp).max_masks();
         assert_eq!(sipdp, 16 * 32 + 1);
@@ -193,10 +198,17 @@ mod tests {
         let schema = FieldSchema::ovs_ipv4();
         let dp = ExpectationModel::for_scenario(&schema, Scenario::Dp).expected_masks(50_000);
         let sipdp = ExpectationModel::for_scenario(&schema, Scenario::SipDp).expected_masks(50_000);
-        let full = ExpectationModel::for_scenario(&schema, Scenario::SipSpDp).expected_masks(50_000);
+        let full =
+            ExpectationModel::for_scenario(&schema, Scenario::SipSpDp).expected_masks(50_000);
         assert!((12.0..=17.0).contains(&dp), "Dp expected ≈16, got {dp}");
-        assert!((100.0..=140.0).contains(&sipdp), "SipDp expected ≈122, got {sipdp}");
-        assert!((450.0..=700.0).contains(&full), "SipSpDp expected ≈581, got {full}");
+        assert!(
+            (100.0..=140.0).contains(&sipdp),
+            "SipDp expected ≈122, got {sipdp}"
+        );
+        assert!(
+            (450.0..=700.0).contains(&full),
+            "SipSpDp expected ≈581, got {full}"
+        );
     }
 
     #[test]

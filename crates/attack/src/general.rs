@@ -79,8 +79,12 @@ mod tests {
         assert!(trace.iter().all(|k| k.get(ip_dst) == 0xdead_beef));
         assert!(trace.iter().all(|k| k.get(ip_src) == 0));
         // Destination port actually varies.
-        let distinct: std::collections::HashSet<u128> = trace.iter().map(|k| k.get(tp_dst)).collect();
-        assert!(distinct.len() > 100, "random ports should mostly be distinct");
+        let distinct: std::collections::HashSet<u128> =
+            trace.iter().map(|k| k.get(tp_dst)).collect();
+        assert!(
+            distinct.len() > 100,
+            "random ports should mostly be distinct"
+        );
     }
 
     #[test]
@@ -98,8 +102,20 @@ mod tests {
     fn deterministic_with_seed() {
         let schema = FieldSchema::ovs_ipv4();
         let base = schema.zero_value();
-        let a = random_trace(&mut StdRng::seed_from_u64(3), &schema, Scenario::SipSpDp, &base, 50);
-        let b = random_trace(&mut StdRng::seed_from_u64(3), &schema, Scenario::SipSpDp, &base, 50);
+        let a = random_trace(
+            &mut StdRng::seed_from_u64(3),
+            &schema,
+            Scenario::SipSpDp,
+            &base,
+            50,
+        );
+        let b = random_trace(
+            &mut StdRng::seed_from_u64(3),
+            &schema,
+            Scenario::SipSpDp,
+            &base,
+            50,
+        );
         assert_eq!(a, b);
     }
 
@@ -113,7 +129,8 @@ mod tests {
         let tp_src = schema.field_index("tp_src").unwrap();
         let tp_dst = schema.field_index("tp_dst").unwrap();
         for f in [ip_src, tp_src, tp_dst] {
-            let distinct: std::collections::HashSet<u128> = trace.iter().map(|k| k.get(f)).collect();
+            let distinct: std::collections::HashSet<u128> =
+                trace.iter().map(|k| k.get(f)).collect();
             assert!(distinct.len() > 10, "field {f} should vary");
         }
     }

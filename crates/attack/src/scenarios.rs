@@ -43,8 +43,13 @@ pub enum Scenario {
 
 impl Scenario {
     /// All scenarios, in increasing order of attack surface.
-    pub const ALL: [Scenario; 5] =
-        [Scenario::Baseline, Scenario::Dp, Scenario::SpDp, Scenario::SipDp, Scenario::SipSpDp];
+    pub const ALL: [Scenario; 5] = [
+        Scenario::Baseline,
+        Scenario::Dp,
+        Scenario::SpDp,
+        Scenario::SipDp,
+        Scenario::SipSpDp,
+    ];
 
     /// Human-readable name as used in the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -60,9 +65,18 @@ impl Scenario {
     /// The header fields this scenario's ACL matches on (in rule-priority order), i.e.
     /// the fields the adversarial trace varies.
     pub fn target_fields(&self) -> Vec<TargetField> {
-        let dp = TargetField { name: "tp_dst", allow_value: fig6::ALLOW_DST_PORT };
-        let sip = TargetField { name: "ip_src", allow_value: fig6::ALLOW_SRC_IP };
-        let sp = TargetField { name: "tp_src", allow_value: fig6::ALLOW_SRC_PORT };
+        let dp = TargetField {
+            name: "tp_dst",
+            allow_value: fig6::ALLOW_DST_PORT,
+        };
+        let sip = TargetField {
+            name: "ip_src",
+            allow_value: fig6::ALLOW_SRC_IP,
+        };
+        let sp = TargetField {
+            name: "tp_src",
+            allow_value: fig6::ALLOW_SRC_PORT,
+        };
         match self {
             Scenario::Baseline => vec![dp],
             Scenario::Dp => vec![dp],

@@ -57,7 +57,10 @@ impl AttackTrace {
                 )
                 .randomize_noise(rng)
                 .build();
-                TimedPacket { time: start_time + i as f64 * interval, packet }
+                TimedPacket {
+                    time: start_time + i as f64 * interval,
+                    packet,
+                }
             })
             .collect();
         AttackTrace { packets }
@@ -74,8 +77,7 @@ impl AttackTrace {
         count: usize,
     ) -> Self {
         assert!(!keys.is_empty());
-        let repeated: Vec<Key> =
-            (0..count).map(|i| keys[i % keys.len()].clone()).collect();
+        let repeated: Vec<Key> = (0..count).map(|i| keys[i % keys.len()].clone()).collect();
         Self::from_keys(rng, schema, &repeated, rate_pps, start_time)
     }
 
@@ -153,10 +155,19 @@ mod tests {
         let schema = FieldSchema::ovs_ipv4();
         let mut rng = StdRng::seed_from_u64(2);
         let keys = scenario_trace(&schema, Scenario::SipSpDp, &schema.zero_value());
-        let trace =
-            AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys[..1000.min(keys.len())], 1000.0, 0.0, 1000);
+        let trace = AttackTrace::from_keys_cyclic(
+            &mut rng,
+            &schema,
+            &keys[..1000.min(keys.len())],
+            1000.0,
+            0.0,
+            1000,
+        );
         let mbps = trace.bandwidth_bps() / 1e6;
-        assert!(mbps < 1.0, "attack rate {mbps} Mbps should stay below 1 Mbps");
+        assert!(
+            mbps < 1.0,
+            "attack rate {mbps} Mbps should stay below 1 Mbps"
+        );
         assert!(mbps > 0.1);
     }
 
@@ -166,9 +177,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let keys = vec![schema.zero_value(); 50];
         let trace = AttackTrace::from_keys(&mut rng, &schema, &keys, 10.0, 0.0);
-        let micro: std::collections::HashSet<MicroflowKey> =
-            trace.packets().iter().map(|p| MicroflowKey::from_packet(&p.packet)).collect();
-        assert!(micro.len() > 45, "noise should make microflow keys distinct: {}", micro.len());
+        let micro: std::collections::HashSet<MicroflowKey> = trace
+            .packets()
+            .iter()
+            .map(|p| MicroflowKey::from_packet(&p.packet))
+            .collect();
+        assert!(
+            micro.len() > 45,
+            "noise should make microflow keys distinct: {}",
+            micro.len()
+        );
     }
 
     #[test]

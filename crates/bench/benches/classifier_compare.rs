@@ -1,14 +1,19 @@
 //! Criterion bench: TSS (under attack) vs. the attack-immune baselines (linear search,
 //! hierarchical tries, HyperCuts) — the quantitative backing for the §7 mitigation
-//! recommendation.
+//! recommendation — plus the per-key vs. batched datapath entry points across every
+//! fast-path backend.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tse_attack::colocated::scenario_trace;
 use tse_attack::scenarios::Scenario;
+use tse_classifier::backend::{
+    FastPathBackend, HyperCutsBackend, LinearSearchBackend, TrieBackend,
+};
 use tse_classifier::baseline::{Classifier, HierarchicalTrie, HyperCuts, LinearSearch};
 use tse_classifier::strategy::{generate_megaflow, MegaflowStrategy};
 use tse_classifier::tss::TupleSpace;
-use tse_packet::fields::FieldSchema;
+use tse_packet::fields::{FieldSchema, Key};
+use tse_switch::datapath::Datapath;
 
 fn bench_compare(c: &mut Criterion) {
     let schema = FieldSchema::ovs_ipv4();
@@ -52,5 +57,90 @@ fn bench_compare(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compare);
+/// A victim-heavy steady-state workload: bursts of the victim's header interleaved with
+/// recurring attack headers — the traffic mix the batched entry point is built for.
+fn steady_workload(schema: &FieldSchema, scenario: Scenario) -> Vec<(Key, usize)> {
+    let mut victim = schema.zero_value();
+    victim.set(schema.field_index("tp_dst").unwrap(), 80);
+    let attack = scenario_trace(schema, scenario, &schema.zero_value());
+    let mut batch = Vec::new();
+    for chunk in attack.chunks(4).take(64) {
+        for _ in 0..8 {
+            batch.push((victim.clone(), 1500));
+        }
+        for key in chunk {
+            batch.push((key.clone(), 64));
+        }
+    }
+    batch
+}
+
+/// Bench `process_key` in a loop vs. `process_batch` on one warmed datapath. The
+/// datapath is warmed with the workload first so both modes measure steady-state
+/// processing (all megaflows installed, no upcalls inside the timed region).
+fn bench_modes<B: FastPathBackend>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    label: &str,
+    mut dp: Datapath<B>,
+    workload: &[(Key, usize)],
+) {
+    dp.process_batch(workload, 0.0);
+    group.bench_function(format!("{label}/process_key_loop"), |b| {
+        b.iter(|| {
+            let mut cost = 0.0;
+            for (key, bytes) in workload {
+                cost += dp.process_key(key, *bytes, 0.5).cost;
+            }
+            std::hint::black_box(cost)
+        })
+    });
+    group.bench_function(format!("{label}/process_batch"), |b| {
+        b.iter(|| std::hint::black_box(dp.process_batch(workload, 0.5).total_cost))
+    });
+}
+
+fn bench_batch_vs_loop(c: &mut Criterion) {
+    let schema = FieldSchema::ovs_ipv4();
+    let scenario = Scenario::SipDp;
+    let workload = steady_workload(&schema, scenario);
+
+    let mut group = c.benchmark_group("datapath_batch_vs_per_key");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let table = scenario.flow_table(&schema);
+    bench_modes(
+        &mut group,
+        "tss",
+        Datapath::builder(table.clone()).build(),
+        &workload,
+    );
+    bench_modes(
+        &mut group,
+        "linear",
+        Datapath::builder(table.clone())
+            .backend_fresh::<LinearSearchBackend>()
+            .build(),
+        &workload,
+    );
+    bench_modes(
+        &mut group,
+        "trie",
+        Datapath::builder(table.clone())
+            .backend_fresh::<TrieBackend>()
+            .build(),
+        &workload,
+    );
+    bench_modes(
+        &mut group,
+        "hypercuts",
+        Datapath::builder(table)
+            .backend_fresh::<HyperCutsBackend>()
+            .build(),
+        &workload,
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_compare, bench_batch_vs_loop);
 criterion_main!(benches);

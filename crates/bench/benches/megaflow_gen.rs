@@ -16,7 +16,10 @@ fn bench_generation(c: &mut Criterion) {
     let strategies = [
         ("wildcarding", MegaflowStrategy::wildcarding(&schema)),
         ("chunked_4", MegaflowStrategy::chunked(&schema, 4)),
-        ("exact_match", MegaflowStrategy::uniform(&schema, FieldStrategy::Exact)),
+        (
+            "exact_match",
+            MegaflowStrategy::uniform(&schema, FieldStrategy::Exact),
+        ),
     ];
     let trace = scenario_trace(&schema, Scenario::Dp, &schema.zero_value());
 
@@ -54,8 +57,9 @@ fn bench_guard_pass(c: &mut Criterion) {
             || {
                 let table = Scenario::SpDp.flow_table(&schema);
                 let mut dp = Datapath::new(table);
-                for (i, key) in
-                    scenario_trace(&schema, Scenario::SpDp, &schema.zero_value()).iter().enumerate()
+                for (i, key) in scenario_trace(&schema, Scenario::SpDp, &schema.zero_value())
+                    .iter()
+                    .enumerate()
                 {
                     dp.process_key(key, 64, i as f64 * 1e-4);
                 }

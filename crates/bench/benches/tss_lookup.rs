@@ -43,11 +43,19 @@ fn bench_lookup(c: &mut Criterion) {
     group.sample_size(20);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    for scenario in [Scenario::Baseline, Scenario::Dp, Scenario::SpDp, Scenario::SipDp] {
+    for scenario in [
+        Scenario::Baseline,
+        Scenario::Dp,
+        Scenario::SpDp,
+        Scenario::SipDp,
+    ] {
         let (mut cache, victim) = attacked_cache(scenario);
         let masks = cache.mask_count();
         group.bench_with_input(
-            BenchmarkId::new("victim_lookup", format!("{}_{}masks", scenario.name(), masks)),
+            BenchmarkId::new(
+                "victim_lookup",
+                format!("{}_{}masks", scenario.name(), masks),
+            ),
             &victim,
             |b, v| b.iter(|| std::hint::black_box(cache.lookup(v, 0.0).masks_scanned)),
         );

@@ -22,10 +22,11 @@ fn main() {
     let table = scenario.flow_table(&schema);
 
     // Victim: UDP iperf joining at t = 30 s, offered at the platform's line rate.
-    let victims = vec![
-        VictimFlow::iperf_udp("Victim", 0x0a000005, 0x0a000063, platform.line_rate_gbps())
-            .active_between(30.0, f64::INFINITY),
-    ];
+    let victims =
+        vec![
+            VictimFlow::iperf_udp("Victim", 0x0a000005, 0x0a000063, platform.line_rate_gbps())
+                .active_between(30.0, f64::INFINITY),
+        ];
     // Attacker: 100 pps, on during 0–60 s and again 90–120 s.
     let keys = scenario_trace(&schema, scenario, &schema.zero_value());
     let mut rng = StdRng::seed_from_u64(21);
@@ -43,7 +44,10 @@ fn main() {
     };
     let mut runner = ExperimentRunner::new(Datapath::new(table), victims, offload);
     let timeline = runner.run(&attack, 120.0);
-    println!("== Fig. 8b: OpenStack (OVN), {} scenario, victim joins at t=30 s ==\n", scenario.name());
+    println!(
+        "== Fig. 8b: OpenStack (OVN), {} scenario, victim joins at t=30 s ==\n",
+        scenario.name()
+    );
     println!("{}", timeline.render_table());
     println!(
         "victim mean: 30–60 s (attacker on) {:.3} Gbps | 70–90 s (attacker off) {:.3} Gbps | 95–120 s (attacker back) {:.3} Gbps",
@@ -51,7 +55,9 @@ fn main() {
         timeline.mean_total_between(70.0, 89.0),
         timeline.mean_total_between(95.0, 119.0),
     );
-    println!("paper: >90 % reduction while both are active; recovery 10 s after the attacker stops.");
+    println!(
+        "paper: >90 % reduction while both are active; recovery 10 s after the attacker stops."
+    );
     println!("note: the paper's re-activation anomaly (long-lived flows barely affected when the");
     println!("attacker returns) was tied to an unstable OVS build and is not modelled; see EXPERIMENTS.md.");
 }

@@ -26,7 +26,12 @@ fn main() {
     let benign_table = Scenario::Baseline.flow_table(&schema);
     let malicious_table = scenario.flow_table(&schema);
 
-    let victims = vec![VictimFlow::iperf_tcp("Victim", 0x0a000005, 0x0a000063, platform.line_rate_gbps())];
+    let victims = vec![VictimFlow::iperf_tcp(
+        "Victim",
+        0x0a000005,
+        0x0a000063,
+        platform.line_rate_gbps(),
+    )];
     let offload = OffloadConfig {
         name: "Kubernetes virtio",
         bytes_per_invocation: 1538,

@@ -1,0 +1,175 @@
+//! E-F9-DP: the §7 / Fig. 9 classifier comparison run through the **real datapath**
+//! instead of bare classify loops — every [`FastPathBackend`] (TSS plus the three
+//! attack-immune baselines) processes the same Co-located attack traces through the
+//! full microflow → fast path → slow path pipeline, and the victim's per-invocation
+//! cost is read off the datapath itself.
+//!
+//! The second half replays the Fig. 8a timeline experiment (victims + attacker sharing
+//! one switch, sampled per second) over the trie and HyperCuts backends: with an
+//! attack-immune fast path the victim's throughput stays at baseline through the whole
+//! attack window — the end-to-end form of the paper's mitigation claim.
+
+use tse_attack::colocated::scenario_trace;
+use tse_attack::scenarios::Scenario;
+use tse_attack::trace::AttackTrace;
+use tse_bench::render_table;
+use tse_classifier::backend::{
+    FastPathBackend, HyperCutsBackend, LinearSearchBackend, TrieBackend,
+};
+use tse_packet::fields::{FieldSchema, Key};
+use tse_simnet::offload::OffloadConfig;
+use tse_simnet::runner::ExperimentRunner;
+use tse_simnet::traffic::VictimFlow;
+use tse_switch::datapath::Datapath;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Victim cost (µs/packet) and fast-path state before and after replaying a scenario's
+/// attack trace through a datapath.
+struct CaseRow {
+    backend: &'static str,
+    baseline_us: f64,
+    attacked_us: f64,
+    masks: usize,
+    entries: usize,
+}
+
+fn run_case<B: FastPathBackend>(mut dp: Datapath<B>, scenario: Scenario, victim: &Key) -> CaseRow {
+    dp.process_key(victim, 1500, 0.0);
+    let baseline = dp.process_key(victim, 1500, 0.001);
+    let schema = dp.table().schema().clone();
+    for (i, key) in scenario_trace(&schema, scenario, &schema.zero_value())
+        .iter()
+        .enumerate()
+    {
+        dp.process_key(key, 64, 0.01 + i as f64 * 1e-4);
+    }
+    let attacked = dp.process_key(victim, 1500, 0.9);
+    CaseRow {
+        backend: dp.megaflow().name(),
+        baseline_us: baseline.cost * 1e6,
+        attacked_us: attacked.cost * 1e6,
+        masks: dp.mask_count(),
+        entries: dp.entry_count(),
+    }
+}
+
+fn backend_matrix() {
+    let schema = FieldSchema::ovs_ipv4();
+    println!("== Fig. 9 through the datapath: victim cost per backend, per use case ==\n");
+    for scenario in [
+        Scenario::Dp,
+        Scenario::SpDp,
+        Scenario::SipDp,
+        Scenario::SipSpDp,
+    ] {
+        let table = scenario.flow_table(&schema);
+        let mut victim = schema.zero_value();
+        victim.set(schema.field_index("tp_dst").unwrap(), 80);
+
+        let rows: Vec<CaseRow> = vec![
+            run_case(Datapath::builder(table.clone()).build(), scenario, &victim),
+            run_case(
+                Datapath::builder(table.clone())
+                    .backend_fresh::<LinearSearchBackend>()
+                    .build(),
+                scenario,
+                &victim,
+            ),
+            run_case(
+                Datapath::builder(table.clone())
+                    .backend_fresh::<TrieBackend>()
+                    .build(),
+                scenario,
+                &victim,
+            ),
+            run_case(
+                Datapath::builder(table)
+                    .backend_fresh::<HyperCutsBackend>()
+                    .build(),
+                scenario,
+                &victim,
+            ),
+        ];
+        println!("-- use case {} --", scenario.name());
+        let table_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.backend.to_string(),
+                    format!("{:.2}", r.baseline_us),
+                    format!("{:.2}", r.attacked_us),
+                    format!("{:.1}x", r.attacked_us / r.baseline_us),
+                    r.masks.to_string(),
+                    r.entries.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "backend",
+                    "baseline us",
+                    "attacked us",
+                    "slowdown",
+                    "masks",
+                    "entries"
+                ],
+                &table_rows
+            )
+        );
+    }
+}
+
+fn timelines() {
+    let schema = FieldSchema::ovs_ipv4();
+    let scenario = Scenario::SipDp;
+    let table = scenario.flow_table(&schema);
+    let victims = vec![VictimFlow::iperf_tcp(
+        "Victim 1",
+        0x0a000005,
+        0x0a00_0063,
+        10.0,
+    )];
+    let keys = scenario_trace(&schema, scenario, &schema.zero_value());
+    let mut rng = StdRng::seed_from_u64(99);
+    let attack = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 20.0, 3000);
+
+    println!("\n== Fig. 8a-style timelines under attack-immune backends (SipDp, 100 pps) ==");
+    let mut trie_runner = ExperimentRunner::new(
+        Datapath::builder(table.clone())
+            .backend_fresh::<TrieBackend>()
+            .build(),
+        victims.clone(),
+        OffloadConfig::gro_off(),
+    );
+    let trie_tl = trie_runner.run(&attack, 70.0);
+    println!("\n-- hierarchical tries --");
+    println!("{}", trie_tl.render_table());
+
+    let mut hc_runner = ExperimentRunner::new(
+        Datapath::builder(table)
+            .backend_fresh::<HyperCutsBackend>()
+            .build(),
+        victims,
+        OffloadConfig::gro_off(),
+    );
+    let hc_tl = hc_runner.run(&attack, 70.0);
+    println!("-- hypercuts --");
+    println!("{}", hc_tl.render_table());
+
+    for (name, tl) in [("trie", &trie_tl), ("hypercuts", &hc_tl)] {
+        println!(
+            "{name}: mean victim Gbps before attack {:.2}, during attack {:.2}",
+            tl.mean_total_between(5.0, 19.0),
+            tl.mean_total_between(30.0, 49.0)
+        );
+    }
+}
+
+fn main() {
+    backend_matrix();
+    timelines();
+}

@@ -20,7 +20,10 @@ fn measured_masks(scenario: Scenario) -> usize {
     }
     let table = scenario.flow_table(&schema);
     let mut dp = Datapath::new(table);
-    for (i, key) in scenario_trace(&schema, scenario, &schema.zero_value()).iter().enumerate() {
+    for (i, key) in scenario_trace(&schema, scenario, &schema.zero_value())
+        .iter()
+        .enumerate()
+    {
         dp.process_key(key, 64, i as f64 * 1e-5);
     }
     dp.mask_count()
@@ -44,7 +47,10 @@ fn main() {
         for c in &configs {
             row.push(format!("{:.3}", c.victim_gbps(masks)));
         }
-        row.push(format!("{:.1}", OffloadConfig::gro_off().flow_completion_time(masks, 1.0)));
+        row.push(format!(
+            "{:.1}",
+            OffloadConfig::gro_off().flow_completion_time(masks, 1.0)
+        ));
         rows.push(row);
     }
     println!("{}", render_table(&header, &rows));

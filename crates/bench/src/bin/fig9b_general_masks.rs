@@ -17,7 +17,10 @@ fn measure(scenario: Scenario, n: usize, seed: u64) -> usize {
     let table = scenario.flow_table(&schema);
     let mut dp = Datapath::new(table);
     let mut rng = StdRng::seed_from_u64(seed);
-    for (i, key) in random_trace(&mut rng, &schema, scenario, &schema.zero_value(), n).iter().enumerate() {
+    for (i, key) in random_trace(&mut rng, &schema, scenario, &schema.zero_value(), n)
+        .iter()
+        .enumerate()
+    {
         dp.process_key(key, 64, i as f64 * 1e-5);
     }
     dp.mask_count()
@@ -62,6 +65,12 @@ fn main() {
             ]);
         }
     }
-    println!("{}", render_table(&["packets", "use case", "masks", "victim capacity (GRO OFF)"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["packets", "use case", "masks", "victim capacity (GRO OFF)"],
+            &rows
+        )
+    );
     println!("\npaper anchors: 1 000 pkts -> 72.8 % (Dp), 25.4 % (SpDp/SipDp), 11.7 % (SipSpDp); 50 000 pkts -> 52 %, 12 %, 1 %");
 }

@@ -7,10 +7,20 @@ use tse_mitigation::cpu_model::SlowPathCpuModel;
 fn main() {
     let model = SlowPathCpuModel::ovs_vswitchd_default();
     println!("== Fig. 9c: slow-path CPU usage vs. attack rate (MFCGuard active) ==\n");
-    let rows: Vec<Vec<String>> = [10.0f64, 100.0, 1_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0]
-        .iter()
-        .map(|&rate| vec![format!("{rate:.0}"), format!("{:.1} %", model.utilization_percent(rate))])
-        .collect();
-    println!("{}", render_table(&["attack rate [pps]", "ovs-vswitchd CPU"], &rows));
+    let rows: Vec<Vec<String>> = [
+        10.0f64, 100.0, 1_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0,
+    ]
+    .iter()
+    .map(|&rate| {
+        vec![
+            format!("{rate:.0}"),
+            format!("{:.1} %", model.utilization_percent(rate)),
+        ]
+    })
+    .collect();
+    println!(
+        "{}",
+        render_table(&["attack rate [pps]", "ovs-vswitchd CPU"], &rows)
+    );
     println!("\npaper anchors: ~15 % at 1 000 pps, ~80 % at 10 000 pps, saturating ~250 % towards 50 000 pps");
 }

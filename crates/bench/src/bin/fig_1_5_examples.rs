@@ -7,7 +7,11 @@ use tse_classifier::strategy::{generate_megaflow, GenerationError, MegaflowStrat
 use tse_classifier::tss::TupleSpace;
 use tse_packet::fields::{FieldSchema, Key};
 
-fn populate(table: &FlowTable, strategy: &MegaflowStrategy, headers: impl Iterator<Item = Key>) -> TupleSpace {
+fn populate(
+    table: &FlowTable,
+    strategy: &MegaflowStrategy,
+    headers: impl Iterator<Item = Key>,
+) -> TupleSpace {
     let mut cache = TupleSpace::new(table.schema().clone());
     for h in headers {
         if cache.lookup(&h, 0.0).action.is_some() {
@@ -32,18 +36,32 @@ fn main() {
     println!("{}\n", fig1.render());
 
     println!("== Fig. 2: exact-match MFC construction ==");
-    let exact = populate(&fig1, &MegaflowStrategy::exact_match(&hyp), (0..8u128).map(|v| Key::from_values(&hyp, &[v])));
+    let exact = populate(
+        &fig1,
+        &MegaflowStrategy::exact_match(&hyp),
+        (0..8u128).map(|v| Key::from_values(&hyp, &[v])),
+    );
     println!("{}", exact.render());
-    println!("-> {} entries, {} mask(s)\n", exact.entry_count(), exact.mask_count());
+    println!(
+        "-> {} entries, {} mask(s)\n",
+        exact.entry_count(),
+        exact.mask_count()
+    );
 
     println!("== Fig. 3: wildcarding MFC construction (adversarial trace 001,101,011,000) ==");
     let wild = populate(
         &fig1,
         &MegaflowStrategy::wildcarding(&hyp),
-        [0b001u128, 0b101, 0b011, 0b000].into_iter().map(|v| Key::from_values(&hyp, &[v])),
+        [0b001u128, 0b101, 0b011, 0b000]
+            .into_iter()
+            .map(|v| Key::from_values(&hyp, &[v])),
     );
     println!("{}", wild.render());
-    println!("-> {} entries, {} mask(s)\n", wild.entry_count(), wild.mask_count());
+    println!(
+        "-> {} entries, {} mask(s)\n",
+        wild.entry_count(),
+        wild.mask_count()
+    );
 
     println!("== Fig. 4: two-field ACL (HYP 3 bits, HYP2 4 bits) ==");
     let fig4 = FlowTable::fig4_hyp2();

@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use tse_bench::render_table;
 use tse_classifier::strategy::MegaflowStrategy;
 use tse_packet::fields::FieldSchema;
-use tse_switch::datapath::{Datapath, DatapathConfig};
+use tse_switch::datapath::Datapath;
 
 fn main() {
     let schema = FieldSchema::ovs_ipv6();
@@ -16,15 +16,24 @@ fn main() {
     // SipDp over IPv6: allow dst port 80, allow one source address, deny the rest.
     let table = tse_classifier::flowtable::FlowTable::whitelist_default_deny(
         &schema,
-        &[(tp_dst, 80), (ip6_src, 0xfd00_0000_0000_0000_0000_0000_0000_0001)],
+        &[
+            (tp_dst, 80),
+            (ip6_src, 0xfd00_0000_0000_0000_0000_0000_0000_0001),
+        ],
     );
 
     let mut rows = Vec::new();
     for (label, strategy) in [
-        ("bit-level wildcarding (IPv4-style)", MegaflowStrategy::wildcarding(&schema)),
-        ("OVS IPv6 behaviour (exact-match addresses)", MegaflowStrategy::ovs_ipv6_anomaly(&schema)),
+        (
+            "bit-level wildcarding (IPv4-style)",
+            MegaflowStrategy::wildcarding(&schema),
+        ),
+        (
+            "OVS IPv6 behaviour (exact-match addresses)",
+            MegaflowStrategy::ovs_ipv6_anomaly(&schema),
+        ),
     ] {
-        let mut dp = Datapath::with_strategy(table.clone(), strategy, DatapathConfig::default());
+        let mut dp = Datapath::builder(table.clone()).strategy(strategy).build();
         let mut rng = StdRng::seed_from_u64(99);
         let keys = tse_attack::general::random_trace_on_fields(
             &mut rng,
@@ -43,6 +52,12 @@ fn main() {
         ]);
     }
     println!("== §5.4 IPv6 anomaly: 20 000 random SipDp-over-IPv6 attack packets ==\n");
-    println!("{}", render_table(&["megaflow generation strategy", "MFC masks", "MFC entries"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["megaflow generation strategy", "MFC masks", "MFC entries"],
+            &rows
+        )
+    );
     println!("\npaper: 'a handful of masks but hundreds of thousands of MFC entries' -> memory/CPU exhaustion instead of lookup slowdown");
 }

@@ -25,25 +25,40 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["offload config", "bytes/invocation", "line Gbps", "fixed us", "per-mask ns", "upcall us", "baseline Gbps"],
+            &[
+                "offload config",
+                "bytes/invocation",
+                "line Gbps",
+                "fixed us",
+                "per-mask ns",
+                "upcall us",
+                "baseline Gbps"
+            ],
             &rows
         )
     );
 
     println!("\n== Orchestrator models ==\n");
-    let rows: Vec<Vec<String>> = [CloudPlatform::Synthetic, CloudPlatform::OpenStack, CloudPlatform::Kubernetes]
-        .iter()
-        .map(|p| {
-            vec![
-                p.name().to_string(),
-                format!("{:.1}", p.line_rate_gbps()),
-                p.max_scenario().name().to_string(),
-                format!("{:?}", p.allowed_fields()),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = [
+        CloudPlatform::Synthetic,
+        CloudPlatform::OpenStack,
+        CloudPlatform::Kubernetes,
+    ]
+    .iter()
+    .map(|p| {
+        vec![
+            p.name().to_string(),
+            format!("{:.1}", p.line_rate_gbps()),
+            p.max_scenario().name().to_string(),
+            format!("{:?}", p.allowed_fields()),
+        ]
+    })
+    .collect();
     println!(
         "{}",
-        render_table(&["platform", "line Gbps", "max scenario", "tenant-ACL fields"], &rows)
+        render_table(
+            &["platform", "line Gbps", "max scenario", "tenant-ACL fields"],
+            &rows
+        )
     );
 }

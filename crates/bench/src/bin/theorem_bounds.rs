@@ -15,7 +15,10 @@ fn main() {
         .filter(|p| [1, 2, 4, 8, 16].contains(&(p.masks as u32)))
         .map(|p| vec![format!("{}", p.masks), format!("{:.0}", p.entries)])
         .collect();
-    println!("{}", render_table(&["k (masks, time)", "entries (space)"], &rows));
+    println!(
+        "{}",
+        render_table(&["k (masks, time)", "entries (space)"], &rows)
+    );
 
     println!("\n== Theorem 4.2: the Fig. 6 fields (32 + 16 + 16 bits) ==\n");
     let widths = [32u32, 16, 16];
@@ -23,10 +26,17 @@ fn main() {
         .iter()
         .map(|ks| {
             let (time, space) = multi_field_bound(&widths, ks);
-            vec![format!("{ks:?}"), format!("{time:.0}"), format!("{space:.3e}")]
+            vec![
+                format!("{ks:?}"),
+                format!("{time:.0}"),
+                format!("{space:.3e}"),
+            ]
         })
         .collect();
-    println!("{}", render_table(&["k_i", "lookup masks (time)", "entries (space)"], &rows));
+    println!(
+        "{}",
+        render_table(&["k_i", "lookup masks (time)", "entries (space)"], &rows)
+    );
 
     println!("\n== Measured: chunked generation strategies on a 12-bit field ==\n");
     let width = 12u32;
@@ -54,6 +64,14 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["chunk bits", "k = ceil(w/c)", "measured masks", "measured entries"], &rows)
+        render_table(
+            &[
+                "chunk bits",
+                "k = ceil(w/c)",
+                "measured masks",
+                "measured entries"
+            ],
+            &rows
+        )
     );
 }

@@ -41,7 +41,10 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    out.push_str(&fmt_row(header.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&fmt_row(
+        header.iter().map(|s| s.to_string()).collect(),
+        &widths,
+    ));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     out.push('\n');
@@ -60,7 +63,10 @@ mod tests {
     fn table_rendering_aligns_columns() {
         let t = render_table(
             &["masks", "gbps"],
-            &[vec!["1".into(), "10.0".into()], vec!["8200".into(), "0.02".into()]],
+            &[
+                vec!["1".into(), "10.0".into()],
+                vec!["8200".into(), "0.02".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -83,7 +83,11 @@ impl HyperCuts {
             &mut stored_rules,
         );
         let _ = schema;
-        HyperCuts { root, node_count, stored_rules }
+        HyperCuts {
+            root,
+            node_count,
+            stored_rules,
+        }
     }
 
     /// Number of tree nodes.
@@ -119,13 +123,13 @@ fn build_node(
     // Choose the field whose next slice of bits discriminates best: maximise the number
     // of rules that actually examine those bits, then the number of distinct values.
     let mut best: Option<((usize, usize), usize)> = None; // ((examining, distinct), field)
-    for f in 0..schema.field_count() {
+    for (f, &used) in consumed.iter().enumerate() {
         let width = schema.width(f);
-        if consumed[f] >= width {
+        if used >= width {
             continue;
         }
-        let take = CUT_BITS.min(width - consumed[f]);
-        let shift = width - consumed[f] - take;
+        let take = CUT_BITS.min(width - used);
+        let shift = width - used - take;
         let mut values: Vec<u128> = rules
             .iter()
             .filter(|r| r.rule.mask.get(f) >> shift & ((1 << take) - 1) != 0)
@@ -135,7 +139,11 @@ fn build_node(
         values.sort_unstable();
         values.dedup();
         let distinct = values.len();
-        if examining >= 1 && best.map(|(score, _)| (examining, distinct) > score).unwrap_or(true) {
+        if examining >= 1
+            && best
+                .map(|(score, _)| (examining, distinct) > score)
+                .unwrap_or(true)
+        {
             best = Some(((examining, distinct), f));
         }
     }
@@ -169,10 +177,22 @@ fn build_node(
     let children = subsets
         .into_iter()
         .map(|subset| {
-            build_node(schema, subset, binth, &new_consumed, depth + 1, node_count, stored_rules)
+            build_node(
+                schema,
+                subset,
+                binth,
+                &new_consumed,
+                depth + 1,
+                node_count,
+                stored_rules,
+            )
         })
         .collect();
-    Node::Internal { field, shift, children }
+    Node::Internal {
+        field,
+        shift,
+        children,
+    }
 }
 
 impl Classifier for HyperCuts {
@@ -182,7 +202,11 @@ impl Classifier for HyperCuts {
         loop {
             work += 1;
             match node {
-                Node::Internal { field, shift, children } => {
+                Node::Internal {
+                    field,
+                    shift,
+                    children,
+                } => {
                     let take_mask = (children.len() as u128) - 1;
                     let slice = (header.get(*field) >> shift) & take_mask;
                     node = &children[slice as usize];
@@ -208,7 +232,11 @@ impl Classifier for HyperCuts {
                             rule_index: Some(r.index),
                             work,
                         },
-                        None => Classification { action: None, rule_index: None, work },
+                        None => Classification {
+                            action: None,
+                            rule_index: None,
+                            work,
+                        },
                     };
                 }
             }

@@ -18,8 +18,7 @@ pub struct LinearSearch {
 impl LinearSearch {
     /// Build from a flow table (the table is copied; later table edits are not seen).
     pub fn build(table: &FlowTable) -> Self {
-        let mut rules: Vec<(usize, Rule)> =
-            table.rules().iter().cloned().enumerate().collect();
+        let mut rules: Vec<(usize, Rule)> = table.rules().iter().cloned().enumerate().collect();
         rules.sort_by_key(|(i, r)| (std::cmp::Reverse(r.priority), *i));
         LinearSearch { rules }
     }
@@ -31,10 +30,18 @@ impl Classifier for LinearSearch {
         for (index, rule) in &self.rules {
             work += 1;
             if rule.matches(header) {
-                return Classification { action: Some(rule.action), rule_index: Some(*index), work };
+                return Classification {
+                    action: Some(rule.action),
+                    rule_index: Some(*index),
+                    work,
+                };
             }
         }
-        Classification { action: None, rule_index: None, work }
+        Classification {
+            action: None,
+            rule_index: None,
+            work,
+        }
     }
 
     fn name(&self) -> &'static str {

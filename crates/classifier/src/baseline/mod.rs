@@ -64,23 +64,27 @@ pub(crate) mod test_support {
     /// header of a (small) schema.
     pub fn agrees_with_table_exhaustively<C: Classifier>(classifier: &C, table: &FlowTable) {
         let schema = table.schema();
-        assert!(schema.total_width() <= 16, "exhaustive check limited to small schemas");
+        assert!(
+            schema.total_width() <= 16,
+            "exhaustive check limited to small schemas"
+        );
         let widths: Vec<u32> = schema.fields().iter().map(|f| f.width).collect();
         let mut header = vec![0u128; widths.len()];
         enumerate(&widths, 0, &mut header, &mut |values| {
             let key = Key::from_values(schema, values);
             let expect = table.lookup(&key).map(|m| m.action);
             let got = classifier.classify(&key).action;
-            assert_eq!(got, expect, "{} disagrees on {:?}", classifier.name(), values);
+            assert_eq!(
+                got,
+                expect,
+                "{} disagrees on {:?}",
+                classifier.name(),
+                values
+            );
         });
     }
 
-    fn enumerate(
-        widths: &[u32],
-        idx: usize,
-        current: &mut Vec<u128>,
-        f: &mut impl FnMut(&[u128]),
-    ) {
+    fn enumerate(widths: &[u32], idx: usize, current: &mut Vec<u128>, f: &mut impl FnMut(&[u128])) {
         if idx == widths.len() {
             f(current);
             return;

@@ -82,12 +82,19 @@ impl HierarchicalTrie {
     pub fn build(table: &FlowTable) -> Self {
         let schema = table.schema().clone();
         let mut trie = HierarchicalTrie {
-            root: FieldTrie { field: 0, root: Node::default() },
+            root: FieldTrie {
+                field: 0,
+                root: Node::default(),
+            },
             node_count: 1,
             schema,
         };
         for (index, rule) in table.rules().iter().enumerate() {
-            let stored = StoredRule { index, priority: rule.priority, action: rule.action };
+            let stored = StoredRule {
+                index,
+                priority: rule.priority,
+                action: rule.action,
+            };
             // Pre-compute prefix lengths per field, panicking on non-prefix masks.
             let prefixes: Vec<(u128, u32)> = (0..trie.schema.field_count())
                 .map(|f| {
@@ -133,7 +140,11 @@ fn insert(
     let mut node = &mut trie.root;
     for i in 0..plen {
         let bit = (value >> (width - 1 - i)) & 1;
-        let child = if bit == 0 { &mut node.zero } else { &mut node.one };
+        let child = if bit == 0 {
+            &mut node.zero
+        } else {
+            &mut node.one
+        };
         if child.is_none() {
             *child = Some(Box::new(Node::default()));
             *node_count += 1;
@@ -144,12 +155,16 @@ fn insert(
         node.rules_here.push(stored);
     } else {
         if node.next_field.is_none() {
-            node.next_field =
-                Some(Box::new(FieldTrie { field: field + 1, root: Node::default() }));
+            node.next_field = Some(Box::new(FieldTrie {
+                field: field + 1,
+                root: Node::default(),
+            }));
             *node_count += 1;
         }
         insert(
-            node.next_field.as_mut().expect("next field trie just ensured"),
+            node.next_field
+                .as_mut()
+                .expect("next field trie just ensured"),
             schema,
             prefixes,
             field_count,
@@ -163,7 +178,6 @@ fn search(
     trie: &FieldTrie,
     schema: &FieldSchema,
     header: &Key,
-    field_count: usize,
     best: &mut Option<StoredRule>,
     work: &mut usize,
 ) {
@@ -177,19 +191,28 @@ fn search(
         // Rules whose prefix for this (last) field ends here match the header.
         for r in &n.rules_here {
             *work += 1;
-            if best.map(|b| (r.priority, std::cmp::Reverse(r.index)) > (b.priority, std::cmp::Reverse(b.index))).unwrap_or(true)
+            if best
+                .map(|b| {
+                    (r.priority, std::cmp::Reverse(r.index))
+                        > (b.priority, std::cmp::Reverse(b.index))
+                })
+                .unwrap_or(true)
             {
                 *best = Some(*r);
             }
         }
         if let Some(next) = &n.next_field {
-            search(next, schema, header, field_count, best, work);
+            search(next, schema, header, best, work);
         }
         if depth >= width {
             break;
         }
         let bit = (value >> (width - 1 - depth)) & 1;
-        node = if bit == 0 { n.zero.as_deref() } else { n.one.as_deref() };
+        node = if bit == 0 {
+            n.zero.as_deref()
+        } else {
+            n.one.as_deref()
+        };
         depth += 1;
     }
 }
@@ -198,14 +221,18 @@ impl Classifier for HierarchicalTrie {
     fn classify(&self, header: &Key) -> Classification {
         let mut best: Option<StoredRule> = None;
         let mut work = 0;
-        search(&self.root, &self.schema, header, self.schema.field_count(), &mut best, &mut work);
+        search(&self.root, &self.schema, header, &mut best, &mut work);
         match best {
             Some(r) => Classification {
                 action: Some(r.action),
                 rule_index: Some(r.index),
                 work,
             },
-            None => Classification { action: None, rule_index: None, work },
+            None => Classification {
+                action: None,
+                rule_index: None,
+                work,
+            },
         }
     }
 

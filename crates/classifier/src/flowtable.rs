@@ -28,7 +28,10 @@ pub struct TableMatch {
 impl FlowTable {
     /// Create an empty table over the given schema.
     pub fn new(schema: FieldSchema) -> Self {
-        FlowTable { schema, rules: Vec::new() }
+        FlowTable {
+            schema,
+            rules: Vec::new(),
+        }
     }
 
     /// The schema rules in this table match on.
@@ -68,14 +71,12 @@ impl FlowTable {
         // rules) so a scan is fine and keeps insertion cheap.
         let mut order: Vec<usize> = (0..self.rules.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(self.rules[i].priority));
-        let mut inspected = 0;
-        for &i in &order {
-            inspected += 1;
+        for (inspected, &i) in order.iter().enumerate() {
             if self.rules[i].matches(header) {
                 return Some(TableMatch {
                     rule_index: i,
                     action: self.rules[i].action,
-                    rules_inspected: inspected,
+                    rules_inspected: inspected + 1,
                 });
             }
         }
@@ -189,13 +190,19 @@ mod tests {
         let t = FlowTable::fig4_hyp2();
         let schema = FieldSchema::hyp2();
         // HYP=001, HYP2=0000 -> first allow rule.
-        let m = t.lookup(&Key::from_values(&schema, &[0b001, 0b0000])).unwrap();
+        let m = t
+            .lookup(&Key::from_values(&schema, &[0b001, 0b0000]))
+            .unwrap();
         assert_eq!((m.rule_index, m.action), (0, Action::Allow));
         // HYP=111, HYP2=1111 -> second allow rule.
-        let m = t.lookup(&Key::from_values(&schema, &[0b111, 0b1111])).unwrap();
+        let m = t
+            .lookup(&Key::from_values(&schema, &[0b111, 0b1111]))
+            .unwrap();
         assert_eq!((m.rule_index, m.action), (1, Action::Allow));
         // HYP=111, HYP2=0000 -> deny.
-        let m = t.lookup(&Key::from_values(&schema, &[0b111, 0b0000])).unwrap();
+        let m = t
+            .lookup(&Key::from_values(&schema, &[0b111, 0b0000]))
+            .unwrap();
         assert_eq!(m.action, Action::Deny);
     }
 

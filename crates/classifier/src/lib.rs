@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod baseline;
 pub mod flowtable;
 pub mod microflow;
@@ -28,6 +29,10 @@ pub mod rule;
 pub mod strategy;
 pub mod tss;
 
+pub use backend::{
+    BaselineBackend, FastPathBackend, HyperCutsBackend, LinearSearchBackend, TableBacked,
+    TrieBackend,
+};
 pub use baseline::{Classification, Classifier, HierarchicalTrie, HyperCuts, LinearSearch};
 pub use flowtable::{FlowTable, TableMatch};
 pub use microflow::MicroflowCache;

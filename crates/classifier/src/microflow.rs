@@ -61,8 +61,8 @@ impl MicroflowCache {
         if self.capacity == 0 {
             return;
         }
-        if self.map.contains_key(&key) {
-            self.map.insert(key, action);
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.map.entry(key) {
+            e.insert(action);
             return;
         }
         if self.map.len() >= self.capacity {
@@ -109,7 +109,9 @@ mod tests {
 
     fn mf(id: u16) -> MicroflowKey {
         MicroflowKey::from_packet(
-            &PacketBuilder::tcp_v4([10, 0, 0, 1], [10, 0, 0, 2], 1000, 80).ip_id(id).build(),
+            &PacketBuilder::tcp_v4([10, 0, 0, 1], [10, 0, 0, 2], 1000, 80)
+                .ip_id(id)
+                .build(),
         )
     }
 

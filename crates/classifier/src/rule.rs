@@ -57,7 +57,12 @@ impl Rule {
     /// mask can never influence equality or matching.
     pub fn new(key: Key, mask: Mask, priority: u32, action: Action) -> Self {
         let key = key.apply_mask(&mask);
-        Rule { key, mask, priority, action }
+        Rule {
+            key,
+            mask,
+            priority,
+            action,
+        }
     }
 
     /// A match-everything rule (used for DefaultDeny).

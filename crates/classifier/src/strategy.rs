@@ -20,9 +20,9 @@
 
 use tse_packet::fields::{FieldSchema, Key, Mask};
 
+use crate::backend::FastPathBackend;
 use crate::flowtable::FlowTable;
 use crate::rule::Action;
-use crate::tss::TupleSpace;
 
 /// How un-wildcarding is performed within one header field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,12 +63,16 @@ impl MegaflowStrategy {
 
     /// The same strategy for every field.
     pub fn uniform(schema: &FieldSchema, strategy: FieldStrategy) -> Self {
-        MegaflowStrategy { per_field: vec![strategy; schema.field_count()] }
+        MegaflowStrategy {
+            per_field: vec![strategy; schema.field_count()],
+        }
     }
 
     /// Explicit per-field strategies (must match the schema's field count).
     pub fn per_field(strategies: Vec<FieldStrategy>) -> Self {
-        MegaflowStrategy { per_field: strategies }
+        MegaflowStrategy {
+            per_field: strategies,
+        }
     }
 
     /// The OVS IPv6 behaviour observed in §5.4: exact-match the 128-bit address fields,
@@ -77,7 +81,13 @@ impl MegaflowStrategy {
         let per_field = schema
             .fields()
             .iter()
-            .map(|f| if f.width >= 64 { FieldStrategy::Exact } else { FieldStrategy::BitLevel })
+            .map(|f| {
+                if f.width >= 64 {
+                    FieldStrategy::Exact
+                } else {
+                    FieldStrategy::BitLevel
+                }
+            })
             .collect();
         MegaflowStrategy { per_field }
     }
@@ -99,7 +109,11 @@ impl MegaflowStrategy {
                 let chunk_index = bit / c;
                 let lo = chunk_index * c;
                 let hi = ((chunk_index + 1) * c).min(width);
-                let ones = if hi - lo == 128 { u128::MAX } else { (1u128 << (hi - lo)) - 1 };
+                let ones = if hi - lo == 128 {
+                    u128::MAX
+                } else {
+                    (1u128 << (hi - lo)) - 1
+                };
                 ones << lo
             }
         }
@@ -157,7 +171,9 @@ impl std::fmt::Display for GenerationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GenerationError::NoMatchingRule => write!(f, "no matching rule in the flow table"),
-            GenerationError::AlreadyCovered => write!(f, "an existing megaflow already covers the header"),
+            GenerationError::AlreadyCovered => {
+                write!(f, "an existing megaflow already covers the header")
+            }
             GenerationError::CannotDisambiguate => {
                 write!(f, "unable to construct a disjoint megaflow entry")
             }
@@ -182,14 +198,16 @@ impl std::error::Error for GenerationError {}
 ///    un-wildcard one more differing bit (this loop does not fire for the
 ///    WhiteList+DefaultDeny ACLs the paper studies, but keeps generation correct for
 ///    arbitrary rule sets).
-pub fn generate_megaflow(
+pub fn generate_megaflow<B: FastPathBackend + ?Sized>(
     table: &FlowTable,
-    cache: &TupleSpace,
+    cache: &B,
     header: &Key,
     strategy: &MegaflowStrategy,
 ) -> Result<GeneratedMegaflow, GenerationError> {
     let schema = table.schema();
-    let matched = table.lookup(header).ok_or(GenerationError::NoMatchingRule)?;
+    let matched = table
+        .lookup(header)
+        .ok_or(GenerationError::NoMatchingRule)?;
     let rule = &table.rules()[matched.rule_index];
 
     // Step 1: the matched rule's mask, expanded through the strategy.
@@ -201,7 +219,10 @@ pub fn generate_megaflow(
     // Step 2: differentiate from every higher-priority rule.
     for &hp_index in &table.higher_priority_than(matched.rule_index) {
         let hp = &table.rules()[hp_index];
-        debug_assert!(!hp.matches(header), "higher-priority rule would have matched first");
+        debug_assert!(
+            !hp.matches(header),
+            "higher-priority rule would have matched first"
+        );
         let mut found = false;
         'fields: for f in 0..schema.field_count() {
             let rule_mask = hp.mask.get(f);
@@ -274,6 +295,7 @@ pub fn generate_megaflow(
 mod tests {
     use super::*;
     use crate::flowtable::FlowTable;
+    use crate::tss::TupleSpace;
 
     fn hyp_key(v: u128) -> Key {
         Key::from_values(&FieldSchema::hyp(), &[v])
@@ -300,7 +322,10 @@ mod tests {
         // §5.1 single-header adversarial trace: { 001, 101, 011, 000 }.
         let table = FlowTable::fig1_hyp();
         let strategy = MegaflowStrategy::wildcarding(table.schema());
-        let trace: Vec<Key> = [0b001u128, 0b101, 0b011, 0b000].iter().map(|&v| hyp_key(v)).collect();
+        let trace: Vec<Key> = [0b001u128, 0b101, 0b011, 0b000]
+            .iter()
+            .map(|&v| hyp_key(v))
+            .collect();
         let cache = populate(&table, &strategy, &trace);
         assert_eq!(cache.entry_count(), 4, "Fig. 3 has 4 entries");
         assert_eq!(cache.mask_count(), 3, "Fig. 3 has 3 masks");
@@ -364,7 +389,9 @@ mod tests {
         // entries when the whole space is exercised.
         let schema = FieldSchema::new(vec![tse_packet::fields::FieldDef::new("f", 8)]);
         let table = FlowTable::whitelist_default_deny(&schema, &[(0, 0x55)]);
-        let all: Vec<Key> = (0..256u128).map(|v| Key::from_values(&schema, &[v])).collect();
+        let all: Vec<Key> = (0..256u128)
+            .map(|v| Key::from_values(&schema, &[v]))
+            .collect();
 
         let wild = populate(&table, &MegaflowStrategy::wildcarding(&schema), &all);
         let chunk4 = populate(&table, &MegaflowStrategy::chunked(&schema, 4), &all);
@@ -387,7 +414,8 @@ mod tests {
             tse_packet::fields::FieldDef::new("port", 4),
         ]);
         let table = FlowTable::whitelist_default_deny(&schema, &[(0, 1), (1, 2)]);
-        let strategy = MegaflowStrategy::per_field(vec![FieldStrategy::Exact, FieldStrategy::BitLevel]);
+        let strategy =
+            MegaflowStrategy::per_field(vec![FieldStrategy::Exact, FieldStrategy::BitLevel]);
         let all: Vec<Key> = (0..256u128)
             .flat_map(|a| (0..16u128).map(move |b| (a, b)))
             .map(|(a, b)| Key::from_values(&schema, &[a, b]))

@@ -93,12 +93,26 @@ impl TupleSpace {
 
     /// Create an empty cache with an explicit mask-ordering policy.
     pub fn with_ordering(schema: FieldSchema, ordering: MaskOrdering) -> Self {
-        TupleSpace { ordering, ..TupleSpace::new(schema) }
+        TupleSpace {
+            ordering,
+            ..TupleSpace::new(schema)
+        }
     }
 
     /// The schema of keys stored in the cache.
     pub fn schema(&self) -> &FieldSchema {
         &self.schema
+    }
+
+    /// The probe-order policy in effect.
+    pub fn ordering(&self) -> MaskOrdering {
+        self.ordering
+    }
+
+    /// Change the probe-order policy. Takes effect for subsequent inserts/lookups; the
+    /// existing probe order is left as-is (callers normally set this on an empty cache).
+    pub fn set_ordering(&mut self, ordering: MaskOrdering) {
+        self.ordering = ordering;
     }
 
     /// Number of distinct masks |M| — the attacker's target metric.
@@ -155,9 +169,15 @@ impl TupleSpace {
                 if self.ordering == MaskOrdering::HitCount {
                     self.resort_masks();
                 }
-                LookupOutcome { action: Some(action), masks_scanned: scanned }
+                LookupOutcome {
+                    action: Some(action),
+                    masks_scanned: scanned,
+                }
             }
-            None => LookupOutcome { action: None, masks_scanned: scanned },
+            None => LookupOutcome {
+                action: None,
+                masks_scanned: scanned,
+            },
         }
     }
 
@@ -188,7 +208,10 @@ impl TupleSpace {
     ) -> Result<(), InsertError> {
         let key = key.apply_mask(&mask);
         if let Some((existing_key, existing_mask)) = self.find_conflict(&key, &mask) {
-            return Err(InsertError::Overlap { existing_key, existing_mask });
+            return Err(InsertError::Overlap {
+                existing_key,
+                existing_mask,
+            });
         }
         if !self.tuples.contains_key(&mask) {
             if self.ordering == MaskOrdering::NewestFirst {
@@ -208,7 +231,10 @@ impl TupleSpace {
             last_used: now,
             installed_at: now,
         };
-        self.tuples.get_mut(&mask).expect("tuple just ensured").insert(key, entry);
+        self.tuples
+            .get_mut(&mask)
+            .expect("tuple just ensured")
+            .insert(key, entry);
         Ok(())
     }
 
@@ -354,7 +380,10 @@ pub enum InsertError {
 impl std::fmt::Display for InsertError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            InsertError::Overlap { existing_key, existing_mask } => write!(
+            InsertError::Overlap {
+                existing_key,
+                existing_mask,
+            } => write!(
                 f,
                 "entry overlaps existing megaflow (key {existing_key}, mask {existing_mask})"
             ),
@@ -399,7 +428,11 @@ mod tests {
         let mut c = fig3_cache();
         for h in 0..8u128 {
             let out = c.lookup(&k(h), 0.0);
-            let expected = if h == 0b001 { Action::Allow } else { Action::Deny };
+            let expected = if h == 0b001 {
+                Action::Allow
+            } else {
+                Action::Deny
+            };
             assert_eq!(out.action, Some(expected), "header {h:03b}");
         }
     }
@@ -409,7 +442,11 @@ mod tests {
         // The exact-match strategy of Fig. 2: all 8 keys under the single mask 111.
         let mut c = TupleSpace::new(hyp_schema());
         for h in 0..8u128 {
-            let action = if h == 0b001 { Action::Allow } else { Action::Deny };
+            let action = if h == 0b001 {
+                Action::Allow
+            } else {
+                Action::Deny
+            };
             c.insert(k(h), k(0b111), action, 0.0).unwrap();
         }
         assert_eq!(c.mask_count(), 1);

@@ -1,0 +1,310 @@
+//! Minimal, wall-clock stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors the subset of
+//! the criterion 0.5 API its benches use: `Criterion`, `benchmark_group` with
+//! `sample_size` / `measurement_time` / `warm_up_time`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `BatchSize`, `BenchmarkId` and
+//! the `criterion_group!` / `criterion_main!` macros. There is no statistical analysis or
+//! HTML report: each benchmark warms up, runs the configured number of samples, and
+//! prints the median / min / max time per iteration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` inputs are grouped; only a timing hint in real criterion, ignored
+/// here beyond API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many small inputs per batch.
+    SmallInput,
+    /// One large input per batch.
+    LargeInput,
+    /// A fresh input per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier, as in real criterion.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    /// Target number of timed iterations per sample.
+    iters_per_sample: u64,
+    /// Number of samples to record.
+    samples: usize,
+    /// Collected per-iteration times (seconds).
+    per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, called in a loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.per_iter.push(elapsed / self.iters_per_sample as f64);
+        }
+    }
+
+    /// Time `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let mut elapsed = 0.0;
+            for _ in 0..self.iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                elapsed += start.elapsed().as_secs_f64();
+            }
+            self.per_iter.push(elapsed / self.iters_per_sample as f64);
+        }
+    }
+}
+
+/// Measurement types (API compatibility with `criterion::measurement`).
+pub mod measurement {
+    /// Wall-clock time — the only measurement the stub supports.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// A named group of related benchmarks sharing measurement settings. The measurement
+/// type parameter exists (with the same `WallTime` spelling as real criterion) so
+/// function signatures taking `&mut BenchmarkGroup<'_, WallTime>` compile against both
+/// this stub and the real crate.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+    _measurement: core::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up (and calibrating the per-sample iteration count).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run one benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.full);
+        run_bench(
+            &name,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (prints nothing extra; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            _criterion: self,
+            _measurement: core::marker::PhantomData,
+        }
+    }
+
+    /// Run one ungrouped benchmark with default settings.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        run_bench(
+            &id.into(),
+            20,
+            Duration::from_secs(2),
+            Duration::from_millis(500),
+            &mut f,
+        );
+    }
+}
+
+fn run_bench(
+    name: &str,
+    samples: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Calibration pass: run single iterations until the warm-up budget is spent, to
+    // estimate how many iterations fit in one sample.
+    let mut calib = Bencher {
+        iters_per_sample: 1,
+        samples: 1,
+        per_iter: Vec::new(),
+    };
+    let warm_start = Instant::now();
+    let mut est = f64::INFINITY;
+    while warm_start.elapsed() < warm_up_time {
+        calib.per_iter.clear();
+        f(&mut calib);
+        if let Some(&t) = calib.per_iter.first() {
+            est = est.min(t.max(1e-9));
+        }
+    }
+    if !est.is_finite() {
+        est = 1e-6;
+    }
+    let budget_per_sample = measurement_time.as_secs_f64() / samples as f64;
+    let iters = ((budget_per_sample / est).floor() as u64).clamp(1, 10_000_000);
+
+    let mut bencher = Bencher {
+        iters_per_sample: iters,
+        samples,
+        per_iter: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut times = bencher.per_iter;
+    if times.is_empty() {
+        println!("{name:<60} (no measurements)");
+        return;
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("benchmark time is never NaN"));
+    let median = times[times.len() / 2];
+    let min = times[0];
+    let max = times[times.len() - 1];
+    println!(
+        "{name:<60} time: [{} {} {}] ({} iters/sample, {} samples)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max),
+        iters,
+        times.len()
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+/// Declare a group of benchmark functions, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.warm_up_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, v| {
+            b.iter(|| *v * 2)
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(5.0).contains(" s"));
+    }
+}

@@ -20,7 +20,11 @@ pub struct SlowPathCpuModel {
 impl SlowPathCpuModel {
     /// Calibration matching Fig. 9c.
     pub fn ovs_vswitchd_default() -> Self {
-        SlowPathCpuModel { base_percent: 7.0, per_upcall_seconds: 75e-6, max_percent: 250.0 }
+        SlowPathCpuModel {
+            base_percent: 7.0,
+            per_upcall_seconds: 75e-6,
+            max_percent: 250.0,
+        }
     }
 
     /// CPU utilisation (percent) at a sustained upcall rate (packets/s hitting the slow
@@ -52,9 +56,18 @@ mod tests {
         let at_1k = m.utilization_percent(1_000.0);
         let at_10k = m.utilization_percent(10_000.0);
         let at_50k = m.utilization_percent(50_000.0);
-        assert!((10.0..=20.0).contains(&at_1k), "≈15 % at 1 kpps, got {at_1k}");
-        assert!((60.0..=100.0).contains(&at_10k), "≈80 % at 10 kpps, got {at_10k}");
-        assert!((200.0..=250.0).contains(&at_50k), "saturates near 250 %, got {at_50k}");
+        assert!(
+            (10.0..=20.0).contains(&at_1k),
+            "≈15 % at 1 kpps, got {at_1k}"
+        );
+        assert!(
+            (60.0..=100.0).contains(&at_10k),
+            "≈80 % at 10 kpps, got {at_10k}"
+        );
+        assert!(
+            (200.0..=250.0).contains(&at_50k),
+            "saturates near 250 %, got {at_50k}"
+        );
     }
 
     #[test]

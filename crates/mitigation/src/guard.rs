@@ -12,6 +12,7 @@
 //! deny rules are *suppressed*), so adversarial packets keep paying the slow-path price
 //! while the victim's fast path stays clean.
 
+use tse_classifier::backend::FastPathBackend;
 use tse_classifier::rule::Action;
 use tse_switch::datapath::Datapath;
 
@@ -99,9 +100,13 @@ impl MfcGuard {
     /// Run the guard if the interval has elapsed. `observed_attack_pps` is the measured
     /// rate of packets currently missing the fast path (what `top` shows translated to a
     /// rate); it drives the projected-CPU exit condition.
-    pub fn maybe_run(
+    ///
+    /// Generic over the fast-path backend: the sweep goes through
+    /// [`FastPathBackend::evict_where`], so backends without per-traffic entries (the §7
+    /// baselines) are left untouched — their mask count never crosses the threshold.
+    pub fn maybe_run<B: FastPathBackend>(
         &mut self,
-        datapath: &mut Datapath,
+        datapath: &mut Datapath<B>,
         now: f64,
         observed_attack_pps: f64,
     ) -> Option<GuardReport> {
@@ -114,9 +119,9 @@ impl MfcGuard {
     }
 
     /// Run one guard pass unconditionally (Alg. 2 lines 2–14).
-    pub fn run_once(
+    pub fn run_once<B: FastPathBackend>(
         &mut self,
-        datapath: &mut Datapath,
+        datapath: &mut Datapath<B>,
         now: f64,
         observed_attack_pps: f64,
     ) -> GuardReport {
@@ -136,7 +141,7 @@ impl MfcGuard {
                 let table = datapath.table().clone();
                 entries_removed = datapath
                     .megaflow_mut()
-                    .remove_where(|entry| is_tse_pattern(entry, &table));
+                    .evict_where(&mut |entry| is_tse_pattern(entry, &table));
                 if self.config.suppress_reinstall {
                     let deny_rules: Vec<usize> = table
                         .rules()
@@ -186,7 +191,10 @@ mod tests {
         victim.set(tp_dst, 80);
         dp.process_key(&victim, 1500, 0.0);
         // Attack trace.
-        for (i, h) in scenario_trace(&schema, scenario, &schema.zero_value()).iter().enumerate() {
+        for (i, h) in scenario_trace(&schema, scenario, &schema.zero_value())
+            .iter()
+            .enumerate()
+        {
             dp.process_key(h, 60, 0.1 + i as f64 * 1e-3);
         }
         (dp, victim)
@@ -196,7 +204,10 @@ mod tests {
     fn guard_cleans_attack_masks_but_keeps_victim_entry() {
         let (mut dp, victim) = attacked_datapath(Scenario::SpDp);
         let before = dp.mask_count();
-        assert!(before > 50, "attack should have exploded the tuple space: {before}");
+        assert!(
+            before > 50,
+            "attack should have exploded the tuple space: {before}"
+        );
         let mut guard = MfcGuard::new(GuardConfig::default());
         let report = guard.run_once(&mut dp, 1.0, 100.0);
         assert_eq!(report.masks_before, before);
@@ -218,7 +229,10 @@ mod tests {
     #[test]
     fn guard_respects_interval() {
         let (mut dp, _) = attacked_datapath(Scenario::Dp);
-        let mut guard = MfcGuard::new(GuardConfig { interval: 10.0, ..GuardConfig::default() });
+        let mut guard = MfcGuard::new(GuardConfig {
+            interval: 10.0,
+            ..GuardConfig::default()
+        });
         assert!(guard.maybe_run(&mut dp, 0.0, 100.0).is_some());
         assert!(guard.maybe_run(&mut dp, 5.0, 100.0).is_none());
         assert!(guard.maybe_run(&mut dp, 10.5, 100.0).is_some());
@@ -228,7 +242,10 @@ mod tests {
     #[test]
     fn guard_idles_below_mask_threshold() {
         let (mut dp, _) = attacked_datapath(Scenario::Dp); // only ~16 masks
-        let mut guard = MfcGuard::new(GuardConfig { mask_threshold: 50, ..GuardConfig::default() });
+        let mut guard = MfcGuard::new(GuardConfig {
+            mask_threshold: 50,
+            ..GuardConfig::default()
+        });
         let report = guard.run_once(&mut dp, 0.0, 100.0);
         assert_eq!(report.entries_removed, 0);
         assert_eq!(report.masks_before, report.masks_after);
@@ -238,8 +255,10 @@ mod tests {
     fn guard_stops_when_cpu_budget_exceeded() {
         let (mut dp, _) = attacked_datapath(Scenario::SpDp);
         let before = dp.mask_count();
-        let mut guard =
-            MfcGuard::new(GuardConfig { cpu_threshold: 50.0, ..GuardConfig::default() });
+        let mut guard = MfcGuard::new(GuardConfig {
+            cpu_threshold: 50.0,
+            ..GuardConfig::default()
+        });
         // 20 kpps of attack would drive the slow path way past 50 %.
         let report = guard.run_once(&mut dp, 0.0, 20_000.0);
         assert!(report.stopped_by_cpu);
@@ -255,10 +274,17 @@ mod tests {
         guard.run_once(&mut dp, 1.0, 100.0);
         let cleaned = dp.mask_count();
         // Replay the attack: with suppression the deny megaflows are not re-created.
-        for (i, h) in scenario_trace(&schema, Scenario::SpDp, &schema.zero_value()).iter().enumerate() {
+        for (i, h) in scenario_trace(&schema, Scenario::SpDp, &schema.zero_value())
+            .iter()
+            .enumerate()
+        {
             dp.process_key(h, 60, 2.0 + i as f64 * 1e-3);
         }
-        assert_eq!(dp.mask_count(), cleaned, "suppressed deny rules must not re-spark masks");
+        assert_eq!(
+            dp.mask_count(),
+            cleaned,
+            "suppressed deny rules must not re-spark masks"
+        );
         assert!(dp.slow_path().suppressed_upcalls() > 100);
     }
 
@@ -266,12 +292,21 @@ mod tests {
     fn without_suppression_attack_masks_return() {
         let (mut dp, _) = attacked_datapath(Scenario::SpDp);
         let schema = FieldSchema::ovs_ipv4();
-        let mut guard = MfcGuard::new(GuardConfig { suppress_reinstall: false, ..GuardConfig::default() });
+        let mut guard = MfcGuard::new(GuardConfig {
+            suppress_reinstall: false,
+            ..GuardConfig::default()
+        });
         guard.run_once(&mut dp, 1.0, 100.0);
         let cleaned = dp.mask_count();
-        for (i, h) in scenario_trace(&schema, Scenario::SpDp, &schema.zero_value()).iter().enumerate() {
+        for (i, h) in scenario_trace(&schema, Scenario::SpDp, &schema.zero_value())
+            .iter()
+            .enumerate()
+        {
             dp.process_key(h, 60, 2.0 + i as f64 * 1e-3);
         }
-        assert!(dp.mask_count() > cleaned * 10, "without suppression the attack re-explodes the cache");
+        assert!(
+            dp.mask_count() > cleaned * 10,
+            "without suppression the attack re-explodes the cache"
+        );
     }
 }

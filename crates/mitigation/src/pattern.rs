@@ -97,7 +97,11 @@ mod tests {
     fn no_allow_rules_means_no_pattern() {
         let schema = FieldSchema::hyp();
         let mut table = FlowTable::new(schema.clone());
-        table.push(tse_classifier::rule::Rule::match_all(&schema, 0, Action::Deny));
+        table.push(tse_classifier::rule::Rule::match_all(
+            &schema,
+            0,
+            Action::Deny,
+        ));
         let (_, cache) = populated_fig1_cache();
         for entry in cache.entries() {
             assert!(!is_tse_pattern(entry, &table));

@@ -169,7 +169,12 @@ impl PacketBuilder {
 
     /// Finalise the packet.
     pub fn build(self) -> Packet {
-        Packet { eth: self.eth, net: self.net, l4: self.l4, payload_len: self.payload_len }
+        Packet {
+            eth: self.eth,
+            net: self.net,
+            l4: self.l4,
+            payload_len: self.payload_len,
+        }
     }
 }
 
@@ -205,14 +210,18 @@ mod tests {
         let fa = FlowKey::from_packet(&a);
         let fb = FlowKey::from_packet(&b);
         // Addresses/ports/proto identical ...
-        assert_eq!((fa.ip_src, fa.ip_dst, fa.tp_src, fa.tp_dst), (fb.ip_src, fb.ip_dst, fb.tp_src, fb.tp_dst));
+        assert_eq!(
+            (fa.ip_src, fa.ip_dst, fa.tp_src, fa.tp_dst),
+            (fb.ip_src, fb.ip_dst, fb.tp_src, fb.tp_dst)
+        );
         // ... but microflow keys differ (TTL/id noise).
         assert_ne!(MicroflowKey::from_packet(&a), MicroflowKey::from_packet(&b));
     }
 
     #[test]
     fn from_numeric_roundtrip() {
-        let p = PacketBuilder::from_numeric_v4(0x0a000001, 0x0a000002, IpProto::Udp, 53, 4000).build();
+        let p =
+            PacketBuilder::from_numeric_v4(0x0a000001, 0x0a000002, IpProto::Udp, 53, 4000).build();
         let k = FlowKey::from_packet(&p);
         assert_eq!(k.ip_src, 0x0a000001);
         assert_eq!(k.ip_proto, 17);

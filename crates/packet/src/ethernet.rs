@@ -80,7 +80,11 @@ pub struct EthernetHeader {
 impl EthernetHeader {
     /// Convenience constructor with the example topology's MACs.
     pub fn new(src: MacAddr, dst: MacAddr, ethertype: EtherType) -> Self {
-        EthernetHeader { dst, src, ethertype }
+        EthernetHeader {
+            dst,
+            src,
+            ethertype,
+        }
     }
 
     /// Encode into 14 wire bytes.
@@ -101,7 +105,11 @@ impl EthernetHeader {
         src.copy_from_slice(&buf[6..12]);
         let ethertype = EtherType::from_u16(u16::from_be_bytes([buf[12], buf[13]]));
         Some((
-            EthernetHeader { dst: MacAddr(dst), src: MacAddr(src), ethertype },
+            EthernetHeader {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
             ETHERNET_HEADER_LEN,
         ))
     }
@@ -123,7 +131,12 @@ mod tests {
 
     #[test]
     fn ethertype_roundtrip() {
-        for et in [EtherType::Ipv4, EtherType::Ipv6, EtherType::Arp, EtherType::Other(0x1234)] {
+        for et in [
+            EtherType::Ipv4,
+            EtherType::Ipv6,
+            EtherType::Arp,
+            EtherType::Other(0x1234),
+        ] {
             assert_eq!(EtherType::from_u16(et.to_u16()), et);
         }
     }

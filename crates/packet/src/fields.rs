@@ -122,7 +122,9 @@ impl FieldSchema {
 
     /// An all-zero value vector for this schema.
     pub fn zero_value(&self) -> FieldVec {
-        FieldVec { values: vec![0; self.fields.len()] }
+        FieldVec {
+            values: vec![0; self.fields.len()],
+        }
     }
 
     /// A fully wildcarded mask (no bits examined).
@@ -132,7 +134,9 @@ impl FieldSchema {
 
     /// A fully exact mask (all bits of all fields examined).
     pub fn full_mask(&self) -> Mask {
-        FieldVec { values: self.fields.iter().map(|f| f.full_mask()).collect() }
+        FieldVec {
+            values: self.fields.iter().map(|f| f.full_mask()).collect(),
+        }
     }
 }
 

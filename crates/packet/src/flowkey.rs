@@ -37,7 +37,13 @@ impl FlowKey {
                 h.ttl,
                 false,
             ),
-            NetHeader::V6(h) => (h.src_u128(), h.dst_u128(), h.proto.to_u8(), h.hop_limit, true),
+            NetHeader::V6(h) => (
+                h.src_u128(),
+                h.dst_u128(),
+                h.proto.to_u8(),
+                h.hop_limit,
+                true,
+            ),
         };
         FlowKey {
             ip_src,
@@ -63,7 +69,11 @@ impl FlowKey {
     /// [`FieldSchema::ovs_ipv4`] / [`FieldSchema::ovs_ipv6`] (six fields in the canonical
     /// order).
     pub fn to_key(&self, schema: &FieldSchema) -> Key {
-        assert_eq!(schema.field_count(), 6, "FlowKey::to_key expects the OVS schema");
+        assert_eq!(
+            schema.field_count(),
+            6,
+            "FlowKey::to_key expects the OVS schema"
+        );
         Key::from_values(
             schema,
             &[
@@ -105,7 +115,10 @@ impl MicroflowKey {
             (NetHeader::V4(h), _) => u64::from(h.identification),
             (NetHeader::V6(h), _) => u64::from(h.flow_label),
         };
-        MicroflowKey { flow: FlowKey::from_packet(pkt), entropy }
+        MicroflowKey {
+            flow: FlowKey::from_packet(pkt),
+            entropy,
+        }
     }
 }
 
@@ -129,7 +142,9 @@ mod tests {
 
     #[test]
     fn to_key_matches_schema_layout() {
-        let p = PacketBuilder::udp_v4([1, 2, 3, 4], [5, 6, 7, 8], 1000, 53).ttl(17).build();
+        let p = PacketBuilder::udp_v4([1, 2, 3, 4], [5, 6, 7, 8], 1000, 53)
+            .ttl(17)
+            .build();
         let k = FlowKey::from_packet(&p);
         let schema = FieldSchema::ovs_ipv4();
         let key = k.to_key(&schema);
@@ -143,8 +158,12 @@ mod tests {
 
     #[test]
     fn microflow_key_differs_with_noise() {
-        let a = PacketBuilder::tcp_v4([10, 0, 0, 1], [10, 0, 0, 2], 1, 2).ip_id(1).build();
-        let b = PacketBuilder::tcp_v4([10, 0, 0, 1], [10, 0, 0, 2], 1, 2).ip_id(2).build();
+        let a = PacketBuilder::tcp_v4([10, 0, 0, 1], [10, 0, 0, 2], 1, 2)
+            .ip_id(1)
+            .build();
+        let b = PacketBuilder::tcp_v4([10, 0, 0, 1], [10, 0, 0, 2], 1, 2)
+            .ip_id(2)
+            .build();
         assert_eq!(FlowKey::from_packet(&a), FlowKey::from_packet(&b));
         assert_ne!(MicroflowKey::from_packet(&a), MicroflowKey::from_packet(&b));
     }
@@ -160,7 +179,10 @@ mod tests {
         .build();
         let k = FlowKey::from_packet(&p);
         assert!(k.is_v6);
-        assert_eq!(k.schema().total_width(), FieldSchema::ovs_ipv6().total_width());
+        assert_eq!(
+            k.schema().total_width(),
+            FieldSchema::ovs_ipv6().total_width()
+        );
         assert_eq!(k.ip_src & 0xffff, 1);
     }
 }

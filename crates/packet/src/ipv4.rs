@@ -99,7 +99,11 @@ impl Ipv4Header {
 
 impl fmt::Display for Ipv4Header {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {} proto={} ttl={}", self.src, self.dst, self.proto, self.ttl)
+        write!(
+            f,
+            "{} -> {} proto={} ttl={}",
+            self.src, self.dst, self.proto, self.ttl
+        )
     }
 }
 
@@ -130,7 +134,11 @@ mod tests {
             ttl: 37,
             identification: 0xbeef,
             dscp_ecn: 0x10,
-            ..Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 168, 1, 5), IpProto::Tcp)
+            ..Ipv4Header::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(192, 168, 1, 5),
+                IpProto::Tcp,
+            )
         };
         let mut buf = Vec::new();
         h.encode(100, &mut buf);
@@ -143,12 +151,19 @@ mod tests {
         assert_eq!(parsed.ttl, 37);
         assert_eq!(parsed.identification, 0xbeef);
         // total length on the wire covers header + payload
-        assert_eq!(u16::from_be_bytes([buf[2], buf[3]]) as usize, IPV4_HEADER_LEN + 100);
+        assert_eq!(
+            u16::from_be_bytes([buf[2], buf[3]]) as usize,
+            IPV4_HEADER_LEN + 100
+        );
     }
 
     #[test]
     fn corrupted_checksum_rejected() {
-        let h = Ipv4Header::new(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8), IpProto::Udp);
+        let h = Ipv4Header::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            Ipv4Addr::new(5, 6, 7, 8),
+            IpProto::Udp,
+        );
         let mut buf = Vec::new();
         h.encode(0, &mut buf);
         buf[8] ^= 0xff; // corrupt TTL without fixing checksum
@@ -163,7 +178,11 @@ mod tests {
 
     #[test]
     fn checksum_of_valid_header_is_zero() {
-        let h = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), IpProto::Udp);
+        let h = Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            IpProto::Udp,
+        );
         let mut buf = Vec::new();
         h.encode(8, &mut buf);
         assert_eq!(internet_checksum(&buf), 0);
@@ -171,7 +190,11 @@ mod tests {
 
     #[test]
     fn addr_u32_conversion() {
-        let h = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(0, 0, 0, 80), IpProto::Tcp);
+        let h = Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(0, 0, 0, 80),
+            IpProto::Tcp,
+        );
         assert_eq!(h.src_u32(), 0x0a000001);
         assert_eq!(h.dst_u32(), 80);
     }

@@ -28,15 +28,21 @@ pub struct Ipv6Header {
 impl Ipv6Header {
     /// Construct a header with default hop limit 64.
     pub fn new(src: Ipv6Addr, dst: Ipv6Addr, proto: IpProto) -> Self {
-        Ipv6Header { src, dst, proto, hop_limit: 64, flow_label: 0, traffic_class: 0 }
+        Ipv6Header {
+            src,
+            dst,
+            proto,
+            hop_limit: 64,
+            flow_label: 0,
+            traffic_class: 0,
+        }
     }
 
     /// Encode into 40 wire bytes. `payload_len` is the length of everything after the
     /// IPv6 header.
     pub fn encode(&self, payload_len: usize, out: &mut Vec<u8>) {
-        let vtf: u32 = (6u32 << 28)
-            | ((self.traffic_class as u32) << 20)
-            | (self.flow_label & 0x000f_ffff);
+        let vtf: u32 =
+            (6u32 << 28) | ((self.traffic_class as u32) << 20) | (self.flow_label & 0x000f_ffff);
         out.extend_from_slice(&vtf.to_be_bytes());
         out.extend_from_slice(&(payload_len as u16).to_be_bytes());
         out.push(self.proto.to_u8());
@@ -84,7 +90,11 @@ impl Ipv6Header {
 
 impl fmt::Display for Ipv6Header {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {} proto={} hlim={}", self.src, self.dst, self.proto, self.hop_limit)
+        write!(
+            f,
+            "{} -> {} proto={} hlim={}",
+            self.src, self.dst, self.proto, self.hop_limit
+        )
     }
 }
 

@@ -101,7 +101,12 @@ pub enum L4Header {
 impl L4Header {
     /// Construct a TCP header with zero sequence number and no flags.
     pub fn tcp(src_port: u16, dst_port: u16) -> Self {
-        L4Header::Tcp { src_port, dst_port, seq: 0, flags: 0 }
+        L4Header::Tcp {
+            src_port,
+            dst_port,
+            seq: 0,
+            flags: 0,
+        }
     }
 
     /// Construct a UDP header.
@@ -151,7 +156,12 @@ impl L4Header {
     /// L4 checksums, matching OVS's behaviour of not recomputing them on forwarding).
     pub fn encode(&self, payload_len: usize, out: &mut Vec<u8>) {
         match self {
-            L4Header::Tcp { src_port, dst_port, seq, flags } => {
+            L4Header::Tcp {
+                src_port,
+                dst_port,
+                seq,
+                flags,
+            } => {
                 out.extend_from_slice(&src_port.to_be_bytes());
                 out.extend_from_slice(&dst_port.to_be_bytes());
                 out.extend_from_slice(&seq.to_be_bytes());
@@ -167,7 +177,11 @@ impl L4Header {
                 out.extend_from_slice(&((UDP_HEADER_LEN + payload_len) as u16).to_be_bytes());
                 out.extend_from_slice(&[0, 0]); // checksum
             }
-            L4Header::Icmp { icmp_type, icmp_code, .. } => {
+            L4Header::Icmp {
+                icmp_type,
+                icmp_code,
+                ..
+            } => {
                 out.push(*icmp_type);
                 out.push(*icmp_code);
                 out.extend_from_slice(&[0; 6]);
@@ -229,14 +243,25 @@ mod tests {
 
     #[test]
     fn proto_roundtrip() {
-        for p in [IpProto::Tcp, IpProto::Udp, IpProto::Icmp, IpProto::Icmpv6, IpProto::Other(99)] {
+        for p in [
+            IpProto::Tcp,
+            IpProto::Udp,
+            IpProto::Icmp,
+            IpProto::Icmpv6,
+            IpProto::Other(99),
+        ] {
             assert_eq!(IpProto::from_u8(p.to_u8()), p);
         }
     }
 
     #[test]
     fn tcp_roundtrip() {
-        let h = L4Header::Tcp { src_port: 34521, dst_port: 443, seq: 42, flags: 0x02 };
+        let h = L4Header::Tcp {
+            src_port: 34521,
+            dst_port: 443,
+            seq: 42,
+            flags: 0x02,
+        };
         let mut buf = Vec::new();
         h.encode(0, &mut buf);
         assert_eq!(buf.len(), TCP_HEADER_LEN);
@@ -259,7 +284,11 @@ mod tests {
 
     #[test]
     fn ports_default_to_zero_for_icmp() {
-        let h = L4Header::Icmp { icmp_type: 8, icmp_code: 0, v6: false };
+        let h = L4Header::Icmp {
+            icmp_type: 8,
+            icmp_code: 0,
+            v6: false,
+        };
         assert_eq!(h.src_port(), 0);
         assert_eq!(h.dst_port(), 0);
         assert_eq!(h.proto(), IpProto::Icmp);

@@ -105,7 +105,9 @@ mod tests {
 
     #[test]
     fn tcp_v6_wire_len() {
-        let p = PacketBuilder::tcp_v6([0u16; 8], [0u16; 8], 1, 2).payload_len(0).build();
+        let p = PacketBuilder::tcp_v6([0u16; 8], [0u16; 8], 1, 2)
+            .payload_len(0)
+            .build();
         // 14 + 40 + 20
         assert_eq!(p.wire_len(), 74);
         assert!(!p.is_ipv4());

@@ -67,7 +67,12 @@ pub fn decode(buf: &[u8]) -> Result<Packet, DecodeError> {
     let (l4, used) = L4Header::decode(proto, &buf[off..]).ok_or(DecodeError::Truncated)?;
     off += used;
     let payload_len = buf.len().saturating_sub(off);
-    Ok(Packet { eth, net, l4, payload_len })
+    Ok(Packet {
+        eth,
+        net,
+        l4,
+        payload_len,
+    })
 }
 
 /// Serialise a trace (sequence of packets) into a single length-prefixed byte stream.
@@ -118,9 +123,14 @@ mod tests {
 
     #[test]
     fn frame_roundtrip_udp_v6() {
-        let p = PacketBuilder::udp_v6([0xfd00, 0, 0, 0, 0, 0, 0, 1], [0xfd00, 0, 0, 0, 0, 0, 0, 2], 53, 4444)
-            .payload_len(0)
-            .build();
+        let p = PacketBuilder::udp_v6(
+            [0xfd00, 0, 0, 0, 0, 0, 0, 1],
+            [0xfd00, 0, 0, 0, 0, 0, 0, 2],
+            53,
+            4444,
+        )
+        .payload_len(0)
+        .build();
         let back = decode(&encode(&p)).unwrap();
         assert_eq!(back, p);
     }
@@ -152,6 +162,9 @@ mod tests {
         let mut frame = vec![0u8; 60];
         frame[12] = 0x08;
         frame[13] = 0x06; // ARP
-        assert!(matches!(decode(&frame), Err(DecodeError::UnsupportedEtherType(0x0806))));
+        assert!(matches!(
+            decode(&frame),
+            Err(DecodeError::UnsupportedEtherType(0x0806))
+        ));
     }
 }

@@ -83,7 +83,10 @@ impl CloudPlatform {
         let allows = scenario
             .target_fields()
             .iter()
-            .map(|t| AllowClause { field: field_from_name(t.name), value: t.allow_value })
+            .map(|t| AllowClause {
+                field: field_from_name(t.name),
+                value: t.allow_value,
+            })
             .collect();
         TenantAcl::new(format!("attacker-{}", self.name()), service_ip, allows)
     }
@@ -133,9 +136,18 @@ mod tests {
     #[test]
     fn section7_ceilings() {
         let schema = FieldSchema::ovs_ipv4();
-        assert_eq!(section7_mask_ceiling(CloudPlatform::OpenStack, &schema), 512);
-        assert_eq!(section7_mask_ceiling(CloudPlatform::Kubernetes, &schema), 8192);
-        assert_eq!(section7_mask_ceiling(CloudPlatform::Synthetic, &schema), 8192);
+        assert_eq!(
+            section7_mask_ceiling(CloudPlatform::OpenStack, &schema),
+            512
+        );
+        assert_eq!(
+            section7_mask_ceiling(CloudPlatform::Kubernetes, &schema),
+            8192
+        );
+        assert_eq!(
+            section7_mask_ceiling(CloudPlatform::Synthetic, &schema),
+            8192
+        );
     }
 
     #[test]

@@ -22,6 +22,14 @@ pub struct OffloadConfig {
     pub cost: CostModel,
 }
 
+impl Default for OffloadConfig {
+    /// The paper's default measurement configuration: GRO OFF (every MTU-sized TCP
+    /// segment classified individually) — the setting the headline Fig. 8 numbers use.
+    fn default() -> Self {
+        Self::gro_off()
+    }
+}
+
 impl OffloadConfig {
     /// TCP with GRO/TSO disabled: every MTU-sized segment is classified individually —
     /// the configuration most exposed to the attack.
@@ -69,12 +77,18 @@ impl OffloadConfig {
 
     /// The four configurations of Fig. 9a, in legend order.
     pub fn fig9a_set() -> Vec<OffloadConfig> {
-        vec![Self::full_hw_offload(), Self::gro_on(), Self::gro_off(), Self::udp()]
+        vec![
+            Self::full_hw_offload(),
+            Self::gro_on(),
+            Self::gro_off(),
+            Self::udp(),
+        ]
     }
 
     /// Victim throughput in Gbps when every classifier invocation scans `masks` masks.
     pub fn victim_gbps(&self, masks: usize) -> f64 {
-        self.cost.capacity_gbps(masks, self.bytes_per_invocation, self.line_rate_gbps)
+        self.cost
+            .capacity_gbps(masks, self.bytes_per_invocation, self.line_rate_gbps)
     }
 
     /// The Baseline (1 mask) capacity of this configuration.
@@ -99,6 +113,11 @@ mod tests {
     use super::*;
 
     #[test]
+    fn default_is_gro_off() {
+        assert_eq!(OffloadConfig::default(), OffloadConfig::gro_off());
+    }
+
+    #[test]
     fn baselines_match_testbed() {
         assert!((9.0..=10.5).contains(&OffloadConfig::gro_off().baseline_gbps()));
         assert_eq!(OffloadConfig::gro_on().baseline_gbps(), 10.0); // line-rate limited
@@ -115,12 +134,20 @@ mod tests {
         let gro_on = OffloadConfig::gro_on();
         let fho = OffloadConfig::full_hw_offload();
         let gro_off = OffloadConfig::gro_off();
-        for &(masks, on_lo, fho_lo, off_hi) in
-            &[(17usize, 90.0, 70.0, 70.0), (260, 80.0, 25.0, 20.0), (516, 50.0, 15.0, 10.0)]
-        {
-            assert!(gro_on.degradation_percent(masks) >= on_lo, "GRO ON @{masks}");
+        for &(masks, on_lo, fho_lo, off_hi) in &[
+            (17usize, 90.0, 70.0, 70.0),
+            (260, 80.0, 25.0, 20.0),
+            (516, 50.0, 15.0, 10.0),
+        ] {
+            assert!(
+                gro_on.degradation_percent(masks) >= on_lo,
+                "GRO ON @{masks}"
+            );
             assert!(fho.degradation_percent(masks) >= fho_lo, "FHO @{masks}");
-            assert!(gro_off.degradation_percent(masks) <= off_hi, "GRO OFF @{masks}");
+            assert!(
+                gro_off.degradation_percent(masks) <= off_hi,
+                "GRO OFF @{masks}"
+            );
         }
         // Full-blown attack: everything collapses below ~5 %.
         for cfg in OffloadConfig::fig9a_set() {
@@ -143,7 +170,10 @@ mod tests {
     fn flow_completion_time_grows_with_masks() {
         let cfg = OffloadConfig::gro_off();
         let base = cfg.flow_completion_time(1, 1.0);
-        assert!((0.5..=2.0).contains(&base), "1 GB at ~10 Gbps is ~1 s: {base}");
+        assert!(
+            (0.5..=2.0).contains(&base),
+            "1 GB at ~10 Gbps is ~1 s: {base}"
+        );
         assert!(cfg.flow_completion_time(8200, 1.0) > 100.0 * base);
     }
 

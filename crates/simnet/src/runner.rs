@@ -9,6 +9,8 @@
 //! budget left over from attack processing into achieved victim throughput.
 
 use tse_attack::trace::AttackTrace;
+use tse_classifier::backend::FastPathBackend;
+use tse_classifier::tss::TupleSpace;
 use tse_mitigation::guard::MfcGuard;
 use tse_switch::datapath::Datapath;
 
@@ -100,11 +102,14 @@ impl Timeline {
     }
 }
 
-/// The experiment runner.
+/// The experiment runner, generic over the datapath's fast-path backend — a Fig. 8
+/// timeline can be produced for the TSS cache (the default) or for any of the §7
+/// attack-immune baselines, which is how the backend comparison of Fig. 9 is run
+/// through the real pipeline instead of bare classify loops.
 #[derive(Debug)]
-pub struct ExperimentRunner {
+pub struct ExperimentRunner<B: FastPathBackend = TupleSpace> {
     /// The shared hypervisor datapath under test.
-    pub datapath: Datapath,
+    pub datapath: Datapath<B>,
     /// Victim flows.
     pub victims: Vec<VictimFlow>,
     /// Victim-side offload configuration (bytes per classifier invocation, line rate).
@@ -115,10 +120,16 @@ pub struct ExperimentRunner {
     pub sample_interval: f64,
 }
 
-impl ExperimentRunner {
+impl<B: FastPathBackend> ExperimentRunner<B> {
     /// Create a runner with a 1-second sampling interval and no guard.
-    pub fn new(datapath: Datapath, victims: Vec<VictimFlow>, offload: OffloadConfig) -> Self {
-        ExperimentRunner { datapath, victims, offload, guard: None, sample_interval: 1.0 }
+    pub fn new(datapath: Datapath<B>, victims: Vec<VictimFlow>, offload: OffloadConfig) -> Self {
+        ExperimentRunner {
+            datapath,
+            victims,
+            offload,
+            guard: None,
+            sample_interval: 1.0,
+        }
     }
 
     /// Attach an MFCGuard instance.
@@ -171,13 +182,13 @@ impl ExperimentRunner {
                 victim_masks_scanned = victim_masks_scanned.max(outcome.masks_scanned);
                 // Per-invocation cost under this experiment's offload model: re-price the
                 // scan with the offload's cost model (the datapath's own model prices the
-                // attack packets).
+                // attack packets). Work units go through the backend's cost hook, exactly
+                // as the datapath itself charges them.
+                let units = self.datapath.megaflow().cost_units(outcome.masks_scanned);
                 let cost = match outcome.path {
-                    tse_switch::stats::PathTaken::SlowPath => {
-                        self.offload.cost.slow_path(outcome.masks_scanned)
-                    }
+                    tse_switch::stats::PathTaken::SlowPath => self.offload.cost.slow_path(units),
                     tse_switch::stats::PathTaken::Microflow => self.offload.cost.microflow(),
-                    _ => self.offload.cost.fast_path(outcome.masks_scanned),
+                    _ => self.offload.cost.fast_path(units),
                 };
                 victim_costs.push(Some(cost));
             }
@@ -210,17 +221,18 @@ impl ExperimentRunner {
                         .copied()
                         .filter(|&i| {
                             victim_gbps[i] + 1e-9
-                                < self.victims[i].offered_gbps.min(self.offload.line_rate_gbps)
+                                < self.victims[i]
+                                    .offered_gbps
+                                    .min(self.offload.line_rate_gbps)
                         })
                         .collect();
                     if !limited.is_empty() {
                         let extra = leftover / limited.len() as f64;
                         for &i in &limited {
                             let cost = victim_costs[i].expect("active");
-                            let extra_gbps = extra / cost / dt
-                                * self.offload.bytes_per_invocation as f64
-                                * 8.0
-                                / 1e9;
+                            let extra_gbps =
+                                extra / cost / dt * self.offload.bytes_per_invocation as f64 * 8.0
+                                    / 1e9;
                             victim_gbps[i] =
                                 (victim_gbps[i] + extra_gbps).min(self.victims[i].offered_gbps);
                         }
@@ -271,7 +283,9 @@ mod tests {
         let schema = FieldSchema::ovs_ipv4();
         let table = scenario.flow_table(&schema);
         let datapath = Datapath::new(table);
-        let victims = vec![VictimFlow::iperf_tcp("Victim 1", 0x0a000005, VICTIM_IP, 10.0)];
+        let victims = vec![VictimFlow::iperf_tcp(
+            "Victim 1", 0x0a000005, VICTIM_IP, 10.0,
+        )];
         let runner = ExperimentRunner::new(datapath, victims, OffloadConfig::gro_off());
         // Attack: co-located trace at 100 pps between t=30 s and t≈when the trace ends.
         let mut rng = StdRng::seed_from_u64(99);
@@ -287,7 +301,10 @@ mod tests {
         assert_eq!(timeline.samples.len(), 90);
         let before = timeline.mean_total_between(5.0, 29.0);
         let during = timeline.mean_total_between(45.0, 59.0);
-        assert!(before > 8.0, "baseline should be near 10 Gbps, got {before}");
+        assert!(
+            before > 8.0,
+            "baseline should be near 10 Gbps, got {before}"
+        );
         assert!(
             during < before * 0.25,
             "SipDp attack should cut throughput by >75 %: {before} -> {during}"
@@ -300,10 +317,16 @@ mod tests {
         // Attack packets span t=30..60 s (3000 packets at 100 pps).
         let timeline = runner.run(&attack, 90.0);
         let recovered = timeline.mean_total_between(75.0, 89.0);
-        assert!(recovered > 8.0, "victim should recover ~10 s after the attack stops: {recovered}");
+        assert!(
+            recovered > 8.0,
+            "victim should recover ~10 s after the attack stops: {recovered}"
+        );
         // Mask count also collapses back.
         let final_masks = timeline.samples.last().unwrap().mask_count;
-        assert!(final_masks < 20, "attack masks should expire: {final_masks}");
+        assert!(
+            final_masks < 20,
+            "attack masks should expire: {final_masks}"
+        );
     }
 
     #[test]
@@ -327,7 +350,10 @@ mod tests {
         // With the guard wiping drop entries every 10 s, the victim's average rate during
         // the attack stays much higher than the unguarded run.
         let during = timeline.mean_total_between(45.0, 59.0);
-        assert!(during > 5.0, "guarded victim should keep most of its throughput: {during}");
+        assert!(
+            during > 5.0,
+            "guarded victim should keep most of its throughput: {during}"
+        );
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl VictimFlow {
 
     /// A full-rate UDP iperf session (the OpenStack experiment of Fig. 8b).
     pub fn iperf_udp(name: impl Into<String>, src_ip: u32, dst_ip: u32, offered_gbps: f64) -> Self {
-        VictimFlow { proto: IpProto::Udp, ..Self::iperf_tcp(name, src_ip, dst_ip, offered_gbps) }
+        VictimFlow {
+            proto: IpProto::Udp,
+            ..Self::iperf_tcp(name, src_ip, dst_ip, offered_gbps)
+        }
     }
 
     /// Restrict the flow to a time window.
@@ -72,9 +75,15 @@ impl VictimFlow {
     /// A representative packet of the flow (used to probe the datapath's current cost
     /// for this flow and to install/refresh its megaflow entry).
     pub fn representative_packet(&self) -> Packet {
-        PacketBuilder::from_numeric_v4(self.src_ip, self.dst_ip, self.proto, self.src_port, self.dst_port)
-            .payload_len(1460)
-            .build()
+        PacketBuilder::from_numeric_v4(
+            self.src_ip,
+            self.dst_ip,
+            self.proto,
+            self.src_port,
+            self.dst_port,
+        )
+        .payload_len(1460)
+        .build()
     }
 
     /// The flow's classification key under the given schema.

@@ -104,7 +104,10 @@ mod tests {
     fn baseline_is_about_10_gbps() {
         let m = CostModel::ovs_kernel_default();
         let gbps = m.capacity_gbps(1, 1538, 10.0);
-        assert!(gbps > 9.0, "baseline capacity {gbps} Gbps should be ~10 Gbps");
+        assert!(
+            gbps > 9.0,
+            "baseline capacity {gbps} Gbps should be ~10 Gbps"
+        );
     }
 
     #[test]

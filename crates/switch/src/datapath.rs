@@ -1,6 +1,26 @@
-//! The OVS-like datapath: microflow cache → megaflow (TSS) cache → slow path, with
+//! The OVS-like datapath: microflow cache → megaflow fast path → slow path, with
 //! idle-timeout eviction and per-packet cost accounting (Fig. 10).
+//!
+//! The fast path is pluggable: [`Datapath`] is generic over any
+//! [`FastPathBackend`] — the TSS megaflow cache ([`TupleSpace`], the default and the
+//! structure the TSE attack explodes) or one of the §7 attack-immune baselines wrapped
+//! in `BaselineBackend`. Construction goes through [`DatapathBuilder`]:
+//!
+//! ```
+//! use tse_classifier::backend::TrieBackend;
+//! use tse_classifier::flowtable::FlowTable;
+//! use tse_switch::datapath::Datapath;
+//!
+//! let table = FlowTable::fig1_hyp();
+//! // Default TSS fast path:
+//! let tss_dp = Datapath::builder(table.clone()).build();
+//! // Same pipeline over a hierarchical-trie fast path:
+//! let trie_dp = Datapath::builder(table).backend_fresh::<TrieBackend>().build();
+//! # assert_eq!(tss_dp.mask_count(), 0);
+//! # assert_eq!(trie_dp.mask_count(), 0);
+//! ```
 
+use tse_classifier::backend::FastPathBackend;
 use tse_classifier::flowtable::FlowTable;
 use tse_classifier::microflow::MicroflowCache;
 use tse_classifier::rule::Action;
@@ -19,7 +39,7 @@ use crate::stats::{DatapathStats, PathTaken};
 pub const DEFAULT_IDLE_TIMEOUT: f64 = 10.0;
 
 /// Datapath configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatapathConfig {
     /// Megaflow idle timeout in seconds.
     pub idle_timeout: f64,
@@ -31,7 +51,8 @@ pub struct DatapathConfig {
     pub cost: CostModel,
     /// Probe order of the megaflow masks. `NewestFirst` models the measured behaviour
     /// that established victim flows do not keep a privileged front position once the
-    /// attack starts creating masks (DESIGN.md §4).
+    /// attack starts creating masks (DESIGN.md §4). Backends without a mask list ignore
+    /// this.
     pub mask_ordering: MaskOrdering,
     /// Interval between idle-expiry sweeps, seconds (OVS revalidator cadence).
     pub revalidation_interval: f64,
@@ -58,58 +79,210 @@ pub struct ProcessOutcome {
     pub path: PathTaken,
     /// Simulated processing time in seconds.
     pub cost: f64,
-    /// Megaflow masks scanned for this packet (0 for microflow hits).
+    /// Fast-path work units for this packet (megaflow masks scanned for TSS, nodes
+    /// visited for the baseline backends; 0 for microflow hits).
     pub masks_scanned: usize,
 }
 
+/// Aggregate result of [`Datapath::process_batch`].
+///
+/// Batch semantics:
+///
+/// * packets are processed **in order** at a single timestamp `now`; the idle-expiry
+///   sweep runs at most once, before the first packet;
+/// * a run of consecutive identical headers is answered by one real fast-path lookup —
+///   the repeats reuse its verdict and are charged its fast-path cost. Every packet is
+///   still counted in [`DatapathStats`] (and in this report), but the backend's
+///   per-entry hit counters advance once per run, not once per packet;
+/// * a slow-path miss is never deduplicated: the packet after an upcall performs a real
+///   lookup so it hits the freshly installed entry exactly as in per-key processing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BatchReport {
+    /// Packets processed (= the batch length).
+    pub processed: usize,
+    /// Packets permitted.
+    pub allowed: u64,
+    /// Packets dropped by policy.
+    pub denied: u64,
+    /// Packets answered by the fast path (including deduplicated repeats).
+    pub fastpath_hits: u64,
+    /// Packets that took a slow-path upcall.
+    pub upcalls: u64,
+    /// Total simulated processing time of the batch, seconds.
+    pub total_cost: f64,
+    /// Largest per-lookup work observed in the batch.
+    pub max_masks_scanned: usize,
+}
+
 /// A single software-switch datapath instance (one hypervisor switch shared by all
-/// co-located tenants).
+/// co-located tenants), generic over the fast-path backend `B`.
 #[derive(Debug, Clone)]
-pub struct Datapath {
+pub struct Datapath<B: FastPathBackend = TupleSpace> {
     schema: FieldSchema,
     table: FlowTable,
     slow_path: SlowPath,
-    megaflow: TupleSpace,
+    megaflow: B,
     microflow: MicroflowCache,
     config: DatapathConfig,
     stats: DatapathStats,
     last_sweep: f64,
 }
 
-impl Datapath {
-    /// Create a datapath with the OVS-default wildcarding strategy and default config.
+/// Fluent constructor for [`Datapath`]: choose the wildcarding strategy, tune the
+/// [`DatapathConfig`], and swap the fast-path backend, all from defaults.
+#[derive(Debug, Clone)]
+pub struct DatapathBuilder<B: FastPathBackend = TupleSpace> {
+    table: FlowTable,
+    strategy: Option<MegaflowStrategy>,
+    config: DatapathConfig,
+    backend: Option<B>,
+    /// Whether an ordering was explicitly chosen (via `mask_ordering` or `config`);
+    /// a backend instance supplied through `backend()` keeps its own policy otherwise.
+    ordering_explicit: bool,
+}
+
+impl DatapathBuilder<TupleSpace> {
+    /// Start building a datapath over `table` with the default TSS backend.
     pub fn new(table: FlowTable) -> Self {
-        let strategy = MegaflowStrategy::wildcarding(table.schema());
-        Self::with_strategy(table, strategy, DatapathConfig::default())
+        DatapathBuilder {
+            table,
+            strategy: None,
+            config: DatapathConfig::default(),
+            backend: None,
+            ordering_explicit: false,
+        }
+    }
+}
+
+impl<B: FastPathBackend> DatapathBuilder<B> {
+    /// Replace the whole configuration (its `mask_ordering` counts as explicitly
+    /// chosen and is applied even to a backend supplied via [`DatapathBuilder::backend`]).
+    pub fn config(mut self, config: DatapathConfig) -> Self {
+        self.config = config;
+        self.ordering_explicit = true;
+        self
     }
 
-    /// Create a datapath with explicit strategy and configuration.
-    pub fn with_strategy(
-        table: FlowTable,
-        strategy: MegaflowStrategy,
-        config: DatapathConfig,
-    ) -> Self {
-        let schema = table.schema().clone();
+    /// Megaflow-generation strategy (default: bit-level wildcarding, OVS's behaviour).
+    pub fn strategy(mut self, strategy: MegaflowStrategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Megaflow idle timeout, seconds.
+    pub fn idle_timeout(mut self, seconds: f64) -> Self {
+        self.config.idle_timeout = seconds;
+        self
+    }
+
+    /// Microflow (EMC) capacity; 0 disables the first-level cache.
+    pub fn microflow_capacity(mut self, capacity: usize) -> Self {
+        self.config.microflow_capacity = capacity;
+        self
+    }
+
+    /// Probe order of the megaflow masks (TSS-family backends only).
+    pub fn mask_ordering(mut self, ordering: MaskOrdering) -> Self {
+        self.config.mask_ordering = ordering;
+        self.ordering_explicit = true;
+        self
+    }
+
+    /// Per-packet cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.config.cost = cost;
+        self
+    }
+
+    /// Idle-expiry sweep cadence, seconds.
+    pub fn revalidation_interval(mut self, seconds: f64) -> Self {
+        self.config.revalidation_interval = seconds;
+        self
+    }
+
+    /// Use a concrete backend instance as the fast path. Its schema must match the
+    /// table's (checked in [`DatapathBuilder::build`]). The instance keeps its own
+    /// mask-ordering policy unless one was explicitly set on the builder; note that
+    /// `build()` installs the flow table into it, which flushes a traffic-driven
+    /// backend's entries (OVS revalidation semantics).
+    pub fn backend<B2: FastPathBackend>(self, backend: B2) -> DatapathBuilder<B2> {
+        DatapathBuilder {
+            table: self.table,
+            strategy: self.strategy,
+            config: self.config,
+            backend: Some(backend),
+            ordering_explicit: self.ordering_explicit,
+        }
+    }
+
+    /// Use a freshly constructed backend of type `B2` as the fast path:
+    /// `builder.backend_fresh::<TrieBackend>()`.
+    pub fn backend_fresh<B2: FastPathBackend>(self) -> DatapathBuilder<B2> {
+        DatapathBuilder {
+            table: self.table,
+            strategy: self.strategy,
+            config: self.config,
+            backend: None,
+            ordering_explicit: self.ordering_explicit,
+        }
+    }
+
+    /// Finalise: construct the backend if none was supplied, install the flow table
+    /// into it, and assemble the datapath.
+    pub fn build(self) -> Datapath<B> {
+        let schema = self.table.schema().clone();
+        let supplied = self.backend.is_some();
+        let mut megaflow = self.backend.unwrap_or_else(|| B::fresh(&schema));
+        assert_eq!(
+            megaflow.schema(),
+            &schema,
+            "fast-path backend schema must match the flow table's schema"
+        );
+        // A default-constructed backend gets the config's ordering; a supplied instance
+        // keeps its own policy unless the builder was explicitly told otherwise.
+        if !supplied || self.ordering_explicit {
+            megaflow.set_mask_ordering(self.config.mask_ordering);
+        }
+        megaflow.install_table(&self.table);
+        let strategy = self
+            .strategy
+            .unwrap_or_else(|| MegaflowStrategy::wildcarding(&schema));
         Datapath {
-            megaflow: TupleSpace::with_ordering(schema.clone(), config.mask_ordering),
-            microflow: MicroflowCache::with_capacity(config.microflow_capacity),
+            microflow: MicroflowCache::with_capacity(self.config.microflow_capacity),
             slow_path: SlowPath::new(strategy),
             stats: DatapathStats::default(),
             last_sweep: 0.0,
             schema,
-            table,
-            config,
+            table: self.table,
+            megaflow,
+            config: self.config,
         }
     }
+}
 
+impl Datapath<TupleSpace> {
+    /// Create a TSS datapath with the OVS-default wildcarding strategy and default
+    /// config — shorthand for `Datapath::builder(table).build()`.
+    pub fn new(table: FlowTable) -> Self {
+        Datapath::builder(table).build()
+    }
+
+    /// Start a [`DatapathBuilder`] over `table` (default backend: [`TupleSpace`]).
+    pub fn builder(table: FlowTable) -> DatapathBuilder<TupleSpace> {
+        DatapathBuilder::new(table)
+    }
+}
+
+impl<B: FastPathBackend> Datapath<B> {
     /// The installed flow table (the merged ACLs of all tenants).
     pub fn table(&self) -> &FlowTable {
         &self.table
     }
 
     /// Replace the flow table (e.g. when a tenant injects a new ACL mid-experiment, as in
-    /// the Kubernetes timeline of Fig. 8c). The megaflow cache is revalidated: all
-    /// entries are flushed, exactly as OVS does on a flow-table change.
+    /// the Kubernetes timeline of Fig. 8c). Traffic-driven backends are revalidated:
+    /// all entries are flushed, exactly as OVS does on a flow-table change; table-built
+    /// backends rebuild their structure.
     pub fn install_table(&mut self, table: FlowTable) {
         assert_eq!(
             table.schema(),
@@ -117,18 +290,18 @@ impl Datapath {
             "replacement flow table must use the same schema"
         );
         self.table = table;
-        self.megaflow.clear();
+        self.megaflow.install_table(&self.table);
         self.microflow.clear();
     }
 
-    /// The megaflow cache (read-only).
-    pub fn megaflow(&self) -> &TupleSpace {
+    /// The fast-path backend (read-only).
+    pub fn megaflow(&self) -> &B {
         &self.megaflow
     }
 
-    /// Mutable access to the megaflow cache — this is the interface MFCGuard uses to
+    /// Mutable access to the fast-path backend — this is the interface MFCGuard uses to
     /// wipe entries (the real tool drives `ovs-dpctl del-flow`).
-    pub fn megaflow_mut(&mut self) -> &mut TupleSpace {
+    pub fn megaflow_mut(&mut self) -> &mut B {
         &mut self.megaflow
     }
 
@@ -142,12 +315,12 @@ impl Datapath {
         &mut self.slow_path
     }
 
-    /// Current number of megaflow masks.
+    /// Current number of megaflow masks (0 for backends without a mask list).
     pub fn mask_count(&self) -> usize {
         self.megaflow.mask_count()
     }
 
-    /// Current number of megaflow entries.
+    /// Current number of megaflow entries (0 for table-built backends).
     pub fn entry_count(&self) -> usize {
         self.megaflow.entry_count()
     }
@@ -183,13 +356,13 @@ impl Datapath {
         let flow = FlowKey::from_packet(pkt);
         let schema_is_v6 = self.schema.field_index("ip6_src").is_some();
         let schema_is_v4 = self.schema.field_index("ip_src").is_some();
-        let family_matches =
-            (flow.is_v6 && schema_is_v6) || (!flow.is_v6 && schema_is_v4);
+        let family_matches = (flow.is_v6 && schema_is_v6) || (!flow.is_v6 && schema_is_v4);
         if !family_matches {
             // Packet family does not match the installed table's schema: treat like
             // non-IP traffic from the ACL's point of view.
             let cost = self.config.cost.microflow();
-            self.stats.record(PathTaken::Unclassified, true, 0, cost, pkt.wire_len());
+            self.stats
+                .record(PathTaken::Unclassified, true, 0, cost, pkt.wire_len());
             return ProcessOutcome {
                 action: Action::Allow,
                 path: PathTaken::Unclassified,
@@ -199,6 +372,7 @@ impl Datapath {
         }
         let header = flow.to_key(&self.schema);
         let micro = MicroflowKey::from_packet(pkt);
+        self.maybe_expire(now);
         self.process_classified(&header, Some(micro), pkt.wire_len(), now)
     }
 
@@ -206,7 +380,48 @@ impl Datapath {
     /// tests that bypass packet construction). `bytes` is the wire size used for
     /// throughput accounting.
     pub fn process_key(&mut self, header: &Key, bytes: usize, now: f64) -> ProcessOutcome {
+        self.maybe_expire(now);
         self.process_classified(header, None, bytes, now)
+    }
+
+    /// Process a batch of pre-extracted header keys `(header, wire_bytes)` at a single
+    /// timestamp, amortising the expiry check and stats bookkeeping over the whole
+    /// batch. See [`BatchReport`] for the exact ordering and stats-attribution
+    /// semantics. Per-packet verdicts are identical to calling
+    /// [`Datapath::process_key`] in a loop at the same `now`.
+    pub fn process_batch(&mut self, batch: &[(Key, usize)], now: f64) -> BatchReport {
+        self.maybe_expire(now);
+        let mut pending = DatapathStats::default();
+        let mut max_masks_scanned = 0;
+        // Verdict of the previous packet, reusable while headers repeat back-to-back.
+        let mut run: Option<(&Key, Action, usize, f64)> = None;
+        for (header, bytes) in batch {
+            if let Some((prev_header, action, masks, cost)) = run {
+                if prev_header == header {
+                    pending.record(PathTaken::Megaflow, action.permits(), masks, cost, *bytes);
+                    continue;
+                }
+            }
+            let outcome = self.process_classified_stats(header, *bytes, now, &mut pending);
+            max_masks_scanned = max_masks_scanned.max(outcome.masks_scanned);
+            // Do not extend a dedup run across an upcall: the next repeat must perform
+            // a real lookup so it hits the freshly installed entry.
+            run = match outcome.path {
+                PathTaken::SlowPath => None,
+                _ => Some((header, outcome.action, outcome.masks_scanned, outcome.cost)),
+            };
+        }
+        let report = BatchReport {
+            processed: batch.len(),
+            allowed: pending.allowed,
+            denied: pending.denied,
+            fastpath_hits: pending.megaflow_hits,
+            upcalls: pending.upcalls,
+            total_cost: pending.busy_seconds,
+            max_masks_scanned,
+        };
+        self.stats.merge(&pending);
+        report
     }
 
     fn process_classified(
@@ -216,25 +431,53 @@ impl Datapath {
         bytes: usize,
         now: f64,
     ) -> ProcessOutcome {
-        self.maybe_expire(now);
-
         // Level 1: microflow cache (exact match on everything, including noise fields).
         if let Some(mk) = micro {
             if let Some(action) = self.microflow.lookup(&mk) {
                 let cost = self.config.cost.microflow();
-                self.stats.record(PathTaken::Microflow, action.permits(), 0, cost, bytes);
-                return ProcessOutcome { action, path: PathTaken::Microflow, cost, masks_scanned: 0 };
+                self.stats
+                    .record(PathTaken::Microflow, action.permits(), 0, cost, bytes);
+                return ProcessOutcome {
+                    action,
+                    path: PathTaken::Microflow,
+                    cost,
+                    masks_scanned: 0,
+                };
             }
         }
+        // Temporarily detach the stats accumulator so the borrow checker allows passing
+        // it alongside `&mut self` (merged back below; `record` only appends).
+        let mut stats = std::mem::take(&mut self.stats);
+        let outcome = self.process_classified_stats(header, bytes, now, &mut stats);
+        self.stats = stats;
+        if let Some(mk) = micro {
+            self.microflow.insert(mk, outcome.action);
+        }
+        outcome
+    }
 
-        // Level 2: megaflow cache (TSS, Alg. 1).
+    /// Megaflow + slow-path levels, recording into an arbitrary stats accumulator (the
+    /// datapath's own for per-packet processing, a batch-local one for
+    /// [`Datapath::process_batch`]).
+    fn process_classified_stats(
+        &mut self,
+        header: &Key,
+        bytes: usize,
+        now: f64,
+        stats: &mut DatapathStats,
+    ) -> ProcessOutcome {
+        // Level 2: the fast-path backend (TSS Alg. 1, or a baseline classifier).
         let outcome = self.megaflow.lookup(header, now);
         if let Some(action) = outcome.action {
-            let cost = self.config.cost.fast_path(outcome.masks_scanned);
-            self.stats.record(PathTaken::Megaflow, action.permits(), outcome.masks_scanned, cost, bytes);
-            if let Some(mk) = micro {
-                self.microflow.insert(mk, action);
-            }
+            let units = self.megaflow.cost_units(outcome.masks_scanned);
+            let cost = self.config.cost.fast_path(units);
+            stats.record(
+                PathTaken::Megaflow,
+                action.permits(),
+                outcome.masks_scanned,
+                cost,
+                bytes,
+            );
             return ProcessOutcome {
                 action,
                 path: PathTaken::Megaflow,
@@ -254,11 +497,17 @@ impl Datapath {
                 installed: false,
                 new_mask: false,
             });
-        let cost = self.config.cost.slow_path(masks_at_miss);
-        self.stats.record(PathTaken::SlowPath, up.action.permits(), masks_at_miss, cost, bytes);
-        if let Some(mk) = micro {
-            self.microflow.insert(mk, up.action);
-        }
+        let cost = self
+            .config
+            .cost
+            .slow_path(self.megaflow.cost_units(masks_at_miss));
+        stats.record(
+            PathTaken::SlowPath,
+            up.action.permits(),
+            masks_at_miss,
+            cost,
+            bytes,
+        );
         ProcessOutcome {
             action: up.action,
             path: PathTaken::SlowPath,
@@ -271,6 +520,7 @@ impl Datapath {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tse_classifier::backend::{LinearSearchBackend, TrieBackend};
     use tse_classifier::flowtable::FlowTable;
     use tse_packet::builder::PacketBuilder;
     use tse_packet::fields::FieldSchema;
@@ -323,14 +573,21 @@ mod tests {
         // (a miniature General TSE).
         let mut x: u64 = 0x243f_6a88_85a3_08d3;
         for i in 0..500u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let src = (x >> 32) as u32;
             let sport = (x >> 16) as u16;
             let dport = x as u16;
-            let atk = PacketBuilder::tcp_v4(src.to_be_bytes(), [10, 0, 0, 99], sport, dport).build();
+            let atk =
+                PacketBuilder::tcp_v4(src.to_be_bytes(), [10, 0, 0, 99], sport, dport).build();
             dp.process_packet(&atk, 0.01 + i as f64 * 1e-4);
         }
-        assert!(dp.mask_count() > 40, "attack should have spawned masks: {}", dp.mask_count());
+        assert!(
+            dp.mask_count() > 40,
+            "attack should have spawned masks: {}",
+            dp.mask_count()
+        );
         // With NewestFirst ordering the victim now scans (almost) all masks.
         let expensive = dp.process_packet(&victim, 0.5).cost;
         assert!(
@@ -343,8 +600,13 @@ mod tests {
     fn idle_timeout_restores_the_cache() {
         let mut dp = Datapath::new(fig6_table());
         for i in 0..50u32 {
-            let atk = PacketBuilder::tcp_v4([10, 0, i as u8, 7], [10, 0, 0, 99], 1000 + i as u16, 2000 + i as u16)
-                .build();
+            let atk = PacketBuilder::tcp_v4(
+                [10, 0, i as u8, 7],
+                [10, 0, 0, 99],
+                1000 + i as u16,
+                2000 + i as u16,
+            )
+            .build();
             dp.process_packet(&atk, 0.01);
         }
         let with_attack = dp.mask_count();
@@ -352,15 +614,17 @@ mod tests {
         // 15 s later (attack stopped), the sweep at the next packet expires everything.
         let victim = PacketBuilder::tcp_v4([10, 0, 0, 9], [10, 0, 0, 99], 5555, 80).build();
         dp.process_packet(&victim, 15.0);
-        assert!(dp.mask_count() < with_attack / 2, "idle entries must expire after the timeout");
+        assert!(
+            dp.mask_count() < with_attack / 2,
+            "idle entries must expire after the timeout"
+        );
     }
 
     #[test]
     fn microflow_cache_short_circuits_when_enabled() {
-        let config = DatapathConfig { microflow_capacity: 64, ..DatapathConfig::default() };
-        let schema = FieldSchema::ovs_ipv4();
-        let strategy = MegaflowStrategy::wildcarding(&schema);
-        let mut dp = Datapath::with_strategy(fig6_table(), strategy, config);
+        let mut dp = Datapath::builder(fig6_table())
+            .microflow_capacity(64)
+            .build();
         let pkt = PacketBuilder::tcp_v4([10, 0, 0, 9], [10, 0, 0, 99], 5555, 80).build();
         dp.process_packet(&pkt, 0.0);
         let out = dp.process_packet(&pkt, 0.001);
@@ -382,7 +646,8 @@ mod tests {
     #[test]
     fn ipv6_packet_against_ipv4_table_is_unclassified() {
         let mut dp = Datapath::new(fig6_table());
-        let pkt = PacketBuilder::tcp_v6([1, 0, 0, 0, 0, 0, 0, 2], [3, 0, 0, 0, 0, 0, 0, 4], 1, 80).build();
+        let pkt = PacketBuilder::tcp_v6([1, 0, 0, 0, 0, 0, 0, 2], [3, 0, 0, 0, 0, 0, 0, 4], 1, 80)
+            .build();
         let out = dp.process_packet(&pkt, 0.0);
         assert_eq!(out.path, PathTaken::Unclassified);
         assert_eq!(dp.mask_count(), 0);
@@ -398,5 +663,121 @@ mod tests {
         assert_eq!(dp.process_key(&allow, 100, 0.0).action, Action::Allow);
         assert_eq!(dp.process_key(&deny, 100, 0.0).action, Action::Deny);
         assert_eq!(dp.stats().upcalls, 2);
+    }
+
+    #[test]
+    fn builder_swaps_backends() {
+        let table = FlowTable::fig1_hyp();
+        let schema = table.schema().clone();
+        let mut dp = Datapath::builder(table)
+            .backend_fresh::<LinearSearchBackend>()
+            .build();
+        let allow = Key::from_values(&schema, &[0b001]);
+        let deny = Key::from_values(&schema, &[0b111]);
+        // Table-built backend: every lookup hits, nothing reaches the slow path.
+        assert_eq!(dp.process_key(&allow, 100, 0.0).action, Action::Allow);
+        assert_eq!(dp.process_key(&deny, 100, 0.0).action, Action::Deny);
+        assert_eq!(dp.stats().upcalls, 0);
+        assert_eq!(dp.stats().megaflow_hits, 2);
+        assert_eq!(dp.mask_count(), 0);
+    }
+
+    #[test]
+    fn trie_backend_work_stays_flat_under_attack() {
+        let table = fig6_table();
+        let mut dp = Datapath::builder(table)
+            .backend_fresh::<TrieBackend>()
+            .build();
+        let victim = PacketBuilder::tcp_v4([10, 0, 0, 9], [10, 0, 0, 99], 5555, 80).build();
+        let baseline_work = dp.process_packet(&victim, 0.0).masks_scanned;
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for i in 0..500u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let atk = PacketBuilder::tcp_v4(
+                ((x >> 32) as u32).to_be_bytes(),
+                [10, 0, 0, 99],
+                (x >> 16) as u16,
+                x as u16,
+            )
+            .build();
+            dp.process_packet(&atk, 0.01 + i as f64 * 1e-4);
+        }
+        let attacked_work = dp.process_packet(&victim, 0.5).masks_scanned;
+        assert_eq!(
+            baseline_work, attacked_work,
+            "trie lookup work must not grow with traffic"
+        );
+        assert_eq!(dp.mask_count(), 0);
+    }
+
+    #[test]
+    fn supplied_backend_keeps_its_own_ordering() {
+        use tse_classifier::tss::MaskOrdering;
+        let table = fig6_table();
+        let schema = table.schema().clone();
+        let cache = TupleSpace::with_ordering(schema.clone(), MaskOrdering::HitCount);
+        let dp = Datapath::builder(table.clone()).backend(cache).build();
+        assert_eq!(dp.megaflow().ordering(), MaskOrdering::HitCount);
+        // An explicit builder choice still wins over the instance's policy.
+        let cache = TupleSpace::with_ordering(schema, MaskOrdering::HitCount);
+        let dp = Datapath::builder(table)
+            .mask_ordering(MaskOrdering::Insertion)
+            .backend(cache)
+            .build();
+        assert_eq!(dp.megaflow().ordering(), MaskOrdering::Insertion);
+    }
+
+    #[test]
+    fn process_batch_matches_per_key_verdicts() {
+        let schema = FieldSchema::ovs_ipv4();
+        let table = fig6_table();
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        let mut batch = Vec::new();
+        for port in [80u128, 81, 80, 80, 9999, 80] {
+            let mut k = schema.zero_value();
+            k.set(tp_dst, port);
+            batch.push((k, 64usize));
+        }
+        let mut looped = Datapath::new(table.clone());
+        let loop_actions: Vec<Action> = batch
+            .iter()
+            .map(|(k, b)| looped.process_key(k, *b, 0.5).action)
+            .collect();
+        let mut batched = Datapath::new(table);
+        let report = batched.process_batch(&batch, 0.5);
+        assert_eq!(report.processed, 6);
+        assert_eq!(
+            report.allowed as usize,
+            loop_actions.iter().filter(|a| a.permits()).count()
+        );
+        assert_eq!(
+            report.denied as usize,
+            loop_actions.iter().filter(|a| !a.permits()).count()
+        );
+        // Same totals in the datapath stats.
+        assert_eq!(batched.stats().packets(), looped.stats().packets());
+        assert_eq!(batched.stats().allowed, looped.stats().allowed);
+        assert_eq!(batched.stats().denied, looped.stats().denied);
+        assert_eq!(batched.stats().upcalls, looped.stats().upcalls);
+        assert_eq!(batched.mask_count(), looped.mask_count());
+    }
+
+    #[test]
+    fn process_batch_dedups_consecutive_headers() {
+        let table = FlowTable::fig1_hyp();
+        let schema = table.schema().clone();
+        let allow = Key::from_values(&schema, &[0b001]);
+        let batch: Vec<(Key, usize)> = (0..100).map(|_| (allow.clone(), 64)).collect();
+        let mut dp = Datapath::new(table);
+        let report = dp.process_batch(&batch, 0.0);
+        assert_eq!(report.processed, 100);
+        assert_eq!(report.allowed, 100);
+        assert_eq!(report.upcalls, 1);
+        // One upcall + one real lookup; the other 98 packets reuse the run verdict, so
+        // the entry's own hit counter advanced once.
+        let entry = dp.megaflow().peek(&allow).unwrap();
+        assert_eq!(entry.hits, 1);
+        // But the datapath-level stats count every packet.
+        assert_eq!(dp.stats().packets(), 100);
     }
 }

@@ -26,7 +26,9 @@ pub mod stats;
 pub mod tenant;
 
 pub use cost::CostModel;
-pub use datapath::{Datapath, DatapathConfig, ProcessOutcome, DEFAULT_IDLE_TIMEOUT};
+pub use datapath::{
+    BatchReport, Datapath, DatapathBuilder, DatapathConfig, ProcessOutcome, DEFAULT_IDLE_TIMEOUT,
+};
 pub use slowpath::{SlowPath, UpcallOutcome};
 pub use stats::{DatapathStats, PathTaken};
 pub use tenant::{

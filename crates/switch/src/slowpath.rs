@@ -1,10 +1,10 @@
 //! The slow path: full flow-table processing plus megaflow generation and installation
 //! (`ovs-vswitchd`'s upcall handling in the real system).
 
+use tse_classifier::backend::FastPathBackend;
 use tse_classifier::flowtable::FlowTable;
 use tse_classifier::rule::Action;
 use tse_classifier::strategy::{generate_megaflow, GenerationError, MegaflowStrategy};
-use tse_classifier::tss::TupleSpace;
 use tse_packet::fields::Key;
 
 /// Outcome of one slow-path invocation (one upcall).
@@ -39,7 +39,11 @@ pub struct SlowPath {
 impl SlowPath {
     /// Create a slow path with the given megaflow-generation strategy.
     pub fn new(strategy: MegaflowStrategy) -> Self {
-        SlowPath { strategy, suppressed_rules: Vec::new(), suppressed_upcalls: 0 }
+        SlowPath {
+            strategy,
+            suppressed_rules: Vec::new(),
+            suppressed_upcalls: 0,
+        }
     }
 
     /// The generation strategy in use.
@@ -72,11 +76,12 @@ impl SlowPath {
 
     /// Handle one upcall: classify `header` against `table`, generate a megaflow under
     /// the Cover/Independence invariants and install it into `cache` (unless the matched
-    /// rule is suppressed or the header is already covered).
-    pub fn handle_upcall(
+    /// rule is suppressed or the header is already covered). Works against any
+    /// [`FastPathBackend`]; table-built backends absorb the install as a no-op.
+    pub fn handle_upcall<B: FastPathBackend + ?Sized>(
         &mut self,
         table: &FlowTable,
-        cache: &mut TupleSpace,
+        cache: &mut B,
         header: &Key,
         now: f64,
     ) -> Option<UpcallOutcome> {
@@ -94,7 +99,7 @@ impl SlowPath {
             Ok(generated) => {
                 let masks_before = cache.mask_count();
                 cache
-                    .insert(generated.key, generated.mask, generated.action, now)
+                    .insert_megaflow(generated.key, generated.mask, generated.action, now)
                     .expect("generated megaflow must be insertable");
                 Some(UpcallOutcome {
                     action: generated.action,
@@ -118,6 +123,7 @@ impl SlowPath {
 mod tests {
     use super::*;
     use tse_classifier::flowtable::FlowTable;
+    use tse_classifier::tss::TupleSpace;
     use tse_packet::fields::{FieldSchema, Key};
 
     fn hyp(v: u128) -> Key {
@@ -129,7 +135,9 @@ mod tests {
         let table = FlowTable::fig1_hyp();
         let mut cache = TupleSpace::new(table.schema().clone());
         let mut sp = SlowPath::new(MegaflowStrategy::wildcarding(table.schema()));
-        let out = sp.handle_upcall(&table, &mut cache, &hyp(0b001), 0.0).unwrap();
+        let out = sp
+            .handle_upcall(&table, &mut cache, &hyp(0b001), 0.0)
+            .unwrap();
         assert_eq!(out.action, Action::Allow);
         assert!(out.installed);
         assert!(out.new_mask);
@@ -143,7 +151,9 @@ mod tests {
         let mut sp = SlowPath::new(MegaflowStrategy::wildcarding(table.schema()));
         sp.handle_upcall(&table, &mut cache, &hyp(0b111), 0.0);
         // 101 is covered by the (1**) deny megaflow.
-        let out = sp.handle_upcall(&table, &mut cache, &hyp(0b101), 0.0).unwrap();
+        let out = sp
+            .handle_upcall(&table, &mut cache, &hyp(0b101), 0.0)
+            .unwrap();
         assert_eq!(out.action, Action::Deny);
         assert!(!out.installed);
         assert_eq!(cache.entry_count(), 1);
@@ -163,11 +173,15 @@ mod tests {
         assert_eq!(cache.entry_count(), 0);
         assert_eq!(sp.suppressed_upcalls(), 3);
         // Allowed traffic is unaffected.
-        let out = sp.handle_upcall(&table, &mut cache, &hyp(0b001), 0.0).unwrap();
+        let out = sp
+            .handle_upcall(&table, &mut cache, &hyp(0b001), 0.0)
+            .unwrap();
         assert!(out.installed);
         // Unsuppress and the deny megaflows come back.
         sp.unsuppress_rule(1);
-        let out = sp.handle_upcall(&table, &mut cache, &hyp(0b100), 0.0).unwrap();
+        let out = sp
+            .handle_upcall(&table, &mut cache, &hyp(0b100), 0.0)
+            .unwrap();
         assert!(out.installed);
     }
 

@@ -61,7 +61,14 @@ impl DatapathStats {
     }
 
     /// Record one processed packet.
-    pub fn record(&mut self, path: PathTaken, permitted: bool, masks: usize, cost: f64, bytes: usize) {
+    pub fn record(
+        &mut self,
+        path: PathTaken,
+        permitted: bool,
+        masks: usize,
+        cost: f64,
+        bytes: usize,
+    ) {
         match path {
             PathTaken::Microflow => self.microflow_hits += 1,
             PathTaken::Megaflow => self.megaflow_hits += 1,
@@ -76,6 +83,19 @@ impl DatapathStats {
         }
         self.masks_scanned += masks as u64;
         self.busy_seconds += cost;
+    }
+
+    /// Fold another accumulator into this one (used by the batch entry point, which
+    /// accumulates into a batch-local instance and merges once).
+    pub fn merge(&mut self, other: &DatapathStats) {
+        self.microflow_hits += other.microflow_hits;
+        self.megaflow_hits += other.megaflow_hits;
+        self.upcalls += other.upcalls;
+        self.allowed += other.allowed;
+        self.denied += other.denied;
+        self.masks_scanned += other.masks_scanned;
+        self.busy_seconds += other.busy_seconds;
+        self.allowed_bytes += other.allowed_bytes;
     }
 
     /// Reset every counter (used between measurement intervals).

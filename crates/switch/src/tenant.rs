@@ -68,7 +68,11 @@ pub struct TenantAcl {
 impl TenantAcl {
     /// Build a tenant ACL.
     pub fn new(name: impl Into<String>, service_ip: u128, allows: Vec<AllowClause>) -> Self {
-        TenantAcl { name: name.into(), service_ip, allows }
+        TenantAcl {
+            name: name.into(),
+            service_ip,
+            allows,
+        }
     }
 
     /// The victim ACL used throughout §5: "allow destination port 80 to my service".
@@ -76,7 +80,10 @@ impl TenantAcl {
         TenantAcl::new(
             name,
             service_ip,
-            vec![AllowClause { field: AclField::DstPort, value: 80 }],
+            vec![AllowClause {
+                field: AclField::DstPort,
+                value: 80,
+            }],
         )
     }
 
@@ -87,9 +94,18 @@ impl TenantAcl {
             name,
             service_ip,
             vec![
-                AllowClause { field: AclField::DstPort, value: 80 },
-                AllowClause { field: AclField::SrcIp, value: 0x0a000001 },
-                AllowClause { field: AclField::SrcPort, value: 12345 },
+                AllowClause {
+                    field: AclField::DstPort,
+                    value: 80,
+                },
+                AllowClause {
+                    field: AclField::SrcIp,
+                    value: 0x0a000001,
+                },
+                AllowClause {
+                    field: AclField::SrcPort,
+                    value: 12345,
+                },
             ],
         )
     }
@@ -139,7 +155,11 @@ pub fn merge_tenant_acls(schema: &FieldSchema, tenants: &[TenantAcl]) -> FlowTab
 
 /// Convenience: the merged table for the canonical §5 topology — a victim web service
 /// plus a co-located attacker with the Fig. 6 full-blown ACL.
-pub fn victim_and_attacker_table(schema: &FieldSchema, victim_ip: u128, attacker_ip: u128) -> FlowTable {
+pub fn victim_and_attacker_table(
+    schema: &FieldSchema,
+    victim_ip: u128,
+    attacker_ip: u128,
+) -> FlowTable {
     merge_tenant_acls(
         schema,
         &[
@@ -223,8 +243,14 @@ mod tests {
             "openstack-tenant",
             VICTIM_IP,
             vec![
-                AllowClause { field: AclField::DstPort, value: 80 },
-                AllowClause { field: AclField::SrcIp, value: 0x0a000001 },
+                AllowClause {
+                    field: AclField::DstPort,
+                    value: 80,
+                },
+                AllowClause {
+                    field: AclField::SrcIp,
+                    value: 0x0a000001,
+                },
             ],
         );
         assert_eq!(acl.len(), 2);

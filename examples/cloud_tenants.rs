@@ -12,7 +12,11 @@ fn main() {
         "{:<16} {:>10} {:>22} {:>14}",
         "platform", "line rate", "strongest scenario", "mask ceiling"
     );
-    for platform in [CloudPlatform::Synthetic, CloudPlatform::OpenStack, CloudPlatform::Kubernetes] {
+    for platform in [
+        CloudPlatform::Synthetic,
+        CloudPlatform::OpenStack,
+        CloudPlatform::Kubernetes,
+    ] {
         println!(
             "{:<16} {:>8.1} G {:>22} {:>14}",
             platform.name(),
@@ -26,5 +30,9 @@ fn main() {
     let victim = TenantAcl::web_service("victim", 0x0a00_0063);
     let attacker = CloudPlatform::Kubernetes.attacker_acl(Scenario::SipSpDp, 0x0a00_00c8);
     let table = merge_tenant_acls(&schema, &[victim, attacker]);
-    println!("\nmerged hypervisor flow table ({} rules):\n{}", table.len(), table.render());
+    println!(
+        "\nmerged hypervisor flow table ({} rules):\n{}",
+        table.len(),
+        table.render()
+    );
 }

@@ -24,12 +24,20 @@ fn main() {
     let datapath = Datapath::new(table);
 
     // Victim: a 10 Gbps iperf session towards its web service.
-    let victims = vec![VictimFlow::iperf_tcp("victim", 0x0a00_0005, VICTIM_IP, 10.0)];
+    let victims = vec![VictimFlow::iperf_tcp(
+        "victim",
+        0x0a00_0005,
+        VICTIM_IP,
+        10.0,
+    )];
 
     // Attacker: co-located trace against its *own* ACL (destination = attacker's service),
     // 100 pps from t = 30 s for 30 s.
     let mut base = schema.zero_value();
-    base.set(schema.field_index("ip_dst").unwrap(), u128::from(ATTACKER_IP));
+    base.set(
+        schema.field_index("ip_dst").unwrap(),
+        u128::from(ATTACKER_IP),
+    );
     let keys = scenario_trace(&schema, Scenario::SipSpDp, &base);
     let mut rng = StdRng::seed_from_u64(42);
     let attack = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 30.0, 3000);

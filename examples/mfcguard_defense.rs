@@ -6,14 +6,19 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use tse::prelude::*;
 use tse::mitigation::cpu_model::SlowPathCpuModel;
+use tse::prelude::*;
 
 fn main() {
     let schema = FieldSchema::ovs_ipv4();
     let table = Scenario::SipSpDp.flow_table(&schema);
 
-    let victims = vec![VictimFlow::iperf_tcp("victim", 0x0a00_0005, 0x0a00_0063, 10.0)];
+    let victims = vec![VictimFlow::iperf_tcp(
+        "victim",
+        0x0a00_0005,
+        0x0a00_0063,
+        10.0,
+    )];
     let keys = scenario_trace(&schema, Scenario::SipSpDp, &schema.zero_value());
     let mut rng = StdRng::seed_from_u64(1);
     let attack = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 1000.0, 10.0, 60_000);
@@ -36,6 +41,10 @@ fn main() {
     let cpu = SlowPathCpuModel::ovs_vswitchd_default();
     println!("\nMFCGuard cost (slow-path CPU, Fig. 9c):");
     for rate in [100.0, 1_000.0, 10_000.0, 50_000.0] {
-        println!("  {:>7.0} pps -> {:>6.1} % CPU", rate, cpu.utilization_percent(rate));
+        println!(
+            "  {:>7.0} pps -> {:>6.1} % CPU",
+            rate,
+            cpu.utilization_percent(rate)
+        );
     }
 }

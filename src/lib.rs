@@ -8,7 +8,15 @@
 //! that regenerates every figure of the paper's evaluation.
 //!
 //! This facade crate re-exports the public API of the workspace crates so downstream
-//! users can depend on a single crate:
+//! users can depend on a single crate.
+//!
+//! ## The pluggable fast path
+//!
+//! The datapath is generic over a [`prelude::FastPathBackend`]: the TSS megaflow cache
+//! ([`prelude::TupleSpace`], the default — the structure the attack explodes) or any of
+//! the §7 attack-immune baselines (linear search, hierarchical tries, HyperCuts)
+//! wrapped in [`prelude::BaselineBackend`]. Construction goes through the fluent
+//! [`prelude::DatapathBuilder`]:
 //!
 //! ```
 //! use tse::prelude::*;
@@ -16,12 +24,30 @@
 //! // Build the Fig. 6 ACL, attack it with the co-located trace, count the masks.
 //! let schema = FieldSchema::ovs_ipv4();
 //! let table = Scenario::SipDp.flow_table(&schema);
-//! let mut dp = Datapath::new(table);
+//! let mut dp = Datapath::builder(table).build();
 //! for key in scenario_trace(&schema, Scenario::SipDp, &schema.zero_value()) {
 //!     dp.process_key(&key, 64, 0.0);
 //! }
 //! assert!(dp.mask_count() > 400);
+//!
+//! // The same attack against a hierarchical-trie fast path grows nothing.
+//! let table = Scenario::SipDp.flow_table(&schema);
+//! let mut trie_dp = Datapath::builder(table).backend_fresh::<TrieBackend>().build();
+//! for key in scenario_trace(&schema, Scenario::SipDp, &schema.zero_value()) {
+//!     trie_dp.process_key(&key, 64, 0.0);
+//! }
+//! assert_eq!(trie_dp.mask_count(), 0);
 //! ```
+//!
+//! ## Batched processing
+//!
+//! [`prelude::Datapath::process_batch`] pushes a slice of `(header, wire_bytes)` pairs
+//! through the datapath at a single timestamp, amortising the idle-expiry check and
+//! stats bookkeeping over the whole batch and short-circuiting runs of identical
+//! headers. Packets are processed in order; per-packet verdicts are identical to a
+//! [`prelude::Datapath::process_key`] loop at the same time, while per-entry hit
+//! counters advance once per run of identical headers (see
+//! [`prelude::BatchReport`] for the full semantics).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +67,10 @@ pub mod prelude {
     pub use tse_attack::general::random_trace;
     pub use tse_attack::scenarios::Scenario;
     pub use tse_attack::trace::AttackTrace;
+    pub use tse_classifier::backend::{
+        BaselineBackend, FastPathBackend, HyperCutsBackend, LinearSearchBackend, TableBacked,
+        TrieBackend,
+    };
     pub use tse_classifier::baseline::{Classifier, HierarchicalTrie, HyperCuts, LinearSearch};
     pub use tse_classifier::flowtable::FlowTable;
     pub use tse_classifier::rule::{Action, Rule};
@@ -56,6 +86,6 @@ pub mod prelude {
     pub use tse_simnet::runner::{ExperimentRunner, Timeline};
     pub use tse_simnet::traffic::VictimFlow;
     pub use tse_switch::cost::CostModel;
-    pub use tse_switch::datapath::{Datapath, DatapathConfig};
+    pub use tse_switch::datapath::{BatchReport, Datapath, DatapathBuilder, DatapathConfig};
     pub use tse_switch::tenant::{merge_tenant_acls, AclField, AllowClause, TenantAcl};
 }

@@ -14,7 +14,10 @@ fn colocated_reaches_paper_mask_counts() {
     ] {
         let table = scenario.flow_table(&schema);
         let mut dp = Datapath::new(table);
-        for (i, key) in scenario_trace(&schema, scenario, &schema.zero_value()).iter().enumerate() {
+        for (i, key) in scenario_trace(&schema, scenario, &schema.zero_value())
+            .iter()
+            .enumerate()
+        {
             dp.process_key(key, 64, i as f64 * 1e-4);
         }
         let masks = dp.mask_count();
@@ -35,7 +38,10 @@ fn full_blown_attack_is_in_the_8200_mask_regime() {
     let schema = FieldSchema::ovs_ipv4();
     let table = Scenario::SipSpDp.flow_table(&schema);
     let mut dp = Datapath::new(table);
-    for (i, key) in scenario_trace(&schema, Scenario::SipSpDp, &schema.zero_value()).iter().enumerate() {
+    for (i, key) in scenario_trace(&schema, Scenario::SipSpDp, &schema.zero_value())
+        .iter()
+        .enumerate()
+    {
         dp.process_key(key, 64, i as f64 * 1e-5);
     }
     let masks = dp.mask_count();
@@ -79,5 +85,9 @@ fn attack_bandwidth_stays_low_rate() {
     let keys = scenario_trace(&schema, Scenario::SipSpDp, &schema.zero_value());
     let mut rng = StdRng::seed_from_u64(5);
     let trace = AttackTrace::from_keys(&mut rng, &schema, &keys, 1000.0, 0.0);
-    assert!(trace.bandwidth_bps() < 1.0e6, "attack uses {} bps", trace.bandwidth_bps());
+    assert!(
+        trace.bandwidth_bps() < 1.0e6,
+        "attack uses {} bps",
+        trace.bandwidth_bps()
+    );
 }

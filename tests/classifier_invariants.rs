@@ -14,7 +14,9 @@ fn datapath_never_misclassifies() {
     let mut dp = Datapath::new(table);
     let mut rng_state = 0x12345678u64;
     for i in 0..2000u32 {
-        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let src = (rng_state >> 32) as u32;
         let sport = (rng_state >> 16) as u16;
         let dport = rng_state as u16;
@@ -72,6 +74,13 @@ fn baselines_agree_with_tss_and_stay_flat() {
     }
     // The attack exploded the TSS mask count, but the baselines' work is unchanged by
     // traffic — it only depends on the 3-rule table.
-    assert!(dp.mask_count() > 50, "TSS should have exploded: {}", dp.mask_count());
-    assert!(max_work < 200, "baseline lookup work must stay small: {max_work}");
+    assert!(
+        dp.mask_count() > 50,
+        "TSS should have exploded: {}",
+        dp.mask_count()
+    );
+    assert!(
+        max_work < 200,
+        "baseline lookup work must stay small: {max_work}"
+    );
 }

@@ -15,10 +15,17 @@ fn fig9a_degradation_ordering() {
         let off = gro_off.degradation_percent(masks);
         let on = gro_on.degradation_percent(masks);
         let hw = fho.degradation_percent(masks);
-        assert!(on > hw && hw > off, "@{masks}: GRO ON {on:.1}% > FHO {hw:.1}% > GRO OFF {off:.1}%");
+        assert!(
+            on > hw && hw > off,
+            "@{masks}: GRO ON {on:.1}% > FHO {hw:.1}% > GRO OFF {off:.1}%"
+        );
     }
     for cfg in OffloadConfig::fig9a_set() {
-        assert!(cfg.degradation_percent(8200) < 6.0, "{} must collapse at 8200 masks", cfg.name);
+        assert!(
+            cfg.degradation_percent(8200) < 6.0,
+            "{} must collapse at 8200 masks",
+            cfg.name
+        );
     }
 }
 
@@ -45,9 +52,15 @@ fn measured_victim_cost_tracks_mask_count() {
     // magnitude from the first to the last sample.
     let first = samples.first().unwrap().1;
     let last = samples.last().unwrap().1;
-    assert!(last > 10.0 * first, "victim cost should grow >10x: {first} -> {last}");
+    assert!(
+        last > 10.0 * first,
+        "victim cost should grow >10x: {first} -> {last}"
+    );
     for pair in samples.windows(2) {
-        assert!(pair[1].1 >= pair[0].1 * 0.9, "cost should not drop as masks grow");
+        assert!(
+            pair[1].1 >= pair[0].1 * 0.9,
+            "cost should not drop as masks grow"
+        );
     }
 }
 
@@ -61,5 +74,8 @@ fn flow_completion_time_scales() {
     let fct_8200 = cfg.flow_completion_time(8200, 1.0);
     assert!(fct_17 > 1.5 * fct_base);
     assert!(fct_8200 > 200.0 * fct_base);
-    assert!(fct_8200 < 1000.0, "1 GB should still complete within ~17 minutes: {fct_8200}");
+    assert!(
+        fct_8200 < 1000.0,
+        "1 GB should still complete within ~17 minutes: {fct_8200}"
+    );
 }

@@ -72,11 +72,8 @@ fn chunked_strategies_respect_theorem_bound() {
             if cache.lookup(&h, 0.0).action.is_some() {
                 continue;
             }
-            match generate_megaflow(&table, &cache, &h, &strategy) {
-                Ok(g) => {
-                    cache.insert(g.key, g.mask, g.action, 0.0).unwrap();
-                }
-                Err(_) => {}
+            if let Ok(g) = generate_megaflow(&table, &cache, &h, &strategy) {
+                cache.insert(g.key, g.mask, g.action, 0.0).unwrap();
             }
         }
         let k = width.div_ceil(chunk);

@@ -19,14 +19,25 @@ fn build_attack(schema: &FieldSchema, rate: f64, start: f64, count: usize) -> At
 fn guard_preserves_victim_throughput() {
     let schema = FieldSchema::ovs_ipv4();
     let table = Scenario::SipDp.flow_table(&schema);
-    let victims = vec![VictimFlow::iperf_tcp("victim", 0x0a000005, 0x0a000063, 10.0)];
+    let victims = vec![VictimFlow::iperf_tcp(
+        "victim", 0x0a000005, 0x0a000063, 10.0,
+    )];
     let attack = build_attack(&schema, 500.0, 10.0, 25_000);
 
-    let mut unguarded = ExperimentRunner::new(Datapath::new(table.clone()), victims.clone(), OffloadConfig::gro_off());
+    let mut unguarded = ExperimentRunner::new(
+        Datapath::new(table.clone()),
+        victims.clone(),
+        OffloadConfig::gro_off(),
+    );
     let unguarded_tl = unguarded.run(&attack, 60.0);
 
-    let mut guarded = ExperimentRunner::new(Datapath::new(table), victims, OffloadConfig::gro_off())
-        .with_guard(MfcGuard::new(GuardConfig { mask_threshold: 50, ..GuardConfig::default() }));
+    let mut guarded =
+        ExperimentRunner::new(Datapath::new(table), victims, OffloadConfig::gro_off()).with_guard(
+            MfcGuard::new(GuardConfig {
+                mask_threshold: 50,
+                ..GuardConfig::default()
+            }),
+        );
     let guarded_tl = guarded.run(&attack, 60.0);
 
     let unguarded_mean = unguarded_tl.mean_total_between(25.0, 59.0);
@@ -35,14 +46,19 @@ fn guard_preserves_victim_throughput() {
         guarded_mean > 2.0 * unguarded_mean,
         "guard should at least double throughput under attack: {unguarded_mean:.2} vs {guarded_mean:.2} Gbps"
     );
-    assert!(guarded_mean > 4.0, "guarded victim should keep most of its capacity: {guarded_mean:.2}");
+    assert!(
+        guarded_mean > 4.0,
+        "guarded victim should keep most of its capacity: {guarded_mean:.2}"
+    );
 }
 
 #[test]
 fn unguarded_datapath_recovers_via_idle_timeout() {
     let schema = FieldSchema::ovs_ipv4();
     let table = Scenario::SipDp.flow_table(&schema);
-    let victims = vec![VictimFlow::iperf_tcp("victim", 0x0a000005, 0x0a000063, 10.0)];
+    let victims = vec![VictimFlow::iperf_tcp(
+        "victim", 0x0a000005, 0x0a000063, 10.0,
+    )];
     // Attack runs t=10..40 s.
     let keys = scenario_trace(&schema, Scenario::SipDp, &schema.zero_value());
     let mut rng = StdRng::seed_from_u64(3);
@@ -51,8 +67,14 @@ fn unguarded_datapath_recovers_via_idle_timeout() {
     let tl = runner.run(&attack, 70.0);
     let during = tl.mean_total_between(20.0, 39.0);
     let after = tl.mean_total_between(55.0, 69.0);
-    assert!(during < 4.0, "during the attack the victim is degraded: {during:.2}");
-    assert!(after > 8.0, "10 s after the attack the victim recovers: {after:.2}");
+    assert!(
+        during < 4.0,
+        "during the attack the victim is degraded: {during:.2}"
+    );
+    assert!(
+        after > 8.0,
+        "10 s after the attack the victim recovers: {after:.2}"
+    );
 }
 
 #[test]
@@ -63,14 +85,32 @@ fn guard_removes_only_drop_entries() {
     // Victim entry plus attack entries.
     let victim = PacketBuilder::tcp_v4([192, 168, 0, 2], [10, 0, 0, 99], 40000, 80).build();
     dp.process_packet(&victim, 0.0);
-    for (i, key) in scenario_trace(&schema, Scenario::SpDp, &schema.zero_value()).iter().enumerate() {
+    for (i, key) in scenario_trace(&schema, Scenario::SpDp, &schema.zero_value())
+        .iter()
+        .enumerate()
+    {
         dp.process_key(key, 64, 0.01 + i as f64 * 1e-4);
     }
-    let allows_before = dp.megaflow().entries().filter(|e| e.action == Action::Allow).count();
+    let allows_before = dp
+        .megaflow()
+        .entries()
+        .filter(|e| e.action == Action::Allow)
+        .count();
     let mut guard = MfcGuard::new(GuardConfig::default());
     guard.run_once(&mut dp, 1.0, 100.0);
-    let allows_after = dp.megaflow().entries().filter(|e| e.action == Action::Allow).count();
-    let denies_after = dp.megaflow().entries().filter(|e| e.action == Action::Deny).count();
-    assert_eq!(allows_before, allows_after, "allow entries must never be deleted");
+    let allows_after = dp
+        .megaflow()
+        .entries()
+        .filter(|e| e.action == Action::Allow)
+        .count();
+    let denies_after = dp
+        .megaflow()
+        .entries()
+        .filter(|e| e.action == Action::Deny)
+        .count();
+    assert_eq!(
+        allows_before, allows_after,
+        "allow entries must never be deleted"
+    );
     assert_eq!(denies_after, 0, "all TSE drop entries must be wiped");
 }
