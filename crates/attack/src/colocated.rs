@@ -35,31 +35,66 @@ pub fn bit_inversion_list(width: u32, allow_value: u128) -> Vec<u128> {
 /// of the per-field bit-inversion lists. Untargeted fields keep the value given in
 /// `base`, so the caller can pin e.g. the destination IP to the attacker's own service.
 pub fn bit_inversion_trace(schema: &FieldSchema, allows: &[(usize, u128)], base: &Key) -> Vec<Key> {
+    bit_inversion_keys(schema, allows, base).collect()
+}
+
+/// The lazy form of [`bit_inversion_trace`]: an iterator walking the outer product of
+/// the per-field bit-inversion lists without materialising the key vector. It is
+/// `Clone`, so `bit_inversion_keys(..).cycle()` gives the looping-replay attacker as an
+/// unbounded stream — the generator form consumed by
+/// [`AttackGenerator`](crate::source::AttackGenerator).
+pub fn bit_inversion_keys(
+    schema: &FieldSchema,
+    allows: &[(usize, u128)],
+    base: &Key,
+) -> BitInversionKeys {
     let lists: Vec<(usize, Vec<u128>)> = allows
         .iter()
         .map(|&(field, value)| (field, bit_inversion_list(schema.width(field), value)))
         .collect();
-    let mut out = Vec::new();
-    let mut indices = vec![0usize; lists.len()];
-    loop {
-        let mut key = base.clone();
-        for (slot, (field, list)) in lists.iter().enumerate() {
-            key.set(*field, list[indices[slot]]);
+    BitInversionKeys {
+        indices: vec![0usize; lists.len()],
+        lists,
+        base: base.clone(),
+        done: false,
+    }
+}
+
+/// Iterator over the Co-located outer-product key trace (see [`bit_inversion_keys`]).
+#[derive(Debug, Clone)]
+pub struct BitInversionKeys {
+    lists: Vec<(usize, Vec<u128>)>,
+    indices: Vec<usize>,
+    base: Key,
+    done: bool,
+}
+
+impl Iterator for BitInversionKeys {
+    type Item = Key;
+
+    fn next(&mut self) -> Option<Key> {
+        if self.done {
+            return None;
         }
-        out.push(key);
-        // Advance the odometer.
-        let mut pos = lists.len();
+        let mut key = self.base.clone();
+        for (slot, (field, list)) in self.lists.iter().enumerate() {
+            key.set(*field, list[self.indices[slot]]);
+        }
+        // Advance the odometer; a full wrap ends the iteration.
+        let mut pos = self.lists.len();
         loop {
             if pos == 0 {
-                return out;
-            }
-            pos -= 1;
-            indices[pos] += 1;
-            if indices[pos] < lists[pos].1.len() {
+                self.done = true;
                 break;
             }
-            indices[pos] = 0;
+            pos -= 1;
+            self.indices[pos] += 1;
+            if self.indices[pos] < self.lists[pos].1.len() {
+                break;
+            }
+            self.indices[pos] = 0;
         }
+        Some(key)
     }
 }
 
@@ -67,8 +102,20 @@ pub fn bit_inversion_trace(schema: &FieldSchema, allows: &[(usize, u128)], base:
 /// `base` pins the untargeted fields (destination IP of the attacker's service, IP
 /// protocol, etc.).
 pub fn scenario_trace(schema: &FieldSchema, scenario: Scenario, base: &Key) -> Vec<Key> {
+    scenario_key_iter(schema, scenario, base).collect()
+}
+
+/// Lazy form of [`scenario_trace`]: the Co-located key sequence for a scenario as a
+/// cloneable iterator (empty for [`Scenario::Baseline`]). `scenario_key_iter(..).cycle()`
+/// is the cyclic-replay attacker without a materialised trace.
+pub fn scenario_key_iter(schema: &FieldSchema, scenario: Scenario, base: &Key) -> BitInversionKeys {
     if !scenario.has_attack_traffic() {
-        return Vec::new();
+        return BitInversionKeys {
+            lists: Vec::new(),
+            indices: Vec::new(),
+            base: base.clone(),
+            done: true,
+        };
     }
     let allows: Vec<(usize, u128)> = scenario
         .target_fields()
@@ -80,7 +127,7 @@ pub fn scenario_trace(schema: &FieldSchema, scenario: Scenario, base: &Key) -> V
             )
         })
         .collect();
-    bit_inversion_trace(schema, &allows, base)
+    bit_inversion_keys(schema, &allows, base)
 }
 
 /// Number of packets the Co-located trace contains for a scenario (Π (w_i + 1)).
@@ -177,6 +224,25 @@ mod tests {
         let base = schema.zero_value();
         assert_eq!(scenario_trace(&schema, Scenario::Dp, &base).len(), 17);
         assert!(scenario_trace(&schema, Scenario::Baseline, &base).is_empty());
+    }
+
+    #[test]
+    fn lazy_iterator_matches_materialised_trace() {
+        let schema = FieldSchema::ovs_ipv4();
+        let base = schema.zero_value();
+        for scenario in Scenario::ALL {
+            let eager = scenario_trace(&schema, scenario, &base);
+            let lazy: Vec<_> = scenario_key_iter(&schema, scenario, &base).collect();
+            assert_eq!(eager, lazy, "{scenario}");
+        }
+        // Cycling the cloneable iterator reproduces the cyclic replay.
+        let cycled: Vec<_> = scenario_key_iter(&schema, Scenario::Dp, &base)
+            .cycle()
+            .take(40)
+            .collect();
+        let eager = scenario_trace(&schema, Scenario::Dp, &base);
+        assert_eq!(cycled[17], eager[0]);
+        assert_eq!(cycled[39], eager[39 % 17]);
     }
 
     #[test]

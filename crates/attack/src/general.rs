@@ -48,6 +48,50 @@ pub fn random_trace_on_fields<R: Rng + ?Sized>(
         .collect()
 }
 
+/// The unbounded, lazy form of the General TSE: an infinite iterator of random attack
+/// headers, one draw per pull — the key stream behind a
+/// [`AttackGenerator`](crate::source::AttackGenerator) that never materialises a trace.
+/// Draws match [`random_trace`] for the same RNG state and scenario.
+#[derive(Debug, Clone)]
+pub struct RandomKeys<R> {
+    widths: Vec<(usize, u32)>,
+    base: Key,
+    rng: R,
+}
+
+impl<R: Rng> RandomKeys<R> {
+    /// Random headers for a scenario's targeted fields; untargeted fields keep `base`.
+    pub fn new(rng: R, schema: &FieldSchema, scenario: Scenario, base: &Key) -> Self {
+        let fields: Vec<usize> = scenario
+            .target_fields()
+            .iter()
+            .map(|t| schema.field_index(t.name).expect("schema field"))
+            .collect();
+        Self::on_fields(rng, schema, &fields, base)
+    }
+
+    /// Random headers over an explicit field set.
+    pub fn on_fields(rng: R, schema: &FieldSchema, fields: &[usize], base: &Key) -> Self {
+        RandomKeys {
+            widths: fields.iter().map(|&f| (f, schema.width(f))).collect(),
+            base: base.clone(),
+            rng,
+        }
+    }
+}
+
+impl<R: Rng> Iterator for RandomKeys<R> {
+    type Item = Key;
+
+    fn next(&mut self) -> Option<Key> {
+        let mut key = self.base.clone();
+        for &(f, width) in &self.widths {
+            key.set(f, random_field_value(&mut self.rng, width));
+        }
+        Some(key)
+    }
+}
+
 /// Draw a uniform random value of the given bit width.
 pub fn random_field_value<R: Rng + ?Sized>(rng: &mut R, width: u32) -> u128 {
     let raw: u128 = ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128;
@@ -117,6 +161,24 @@ mod tests {
             50,
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_keys_stream_matches_materialised_trace() {
+        let schema = FieldSchema::ovs_ipv4();
+        let base = schema.zero_value();
+        let eager = random_trace(
+            &mut StdRng::seed_from_u64(13),
+            &schema,
+            Scenario::SipDp,
+            &base,
+            80,
+        );
+        let lazy: Vec<_> =
+            RandomKeys::new(StdRng::seed_from_u64(13), &schema, Scenario::SipDp, &base)
+                .take(80)
+                .collect();
+        assert_eq!(eager, lazy);
     }
 
     #[test]

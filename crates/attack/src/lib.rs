@@ -13,7 +13,11 @@
 //! * [`expectation`] — the analytic model (Eq. 1/2, Appendix 11.3) for the expected
 //!   number of masks sparked by `n` random packets — the "E" curves of Fig. 9b;
 //! * [`bounds`] — the Theorem 4.1/4.2 space–time trade-off bounds;
-//! * [`trace`] — turning header sequences into timed, noise-randomised packet traces.
+//! * [`trace`] — turning header sequences into timed, noise-randomised packet traces;
+//! * [`source`] — the streaming form: pull-based [`source::TrafficSource`] event
+//!   streams ([`trace::AttackTrace`] replay, the lazy [`source::AttackGenerator`]) and
+//!   the [`source::TrafficMix`] timestamp merge that composes them into experiment
+//!   workloads.
 //!
 //! Everything here is *generation and analysis*: the effect on a switch is measured by
 //! feeding these traces into `tse-switch` / `tse-simnet`.
@@ -26,11 +30,18 @@ pub mod colocated;
 pub mod expectation;
 pub mod general;
 pub mod scenarios;
+pub mod source;
 pub mod trace;
 
 pub use bounds::{multi_field_bound, multi_field_extremes, single_field_curve, TradeoffPoint};
-pub use colocated::{bit_inversion_list, bit_inversion_trace, scenario_trace};
+pub use colocated::{
+    bit_inversion_keys, bit_inversion_list, bit_inversion_trace, scenario_key_iter, scenario_trace,
+    BitInversionKeys,
+};
 pub use expectation::ExpectationModel;
-pub use general::{random_trace, random_trace_on_fields};
+pub use general::{random_trace, random_trace_on_fields, RandomKeys};
 pub use scenarios::{Scenario, TargetField};
+pub use source::{
+    AttackGenerator, EventPayload, SourceRole, TraceSource, TrafficEvent, TrafficMix, TrafficSource,
+};
 pub use trace::{AttackTrace, TimedPacket};

@@ -4,7 +4,7 @@
 //! the paper's expected maximum number of MFC masks for the Co-located attack.
 
 use tse_classifier::flowtable::FlowTable;
-use tse_packet::fields::FieldSchema;
+use tse_packet::fields::{FieldSchema, Key};
 
 /// The allowed values of the Fig. 6 ACL.
 pub mod fig6 {
@@ -119,6 +119,13 @@ impl Scenario {
             .iter()
             .map(|t| schema.width(schema.field_index(t.name).expect("field")) as usize)
             .product::<usize>()
+    }
+
+    /// The Co-located key sequence for this scenario as a lazy, cloneable iterator
+    /// (see [`crate::colocated::scenario_key_iter`]); `.cycle()` it for the
+    /// looping-replay attacker without materialising a trace.
+    pub fn key_iter(&self, schema: &FieldSchema, base: &Key) -> crate::colocated::BitInversionKeys {
+        crate::colocated::scenario_key_iter(schema, *self, base)
     }
 
     /// Total targeted header bits (the `h` of Eq. 1).

@@ -1,0 +1,520 @@
+//! Pull-based traffic sources: the streaming experiment-construction API.
+//!
+//! The paper's experiments all reduce to "some mix of victim traffic and crafted
+//! tuple-space-explosion traffic hitting one datapath over time". This module expresses
+//! that directly: a [`TrafficSource`] lazily yields timestamped classification events,
+//! and a [`TrafficMix`] k-way-merges any number of sources by timestamp. An
+//! [`AttackTrace`](crate::trace::AttackTrace) is one source
+//! ([`TraceSource`]); [`AttackGenerator`] is the lazy form that synthesizes explosion
+//! traffic on the fly instead of materialising a packet vector; victim flows (in
+//! `tse-simnet`) are another. The experiment runner drains the merged stream — a
+//! 100-million-packet scenario never has to exist in memory at once, and multi-attacker
+//! or staggered-onset mixes are just more sources.
+
+use rand::Rng;
+
+use tse_packet::builder::PacketBuilder;
+use tse_packet::fields::{FieldSchema, Key};
+use tse_packet::flowkey::FlowKey;
+use tse_packet::l4::IpProto;
+
+use crate::trace::AttackTrace;
+
+/// What an event means to the consumer (the experiment runner).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventPayload {
+    /// A concrete packet to replay through the datapath at its timestamp. The event's
+    /// cost is charged against the shared CPU budget.
+    Packet,
+    /// A victim-side measurement probe: the consumer refreshes the flow's fast-path
+    /// entry, reads off the current per-invocation cost, and converts leftover CPU into
+    /// delivered throughput for a flow offering `offered_gbps`.
+    Probe {
+        /// The probed flow's offered load in Gbps at this instant.
+        offered_gbps: f64,
+    },
+}
+
+/// One timestamped classification event emitted by a [`TrafficSource`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficEvent {
+    /// Event time in seconds from the start of the experiment.
+    pub time: f64,
+    /// The pre-extracted header key (what the fast path classifies on).
+    pub key: Key,
+    /// Wire bytes carried by this event (throughput accounting).
+    pub bytes: usize,
+    /// How the consumer should treat the event.
+    pub payload: EventPayload,
+}
+
+/// How a source participates in an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceRole {
+    /// Adversarial (or generally per-packet) traffic: every event is replayed through
+    /// the datapath and consumes CPU.
+    Attacker,
+    /// A victim flow: events are periodic probes, and the source is attributed a
+    /// delivered-throughput series in the timeline.
+    Victim,
+}
+
+/// A pull-based stream of timestamped classification events.
+///
+/// Implementations must yield events in nondecreasing `time` order; [`TrafficMix`]
+/// clamps regressions defensively, but a well-behaved source never relies on that.
+/// Sources may be unbounded (e.g. a victim flow that runs forever, or a General-TSE
+/// generator) — consumers pull only as far as the experiment horizon.
+pub trait TrafficSource {
+    /// Display label (per-source attribution in timelines, e.g. `"Attacker 2"`).
+    fn label(&self) -> &str;
+
+    /// How the source participates in an experiment (default: [`SourceRole::Attacker`]).
+    fn role(&self) -> SourceRole {
+        SourceRole::Attacker
+    }
+
+    /// The next event, or `None` when the source is exhausted.
+    fn next_event(&mut self) -> Option<TrafficEvent>;
+}
+
+/// A [`TrafficSource`] replaying a pre-materialised [`AttackTrace`].
+///
+/// Keys are extracted from the stored packets with the given schema, so replaying a
+/// trace through the keyed event pipeline classifies exactly the packets the trace
+/// holds (including their randomised noise fields, which are part of the OVS key).
+#[derive(Debug, Clone)]
+pub struct TraceSource<'a> {
+    label: String,
+    schema: FieldSchema,
+    trace: &'a AttackTrace,
+    cursor: usize,
+}
+
+impl<'a> TraceSource<'a> {
+    /// Wrap a trace. `schema` must be the OVS schema family matching the packets
+    /// (key extraction panics otherwise, exactly like [`FlowKey::to_key`]).
+    pub fn new(label: impl Into<String>, trace: &'a AttackTrace, schema: &FieldSchema) -> Self {
+        TraceSource {
+            label: label.into(),
+            schema: schema.clone(),
+            trace,
+            cursor: 0,
+        }
+    }
+}
+
+impl TrafficSource for TraceSource<'_> {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn next_event(&mut self) -> Option<TrafficEvent> {
+        let tp = self.trace.packets().get(self.cursor)?;
+        self.cursor += 1;
+        Some(TrafficEvent {
+            time: tp.time,
+            key: FlowKey::from_packet(&tp.packet).to_key(&self.schema),
+            bytes: tp.packet.wire_len(),
+            payload: EventPayload::Packet,
+        })
+    }
+}
+
+/// The lazy generator form of an attack trace: synthesizes explosion traffic on the
+/// fly from a key iterator instead of materialising a `Vec<TimedPacket>`.
+///
+/// Packets are crafted exactly as [`AttackTrace::from_keys`] crafts them — same
+/// builder, same noise randomisation, same constant-rate timestamps — so a generator
+/// over the same keys, rate, start time and RNG seed emits an event stream identical
+/// to replaying the materialised trace, at O(1) memory for any packet count. Combine
+/// with [`crate::colocated::scenario_key_iter`] (cycled) or
+/// [`crate::general::RandomKeys`] for unbounded traffic.
+#[derive(Debug, Clone)]
+pub struct AttackGenerator<I, R> {
+    label: String,
+    schema: FieldSchema,
+    ip_src: usize,
+    ip_dst: usize,
+    tp_src: usize,
+    tp_dst: usize,
+    keys: I,
+    rng: R,
+    rate_pps: f64,
+    start_time: f64,
+    emitted: usize,
+    limit: Option<usize>,
+}
+
+impl<I, R> AttackGenerator<I, R>
+where
+    I: Iterator<Item = Key>,
+    R: Rng,
+{
+    /// Create a generator over the OVS IPv4 schema, sending one packet per key drawn
+    /// from `keys` at `rate_pps` starting at `start_time`. The stream ends when `keys`
+    /// does (pass a cycled iterator plus [`AttackGenerator::with_limit`] for the
+    /// "replay the pcap in a loop" attacker).
+    pub fn new(
+        label: impl Into<String>,
+        schema: &FieldSchema,
+        keys: I,
+        rng: R,
+        rate_pps: f64,
+        start_time: f64,
+    ) -> Self {
+        assert!(rate_pps > 0.0, "rate must be positive");
+        AttackGenerator {
+            label: label.into(),
+            ip_src: schema.field_index("ip_src").expect("IPv4 schema"),
+            ip_dst: schema.field_index("ip_dst").expect("IPv4 schema"),
+            tp_src: schema.field_index("tp_src").expect("IPv4 schema"),
+            tp_dst: schema.field_index("tp_dst").expect("IPv4 schema"),
+            schema: schema.clone(),
+            keys,
+            rng,
+            rate_pps,
+            start_time,
+            emitted: 0,
+            limit: None,
+        }
+    }
+
+    /// Cap the stream at `count` packets (the cyclic-replay form).
+    pub fn with_limit(mut self, count: usize) -> Self {
+        self.limit = Some(count);
+        self
+    }
+}
+
+impl<I, R> TrafficSource for AttackGenerator<I, R>
+where
+    I: Iterator<Item = Key>,
+    R: Rng,
+{
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn next_event(&mut self) -> Option<TrafficEvent> {
+        if let Some(limit) = self.limit {
+            if self.emitted >= limit {
+                return None;
+            }
+        }
+        let key = self.keys.next()?;
+        let packet = PacketBuilder::from_numeric_v4(
+            key.get(self.ip_src) as u32,
+            key.get(self.ip_dst) as u32,
+            IpProto::Tcp,
+            key.get(self.tp_src) as u16,
+            key.get(self.tp_dst) as u16,
+        )
+        .randomize_noise(&mut self.rng)
+        .build();
+        let time = self.start_time + self.emitted as f64 * (1.0 / self.rate_pps);
+        self.emitted += 1;
+        Some(TrafficEvent {
+            time,
+            key: FlowKey::from_packet(&packet).to_key(&self.schema),
+            bytes: packet.wire_len(),
+            payload: EventPayload::Packet,
+        })
+    }
+}
+
+/// A timestamp-ordered k-way merge over any number of [`TrafficSource`]s.
+///
+/// Events are pulled lazily; ties are broken by source insertion order, so e.g. victim
+/// probes sharing a timestamp are delivered in the order the victims were added. A
+/// source whose stream regresses in time is clamped to its own previous timestamp, so
+/// the merged stream is always nondecreasing.
+#[derive(Default)]
+pub struct TrafficMix<'a> {
+    sources: Vec<Box<dyn TrafficSource + 'a>>,
+    /// Per-source lookahead buffer (`None` before priming or after exhaustion).
+    heads: Vec<Option<TrafficEvent>>,
+    /// Last timestamp emitted by each source (for the monotonicity clamp).
+    last_times: Vec<f64>,
+    primed: bool,
+}
+
+impl std::fmt::Debug for TrafficMix<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrafficMix")
+            .field("labels", &self.labels())
+            .field("primed", &self.primed)
+            .finish()
+    }
+}
+
+impl<'a> TrafficMix<'a> {
+    /// An empty mix.
+    pub fn new() -> Self {
+        TrafficMix {
+            sources: Vec::new(),
+            heads: Vec::new(),
+            last_times: Vec::new(),
+            primed: false,
+        }
+    }
+
+    /// Add a source (fluent form).
+    pub fn with(mut self, source: impl TrafficSource + 'a) -> Self {
+        self.push(Box::new(source));
+        self
+    }
+
+    /// Add a boxed source.
+    pub fn push(&mut self, source: Box<dyn TrafficSource + 'a>) {
+        assert!(
+            !self.primed,
+            "cannot add sources to a TrafficMix after events have been pulled"
+        );
+        self.sources.push(source);
+        self.heads.push(None);
+        self.last_times.push(f64::NEG_INFINITY);
+    }
+
+    /// Number of sources in the mix.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True if the mix has no sources.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// The sources' labels, in insertion order.
+    pub fn labels(&self) -> Vec<String> {
+        self.sources.iter().map(|s| s.label().to_string()).collect()
+    }
+
+    /// The sources' roles, in insertion order.
+    pub fn roles(&self) -> Vec<SourceRole> {
+        self.sources.iter().map(|s| s.role()).collect()
+    }
+
+    fn refill(&mut self, i: usize) {
+        let mut ev = self.sources[i].next_event();
+        if let Some(e) = &mut ev {
+            // Defensive monotonicity clamp: a regressive source cannot drag the merged
+            // stream backwards in time.
+            if e.time < self.last_times[i] {
+                e.time = self.last_times[i];
+            }
+        }
+        self.heads[i] = ev;
+    }
+
+    fn prime(&mut self) {
+        if !self.primed {
+            for i in 0..self.sources.len() {
+                self.refill(i);
+            }
+            self.primed = true;
+        }
+    }
+
+    /// Timestamp of the next event without consuming it.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        self.prime();
+        self.heads
+            .iter()
+            .flatten()
+            .map(|e| e.time)
+            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+    }
+
+    /// The next event in merged timestamp order, tagged with its source index.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<(usize, TrafficEvent)> {
+        self.prime();
+        let mut best: Option<usize> = None;
+        for (i, head) in self.heads.iter().enumerate() {
+            if let Some(ev) = head {
+                match best {
+                    Some(b) if self.heads[b].as_ref().map(|e| e.time) <= Some(ev.time) => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        let i = best?;
+        let ev = self.heads[i].take().expect("best head present");
+        self.last_times[i] = ev.time;
+        self.refill(i);
+        Some((i, ev))
+    }
+
+    /// The next event only if its timestamp is strictly below `t_end` — the primitive
+    /// the event-driven runner uses to drain one sample interval at a time.
+    pub fn next_before(&mut self, t_end: f64) -> Option<(usize, TrafficEvent)> {
+        if self.peek_time()? < t_end {
+            self.next()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colocated::{scenario_key_iter, scenario_trace};
+    use crate::scenarios::Scenario;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A scripted source for merge tests.
+    struct Scripted {
+        label: String,
+        times: Vec<f64>,
+        at: usize,
+    }
+
+    impl Scripted {
+        fn new(label: &str, times: Vec<f64>) -> Self {
+            Scripted {
+                label: label.into(),
+                times,
+                at: 0,
+            }
+        }
+    }
+
+    impl TrafficSource for Scripted {
+        fn label(&self) -> &str {
+            &self.label
+        }
+
+        fn next_event(&mut self) -> Option<TrafficEvent> {
+            let t = *self.times.get(self.at)?;
+            self.at += 1;
+            Some(TrafficEvent {
+                time: t,
+                key: FieldSchema::hyp().zero_value(),
+                bytes: 64,
+                payload: EventPayload::Packet,
+            })
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_time_with_stable_ties() {
+        let mut mix = TrafficMix::new()
+            .with(Scripted::new("a", vec![0.0, 2.0, 2.0, 5.0]))
+            .with(Scripted::new("b", vec![1.0, 2.0, 3.0]));
+        let mut got = Vec::new();
+        while let Some((i, ev)) = mix.next() {
+            got.push((i, ev.time));
+        }
+        assert_eq!(
+            got,
+            vec![
+                (0, 0.0),
+                (1, 1.0),
+                (0, 2.0),
+                (0, 2.0),
+                (1, 2.0),
+                (1, 3.0),
+                (0, 5.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn next_before_respects_the_boundary() {
+        let mut mix = TrafficMix::new().with(Scripted::new("a", vec![0.5, 1.5]));
+        assert_eq!(mix.next_before(1.0).unwrap().1.time, 0.5);
+        assert!(mix.next_before(1.0).is_none());
+        assert_eq!(mix.next_before(2.0).unwrap().1.time, 1.5);
+        assert!(mix.next_before(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn regressive_source_is_clamped() {
+        let mut mix = TrafficMix::new().with(Scripted::new("bad", vec![3.0, 1.0, 4.0]));
+        let times: Vec<f64> = std::iter::from_fn(|| mix.next())
+            .map(|(_, e)| e.time)
+            .collect();
+        assert_eq!(times, vec![3.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn trace_source_replays_the_trace_exactly() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut rng = StdRng::seed_from_u64(5);
+        let keys = scenario_trace(&schema, Scenario::Dp, &schema.zero_value());
+        let trace = AttackTrace::from_keys(&mut rng, &schema, &keys, 50.0, 2.0);
+        let mut src = TraceSource::new("atk", &trace, &schema);
+        let mut n = 0;
+        while let Some(ev) = src.next_event() {
+            let tp = &trace.packets()[n];
+            assert_eq!(ev.time, tp.time);
+            assert_eq!(ev.key, FlowKey::from_packet(&tp.packet).to_key(&schema));
+            assert_eq!(ev.bytes, tp.packet.wire_len());
+            assert_eq!(ev.payload, EventPayload::Packet);
+            n += 1;
+        }
+        assert_eq!(n, trace.len());
+        assert_eq!(src.role(), SourceRole::Attacker);
+    }
+
+    #[test]
+    fn generator_matches_materialised_trace() {
+        // The lazy generator over the same keys, seed, rate and start time emits the
+        // exact event stream of the materialised AttackTrace — without the Vec.
+        let schema = FieldSchema::ovs_ipv4();
+        let keys = scenario_trace(&schema, Scenario::SpDp, &schema.zero_value());
+        let trace = AttackTrace::from_keys_cyclic(
+            &mut StdRng::seed_from_u64(42),
+            &schema,
+            &keys,
+            250.0,
+            10.0,
+            700,
+        );
+        let mut lazy = AttackGenerator::new(
+            "atk",
+            &schema,
+            scenario_key_iter(&schema, Scenario::SpDp, &schema.zero_value())
+                .cycle()
+                .take(700),
+            StdRng::seed_from_u64(42),
+            250.0,
+            10.0,
+        );
+        let mut reference = TraceSource::new("atk", &trace, &schema);
+        let mut count = 0;
+        loop {
+            match (reference.next_event(), lazy.next_event()) {
+                (None, None) => break,
+                (a, b) => {
+                    assert_eq!(a, b, "event {count} diverged");
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(count, 700);
+    }
+
+    #[test]
+    fn generator_limit_caps_an_infinite_stream() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut gen = AttackGenerator::new(
+            "atk",
+            &schema,
+            scenario_key_iter(&schema, Scenario::Dp, &schema.zero_value()).cycle(),
+            StdRng::seed_from_u64(1),
+            100.0,
+            0.0,
+        )
+        .with_limit(23);
+        let mut n = 0;
+        while gen.next_event().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 23);
+    }
+}

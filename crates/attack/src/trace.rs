@@ -99,6 +99,17 @@ impl AttackTrace {
         &self.packets
     }
 
+    /// View the trace as a pull-based [`TrafficSource`](crate::source::TrafficSource)
+    /// replaying its packets as keyed events under `schema` — the adapter that plugs a
+    /// materialised trace into a [`TrafficMix`](crate::source::TrafficMix).
+    pub fn source<'a>(
+        &'a self,
+        label: impl Into<String>,
+        schema: &FieldSchema,
+    ) -> crate::source::TraceSource<'a> {
+        crate::source::TraceSource::new(label, self, schema)
+    }
+
     /// Number of packets in the trace.
     pub fn len(&self) -> usize {
         self.packets.len()

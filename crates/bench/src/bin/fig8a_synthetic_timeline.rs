@@ -14,6 +14,7 @@ use tse_simnet::traffic::VictimFlow;
 use tse_switch::datapath::Datapath;
 
 fn main() {
+    let duration = tse_bench::duration_arg(90.0);
     let schema = FieldSchema::ovs_ipv4();
     let table = Scenario::SipDp.flow_table(&schema);
     let victims = vec![
@@ -27,7 +28,7 @@ fn main() {
     let attack = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 30.0, 3000);
 
     let mut runner = ExperimentRunner::new(Datapath::new(table), victims, OffloadConfig::gro_off());
-    let timeline = runner.run(&attack, 90.0);
+    let timeline = runner.run(&attack, duration);
     println!("== Fig. 8a: synthetic timeline, 3 TCP victims, SipDp attack @100 pps, t1=30 s t2=60 s ==\n");
     println!("{}", timeline.render_table());
     println!(

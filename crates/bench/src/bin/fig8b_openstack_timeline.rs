@@ -1,40 +1,39 @@
 //! E-F8b: the OpenStack timeline of Fig. 8b — SipDp (the strongest pattern the OpenStack
 //! security-group API can express), attacker active 0–60 s and again from 90 s, victim
 //! (full-rate UDP iperf) joining at t = 30 s.
+//!
+//! The on/off attacker is expressed with the streaming API: two attack sources in one
+//! `TrafficMix` (no hand-stitched trace), the late-joining victim is a third source.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tse_attack::colocated::scenario_trace;
 use tse_attack::scenarios::Scenario;
+use tse_attack::source::TrafficMix;
 use tse_attack::trace::AttackTrace;
 use tse_packet::fields::FieldSchema;
 use tse_simnet::cloud::CloudPlatform;
 use tse_simnet::offload::OffloadConfig;
 use tse_simnet::runner::ExperimentRunner;
-use tse_simnet::traffic::VictimFlow;
+use tse_simnet::traffic::{VictimFlow, VictimSource};
 use tse_switch::cost::CostModel;
 use tse_switch::datapath::Datapath;
 
 fn main() {
+    let duration = tse_bench::duration_arg(120.0);
     let platform = CloudPlatform::OpenStack;
     let scenario = platform.clamp_scenario(Scenario::SipSpDp);
     let schema = FieldSchema::ovs_ipv4();
     let table = scenario.flow_table(&schema);
 
     // Victim: UDP iperf joining at t = 30 s, offered at the platform's line rate.
-    let victims =
-        vec![
-            VictimFlow::iperf_udp("Victim", 0x0a000005, 0x0a000063, platform.line_rate_gbps())
-                .active_between(30.0, f64::INFINITY),
-        ];
-    // Attacker: 100 pps, on during 0–60 s and again 90–120 s.
+    let victim = VictimFlow::iperf_udp("Victim", 0x0a000005, 0x0a000063, platform.line_rate_gbps())
+        .active_between(30.0, f64::INFINITY);
+    // Attacker: 100 pps, on during 0–60 s and again 90–120 s — two sources, one mix.
     let keys = scenario_trace(&schema, scenario, &schema.zero_value());
     let mut rng = StdRng::seed_from_u64(21);
     let first = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 0.0, 6000);
     let second = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 90.0, 3000);
-    let mut all: Vec<_> = first.packets().to_vec();
-    all.extend_from_slice(second.packets());
-    let attack = AttackTrace::from_timed(all);
 
     let offload = OffloadConfig {
         name: "OpenStack UDP",
@@ -42,8 +41,12 @@ fn main() {
         line_rate_gbps: platform.line_rate_gbps(),
         cost: CostModel::ovs_kernel_default(),
     };
-    let mut runner = ExperimentRunner::new(Datapath::new(table), victims, offload);
-    let timeline = runner.run(&attack, 120.0);
+    let mut runner = ExperimentRunner::new(Datapath::new(table), Vec::new(), offload);
+    let mix = TrafficMix::new()
+        .with(VictimSource::new(victim, &schema, runner.sample_interval))
+        .with(first.source("Attacker (1st wave)", &schema))
+        .with(second.source("Attacker (2nd wave)", &schema));
+    let timeline = runner.run_mix(mix, duration);
     println!(
         "== Fig. 8b: OpenStack (OVN), {} scenario, victim joins at t=30 s ==\n",
         scenario.name()

@@ -123,7 +123,7 @@ fn backend_matrix() {
     }
 }
 
-fn timelines() {
+fn timelines(duration: f64) {
     let schema = FieldSchema::ovs_ipv4();
     let scenario = Scenario::SipDp;
     let table = scenario.flow_table(&schema);
@@ -145,7 +145,7 @@ fn timelines() {
         victims.clone(),
         OffloadConfig::gro_off(),
     );
-    let trie_tl = trie_runner.run(&attack, 70.0);
+    let trie_tl = trie_runner.run(&attack, duration);
     println!("\n-- hierarchical tries --");
     println!("{}", trie_tl.render_table());
 
@@ -156,7 +156,7 @@ fn timelines() {
         victims,
         OffloadConfig::gro_off(),
     );
-    let hc_tl = hc_runner.run(&attack, 70.0);
+    let hc_tl = hc_runner.run(&attack, duration);
     println!("-- hypercuts --");
     println!("{}", hc_tl.render_table());
 
@@ -171,5 +171,5 @@ fn timelines() {
 
 fn main() {
     backend_matrix();
-    timelines();
+    timelines(tse_bench::duration_arg(70.0));
 }

@@ -14,6 +14,35 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Parse an optional `--duration <seconds>` / `--duration=<seconds>` CLI flag,
+/// falling back to `default`. Any other argument is an error (panics), so a typo in a
+/// CI smoke invocation fails the job instead of silently running full-length.
+///
+/// Every timeline figure binary accepts this flag so CI can smoke-run them with a
+/// short horizon (e.g. `fig9_backend_matrix -- --duration 10`) without touching the
+/// full-length defaults used to regenerate the paper's figures.
+pub fn duration_arg(default: f64) -> f64 {
+    let parse = |v: &str| -> f64 {
+        v.parse()
+            .unwrap_or_else(|e| panic!("bad --duration {v:?}: {e}"))
+    };
+    let mut duration = default;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--duration" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("--duration needs a value"));
+            duration = parse(&v);
+        } else if let Some(v) = a.strip_prefix("--duration=") {
+            duration = parse(v);
+        } else {
+            panic!("unknown argument {a:?}; the only supported flag is --duration <seconds>");
+        }
+    }
+    duration
+}
+
 /// Format a throughput value as `x.xx Gbps`.
 pub fn gbps(v: f64) -> String {
     format!("{v:7.3} Gbps")

@@ -5,12 +5,18 @@
 //!
 //! * [`offload`] — NIC offload configurations (GRO on/off, full hardware offload, UDP)
 //!   and their effect on bytes-per-classifier-invocation (§5.4);
-//! * [`traffic`] — iperf-like victim flows;
-//! * [`runner`] — the timeline experiment runner producing the Fig. 8 time series:
-//!   attack packets replayed through the datapath, victim throughput derived from the
-//!   measured per-invocation cost and the CPU left over;
+//! * [`traffic`] — iperf-like victim flows and their streaming form
+//!   ([`traffic::VictimSource`]);
+//! * [`runner`] — the event-driven timeline experiment runner producing the Fig. 8
+//!   time series: a [`TrafficMix`] of attacker and victim sources drained through the
+//!   datapath, victim throughput derived from the measured per-invocation cost and the
+//!   CPU left over, attributed per source;
 //! * [`cloud`] — the platform models (synthetic, OpenStack/OVN, Kubernetes/OVN) with
 //!   their ACL expressiveness limits and link rates (§5.5, §5.6, §7).
+//!
+//! The traffic-source abstraction itself ([`TrafficSource`], [`TrafficMix`], the
+//! attack-side sources) lives in `tse-attack`'s `source` module and is re-exported
+//! here for convenience.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,4 +29,7 @@ pub mod traffic;
 pub use cloud::{section7_mask_ceiling, CloudPlatform};
 pub use offload::OffloadConfig;
 pub use runner::{ExperimentRunner, Timeline, TimelineSample};
-pub use traffic::VictimFlow;
+pub use traffic::{VictimFlow, VictimSource};
+pub use tse_attack::source::{
+    AttackGenerator, EventPayload, SourceRole, TraceSource, TrafficEvent, TrafficMix, TrafficSource,
+};

@@ -1,31 +1,46 @@
-//! The timeline experiment runner: victims + attacker sharing one datapath, sampled once
-//! per second — the machinery behind Fig. 8a/8b/8c.
+//! The timeline experiment runner: an event-driven loop over composable traffic
+//! sources sharing one datapath, sampled once per second — the machinery behind
+//! Fig. 8a/8b/8c and any mix the streaming API can express.
 //!
-//! Attack packets are low-rate and are pushed through the datapath one by one (they are
-//! what mutates the cache). Victim flows are multi-gigabit, so simulating them per packet
-//! would be pointless; instead each interval probes the datapath with one representative
-//! packet per victim flow (which also keeps the victim's megaflow entry alive, exactly
-//! like the real traffic would), reads off the per-invocation cost, and converts the CPU
-//! budget left over from attack processing into achieved victim throughput.
+//! The runner drains a [`TrafficMix`] one sample interval at a time. Packet events
+//! (attack traffic) are low-rate and are pushed through the datapath in timestamped
+//! [`Datapath::process_timed_batch`] chunks (they are what mutates the cache). Victim
+//! flows are multi-gigabit, so simulating them per packet would be pointless; instead
+//! each victim source emits one mid-interval *probe* event per interval (which also
+//! keeps the victim's megaflow entry alive, exactly like the real traffic would), the
+//! runner reads off the per-invocation cost, and converts the CPU budget left over from
+//! attack processing into achieved victim throughput — attributed per source in the
+//! [`TimelineSample`]s.
+//!
+//! [`ExperimentRunner::run`] is the single-attack-trace entry point the original
+//! figure experiments use; it is a thin shim that wraps the trace and the stored
+//! victims into a [`TrafficMix`] and produces a timeline identical to the
+//! pre-streaming runner (asserted bit-for-bit by `tests/golden_runner_parity.rs`).
 
+use tse_attack::source::{EventPayload, SourceRole, TrafficEvent, TrafficMix};
 use tse_attack::trace::AttackTrace;
 use tse_classifier::backend::FastPathBackend;
 use tse_classifier::tss::TupleSpace;
 use tse_mitigation::guard::MfcGuard;
+use tse_packet::fields::Key;
 use tse_switch::datapath::Datapath;
 
 use crate::offload::OffloadConfig;
-use crate::traffic::VictimFlow;
+use crate::traffic::{VictimFlow, VictimSource};
 
 /// One per-interval sample of the experiment timeline.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimelineSample {
     /// Interval start time, seconds.
     pub time: f64,
-    /// Achieved throughput of each victim flow, Gbps (0 when the flow is inactive).
+    /// Achieved throughput of each victim flow, Gbps (0 when the flow is inactive),
+    /// in the order of [`Timeline::victim_names`].
     pub victim_gbps: Vec<f64>,
-    /// Attack packets sent during this interval.
+    /// Attack packets sent during this interval (all attacker sources combined).
     pub attacker_pps: f64,
+    /// Attack packets per second delivered by each attacker source during this
+    /// interval, in the order of [`Timeline::attacker_names`].
+    pub attacker_pps_by_source: Vec<f64>,
     /// Megaflow masks at the end of the interval.
     pub mask_count: usize,
     /// Megaflow entries at the end of the interval.
@@ -45,8 +60,11 @@ impl TimelineSample {
 /// A complete experiment timeline.
 #[derive(Debug, Clone, Default)]
 pub struct Timeline {
-    /// Victim flow names, in the order of [`TimelineSample::victim_gbps`].
+    /// Victim source names, in the order of [`TimelineSample::victim_gbps`].
     pub victim_names: Vec<String>,
+    /// Attacker source names, in the order of
+    /// [`TimelineSample::attacker_pps_by_source`].
+    pub attacker_names: Vec<String>,
     /// Per-second samples.
     pub samples: Vec<TimelineSample>,
 }
@@ -76,27 +94,59 @@ impl Timeline {
         }
     }
 
+    /// Mean delivered rate of one attacker source (by label) over a time window, pps.
+    pub fn mean_attacker_pps_between(&self, label: &str, start: f64, stop: f64) -> f64 {
+        let Some(idx) = self.attacker_names.iter().position(|n| n == label) else {
+            return 0.0;
+        };
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.time >= start && s.time < stop)
+            .map(|s| s.attacker_pps_by_source[idx])
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
     /// Render the timeline as an aligned text table (one row per second), the textual
-    /// equivalent of the Fig. 8 plots.
+    /// equivalent of the Fig. 8 plots. With more than one attacker source, a delivered
+    /// pps column is appended per attacker.
     pub fn render_table(&self) -> String {
+        let multi_attacker = self.attacker_names.len() > 1;
         let mut out = String::new();
         out.push_str("time_s");
         for name in &self.victim_names {
             out.push_str(&format!("\t{name}_gbps"));
         }
-        out.push_str("\tvictim_sum_gbps\tattack_pps\tmfc_masks\tmfc_entries\n");
+        out.push_str("\tvictim_sum_gbps\tattack_pps\tmfc_masks\tmfc_entries");
+        if multi_attacker {
+            for name in &self.attacker_names {
+                out.push_str(&format!("\t{name}_pps"));
+            }
+        }
+        out.push('\n');
         for s in &self.samples {
             out.push_str(&format!("{:6.0}", s.time));
             for v in &s.victim_gbps {
                 out.push_str(&format!("\t{v:9.3}"));
             }
             out.push_str(&format!(
-                "\t{:9.3}\t{:10.0}\t{:9}\t{:11}\n",
+                "\t{:9.3}\t{:10.0}\t{:9}\t{:11}",
                 s.total_victim_gbps(),
                 s.attacker_pps,
                 s.mask_count,
                 s.entry_count
             ));
+            if multi_attacker {
+                for pps in &s.attacker_pps_by_source {
+                    out.push_str(&format!("\t{pps:10.0}"));
+                }
+            }
+            out.push('\n');
         }
         out
     }
@@ -106,11 +156,18 @@ impl Timeline {
 /// timeline can be produced for the TSS cache (the default) or for any of the §7
 /// attack-immune baselines, which is how the backend comparison of Fig. 9 is run
 /// through the real pipeline instead of bare classify loops.
+///
+/// Workloads are composed as [`TrafficMix`]es of [`TrafficSource`]s
+/// (see [`ExperimentRunner::run_mix`]); [`ExperimentRunner::run`] is the legacy
+/// one-trace-plus-stored-victims entry point, now a shim over the mix form.
+///
+/// [`TrafficSource`]: tse_attack::source::TrafficSource
 #[derive(Debug)]
 pub struct ExperimentRunner<B: FastPathBackend = TupleSpace> {
     /// The shared hypervisor datapath under test.
     pub datapath: Datapath<B>,
-    /// Victim flows.
+    /// Victim flows used by the [`ExperimentRunner::run`] shim (wrapped into
+    /// [`VictimSource`]s; [`ExperimentRunner::run_mix`] ignores them).
     pub victims: Vec<VictimFlow>,
     /// Victim-side offload configuration (bytes per classifier invocation, line rate).
     pub offload: OffloadConfig,
@@ -139,58 +196,152 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
     }
 
     /// Run the experiment for `duration` seconds against the given attack trace and
-    /// return the timeline.
+    /// the runner's stored victim flows, and return the timeline.
+    ///
+    /// This is the classic single-attacker entry point; it wraps the trace and victims
+    /// into a [`TrafficMix`] and defers to [`ExperimentRunner::run_mix`]. For the
+    /// paper's datapath configuration — the kernel datapath, whose experiment configs
+    /// leave the microflow cache disabled (`microflow_capacity = 0`, the default) —
+    /// the produced timeline is identical bit-for-bit to the pre-streaming runner's
+    /// (asserted by `tests/golden_runner_parity.rs`). With a non-zero microflow
+    /// capacity the event path diverges slightly: it classifies pre-extracted keys,
+    /// which carry no microflow identity and therefore never hit the EMC, whereas the
+    /// old per-packet runner could.
     pub fn run(&mut self, attack: &AttackTrace, duration: f64) -> Timeline {
+        let schema = self.datapath.table().schema().clone();
+        let mut mix = TrafficMix::new();
+        for flow in &self.victims {
+            mix.push(Box::new(VictimSource::new(
+                flow.clone(),
+                &schema,
+                self.sample_interval,
+            )));
+        }
+        mix.push(Box::new(attack.source("Attacker", &schema)));
+        self.run_mix(mix, duration)
+    }
+
+    /// Run the experiment for `duration` seconds over an arbitrary [`TrafficMix`] —
+    /// any number of attacker sources (materialised traces, lazy generators) and
+    /// victim sources, merged by timestamp — and return the timeline.
+    ///
+    /// Per sample interval `[t, t + dt)` the loop:
+    ///
+    /// 1. drains all events below `t + dt` from the mix: packet events are replayed
+    ///    through [`Datapath::process_timed_batch`] in per-source chunks (merged
+    ///    timestamp order, each packet at its own time), probe events are set aside;
+    /// 2. runs the idle-expiry sweep at the interval end;
+    /// 3. replays the probes: each refreshes its victim's fast-path entry and yields
+    ///    the current per-invocation cost under the runner's offload model;
+    /// 4. splits the CPU left over from attack processing across the active victims
+    ///    (equal shares, one redistribution pass, aggregate line-rate cap);
+    /// 5. lets the attached MFCGuard run, then emits the [`TimelineSample`] with
+    ///    per-attacker delivered-pps attribution.
+    pub fn run_mix(&mut self, mut mix: TrafficMix<'_>, duration: f64) -> Timeline {
         let dt = self.sample_interval;
+        let roles = mix.roles();
+        let labels = mix.labels();
+        // Map each source index to its victim/attacker slot.
+        let mut victim_slot = vec![usize::MAX; roles.len()];
+        let mut attacker_slot = vec![usize::MAX; roles.len()];
+        let mut victim_names = Vec::new();
+        let mut attacker_names = Vec::new();
+        for (i, role) in roles.iter().enumerate() {
+            match role {
+                SourceRole::Victim => {
+                    victim_slot[i] = victim_names.len();
+                    victim_names.push(labels[i].clone());
+                }
+                SourceRole::Attacker => {
+                    attacker_slot[i] = attacker_names.len();
+                    attacker_names.push(labels[i].clone());
+                }
+            }
+        }
+        let n_victims = victim_names.len();
+        let n_attackers = attacker_names.len();
         let mut timeline = Timeline {
-            victim_names: self.victims.iter().map(|v| v.name.clone()).collect(),
+            victim_names,
+            attacker_names,
             samples: Vec::new(),
         };
-        let mut attack_iter = attack.packets().iter().peekable();
         let steps = (duration / dt).ceil() as usize;
+        let mut chunk: Vec<(Key, usize, f64)> = Vec::new();
+        let mut probes: Vec<(usize, TrafficEvent)> = Vec::new();
         for step in 0..steps {
             let t = step as f64 * dt;
             let t_end = t + dt;
 
-            // 1. Replay the attack packets that fall into this interval.
+            // 1. Drain this interval's events; replay packet chunks as they close.
             let mut attack_packets = 0u64;
             let mut attack_busy = 0.0f64;
-            while let Some(tp) = attack_iter.peek() {
-                if tp.time >= t_end {
-                    break;
-                }
-                let tp = attack_iter.next().expect("peeked");
-                if tp.time >= t {
-                    let outcome = self.datapath.process_packet(&tp.packet, tp.time);
-                    attack_packets += 1;
-                    attack_busy += outcome.cost;
+            let mut per_attacker = vec![0u64; n_attackers];
+            let mut chunk_src = usize::MAX;
+            chunk.clear();
+            probes.clear();
+            let mut flush =
+                |datapath: &mut Datapath<B>, chunk: &mut Vec<(Key, usize, f64)>, src: usize| {
+                    if chunk.is_empty() {
+                        return (0.0, 0u64);
+                    }
+                    let report = datapath.process_timed_batch(chunk);
+                    let n = chunk.len() as u64;
+                    if attacker_slot[src] != usize::MAX {
+                        per_attacker[attacker_slot[src]] += n;
+                    }
+                    chunk.clear();
+                    (report.total_cost, n)
+                };
+            while let Some((src, ev)) = mix.next_before(t_end) {
+                match ev.payload {
+                    EventPayload::Packet => {
+                        // Events that predate the window (possible at step 0) are
+                        // consumed without being processed, like the old replay loop.
+                        if ev.time < t {
+                            continue;
+                        }
+                        if src != chunk_src {
+                            let (cost, n) = flush(&mut self.datapath, &mut chunk, chunk_src);
+                            attack_busy += cost;
+                            attack_packets += n;
+                            chunk_src = src;
+                        }
+                        chunk.push((ev.key, ev.bytes, ev.time));
+                    }
+                    EventPayload::Probe { .. } => probes.push((src, ev)),
                 }
             }
+            let (cost, n) = flush(&mut self.datapath, &mut chunk, chunk_src);
+            attack_busy += cost;
+            attack_packets += n;
             self.datapath.maybe_expire(t_end);
 
-            // 2. Probe each active victim flow once: refreshes its megaflow entry and
-            //    yields the current per-invocation cost.
-            let mut victim_costs = Vec::with_capacity(self.victims.len());
+            // 2. Replay the probes (already in time-then-insertion order): refresh each
+            //    active victim's megaflow entry and read its current per-invocation
+            //    cost. Work units go through the backend's cost hook, and the scan is
+            //    re-priced with this experiment's offload cost model (the datapath's
+            //    own model prices the attack packets).
+            let mut victim_costs: Vec<Option<f64>> = vec![None; n_victims];
+            let mut victim_offered = vec![0.0f64; n_victims];
             let mut victim_masks_scanned = 0;
-            for flow in &self.victims {
-                if !flow.is_active(t) {
-                    victim_costs.push(None);
+            for (src, ev) in &probes {
+                let EventPayload::Probe { offered_gbps } = ev.payload else {
                     continue;
+                };
+                if victim_slot[*src] == usize::MAX {
+                    continue; // probe from a non-victim source: nothing to attribute
                 }
-                let probe = flow.representative_packet();
-                let outcome = self.datapath.process_packet(&probe, t + dt * 0.5);
+                let slot = victim_slot[*src];
+                let outcome = self.datapath.process_key(&ev.key, ev.bytes, ev.time);
                 victim_masks_scanned = victim_masks_scanned.max(outcome.masks_scanned);
-                // Per-invocation cost under this experiment's offload model: re-price the
-                // scan with the offload's cost model (the datapath's own model prices the
-                // attack packets). Work units go through the backend's cost hook, exactly
-                // as the datapath itself charges them.
                 let units = self.datapath.megaflow().cost_units(outcome.masks_scanned);
                 let cost = match outcome.path {
                     tse_switch::stats::PathTaken::SlowPath => self.offload.cost.slow_path(units),
                     tse_switch::stats::PathTaken::Microflow => self.offload.cost.microflow(),
                     _ => self.offload.cost.fast_path(units),
                 };
-                victim_costs.push(Some(cost));
+                victim_costs[slot] = Some(cost);
+                victim_offered[slot] = offered_gbps;
             }
 
             // 3. Convert the CPU left after attack processing into victim throughput.
@@ -200,15 +351,14 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 .enumerate()
                 .filter_map(|(i, c)| c.map(|_| i))
                 .collect();
-            let mut victim_gbps = vec![0.0; self.victims.len()];
+            let mut victim_gbps = vec![0.0; n_victims];
             if !active.is_empty() {
                 let share = available_cpu / active.len() as f64;
                 let mut leftover = 0.0;
                 for &i in &active {
                     let cost = victim_costs[i].expect("active flow has a cost");
-                    let offered_pps = self.victims[i].offered_gbps * 1e9
-                        / 8.0
-                        / self.offload.bytes_per_invocation as f64;
+                    let offered_pps =
+                        victim_offered[i] * 1e9 / 8.0 / self.offload.bytes_per_invocation as f64;
                     let achievable_pps = share / cost / dt;
                     let pps = achievable_pps.min(offered_pps);
                     leftover += (achievable_pps - pps).max(0.0) * cost * dt;
@@ -221,9 +371,7 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                         .copied()
                         .filter(|&i| {
                             victim_gbps[i] + 1e-9
-                                < self.victims[i]
-                                    .offered_gbps
-                                    .min(self.offload.line_rate_gbps)
+                                < victim_offered[i].min(self.offload.line_rate_gbps)
                         })
                         .collect();
                     if !limited.is_empty() {
@@ -233,8 +381,7 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                             let extra_gbps =
                                 extra / cost / dt * self.offload.bytes_per_invocation as f64 * 8.0
                                     / 1e9;
-                            victim_gbps[i] =
-                                (victim_gbps[i] + extra_gbps).min(self.victims[i].offered_gbps);
+                            victim_gbps[i] = (victim_gbps[i] + extra_gbps).min(victim_offered[i]);
                         }
                     }
                 }
@@ -257,6 +404,7 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 time: t,
                 victim_gbps,
                 attacker_pps: attack_packets as f64 / dt,
+                attacker_pps_by_source: per_attacker.iter().map(|&c| c as f64 / dt).collect(),
                 mask_count: self.datapath.mask_count(),
                 entry_count: self.datapath.entry_count(),
                 victim_masks_scanned,
@@ -273,6 +421,7 @@ mod tests {
     use rand::SeedableRng;
     use tse_attack::colocated::scenario_trace;
     use tse_attack::scenarios::Scenario;
+    use tse_attack::source::AttackGenerator;
     use tse_attack::trace::AttackTrace;
     use tse_packet::fields::FieldSchema;
     use tse_switch::datapath::Datapath;
@@ -376,5 +525,90 @@ mod tests {
         assert!(table.starts_with("time_s"));
         assert_eq!(table.lines().count(), 6);
         assert!(table.contains("mfc_masks"));
+    }
+
+    #[test]
+    fn run_mix_with_lazy_generator_matches_trace_replay() {
+        // A lazy AttackGenerator over the same keys/seed/rate is a drop-in replacement
+        // for a materialised AttackTrace: the timelines agree exactly.
+        let schema = FieldSchema::ovs_ipv4();
+        let scenario = Scenario::SipDp;
+        let keys = scenario_trace(&schema, scenario, &schema.zero_value());
+        let trace = AttackTrace::from_keys_cyclic(
+            &mut StdRng::seed_from_u64(7),
+            &schema,
+            &keys,
+            100.0,
+            10.0,
+            2000,
+        );
+        let (mut by_trace, mut by_gen) = (
+            ExperimentRunner::new(
+                Datapath::new(scenario.flow_table(&schema)),
+                vec![VictimFlow::iperf_tcp("V", 0x0a000005, VICTIM_IP, 10.0)],
+                OffloadConfig::gro_off(),
+            ),
+            ExperimentRunner::new(
+                Datapath::new(scenario.flow_table(&schema)),
+                vec![],
+                OffloadConfig::gro_off(),
+            ),
+        );
+        let tl_trace = by_trace.run(&trace, 40.0);
+        let mix = TrafficMix::new()
+            .with(VictimSource::new(
+                VictimFlow::iperf_tcp("V", 0x0a000005, VICTIM_IP, 10.0),
+                &schema,
+                1.0,
+            ))
+            .with(AttackGenerator::new(
+                "Attacker",
+                &schema,
+                scenario
+                    .key_iter(&schema, &schema.zero_value())
+                    .cycle()
+                    .take(2000),
+                StdRng::seed_from_u64(7),
+                100.0,
+                10.0,
+            ));
+        let tl_gen = by_gen.run_mix(mix, 40.0);
+        assert_eq!(tl_trace.victim_names, tl_gen.victim_names);
+        for (a, b) in tl_trace.samples.iter().zip(&tl_gen.samples) {
+            assert_eq!(a, b, "samples diverged at t={}", a.time);
+        }
+    }
+
+    #[test]
+    fn per_attacker_attribution_sums_to_total() {
+        let schema = FieldSchema::ovs_ipv4();
+        let scenario = Scenario::SpDp;
+        let keys = scenario_trace(&schema, scenario, &schema.zero_value());
+        let mut rng = StdRng::seed_from_u64(1);
+        let a1 = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 5.0, 500);
+        let a2 = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 200.0, 10.0, 600);
+        let mut runner = ExperimentRunner::new(
+            Datapath::new(scenario.flow_table(&schema)),
+            vec![],
+            OffloadConfig::gro_off(),
+        );
+        let mix = TrafficMix::new()
+            .with(a1.source("atk-1", &schema))
+            .with(a2.source("atk-2", &schema));
+        let tl = runner.run_mix(mix, 20.0);
+        assert_eq!(tl.attacker_names, vec!["atk-1", "atk-2"]);
+        let mut delivered = [0.0f64; 2];
+        for s in &tl.samples {
+            assert_eq!(s.attacker_pps_by_source.len(), 2);
+            let sum: f64 = s.attacker_pps_by_source.iter().sum();
+            assert!((sum - s.attacker_pps).abs() < 1e-9);
+            delivered[0] += s.attacker_pps_by_source[0];
+            delivered[1] += s.attacker_pps_by_source[1];
+        }
+        assert_eq!(delivered[0].round() as u64, 500);
+        assert_eq!(delivered[1].round() as u64, 600);
+        // atk-2 only starts at t=10 s.
+        assert_eq!(tl.mean_attacker_pps_between("atk-2", 0.0, 10.0), 0.0);
+        assert!(tl.mean_attacker_pps_between("atk-2", 10.0, 13.0) > 100.0);
     }
 }

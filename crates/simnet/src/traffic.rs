@@ -1,5 +1,7 @@
-//! Victim traffic sources: iperf-like bulk flows between tenant workloads.
+//! Victim traffic sources: iperf-like bulk flows between tenant workloads, and their
+//! streaming form ([`VictimSource`]) for the event-driven experiment runner.
 
+use tse_attack::source::{EventPayload, SourceRole, TrafficEvent, TrafficSource};
 use tse_packet::builder::PacketBuilder;
 use tse_packet::fields::{FieldSchema, Key};
 use tse_packet::flowkey::FlowKey;
@@ -87,8 +89,105 @@ impl VictimFlow {
     }
 
     /// The flow's classification key under the given schema.
+    ///
+    /// Note this builds a representative packet and re-derives the key on every call;
+    /// hot paths should derive it once — [`VictimSource`] caches it at construction,
+    /// which is how the experiment runner uses victim flows.
     pub fn key(&self, schema: &FieldSchema) -> Key {
         FlowKey::from_packet(&self.representative_packet()).to_key(schema)
+    }
+
+    /// View the flow as a pull-based [`TrafficSource`] of measurement probes on the
+    /// runner's sampling grid (see [`VictimSource`]).
+    pub fn source(&self, schema: &FieldSchema, sample_interval: f64) -> VictimSource {
+        VictimSource::new(self.clone(), schema, sample_interval)
+    }
+}
+
+/// The streaming form of a [`VictimFlow`]: a [`TrafficSource`] emitting one measurement
+/// probe per sampling interval while the flow is active (mid-interval, at
+/// `k·dt + dt/2` for every grid point `k·dt` inside the flow's activity window).
+///
+/// `sample_interval` must match the consuming runner's `sample_interval` (pass
+/// `runner.sample_interval`, as the runner's own `run` shim does): the runner treats
+/// an interval without a probe as "flow inactive", so a coarser probe cadence shows
+/// up as spurious zero-throughput samples, and a finer one wastes probes (the last
+/// probe per interval wins).
+///
+/// The schema-derived key and probe size are computed **once** at construction — the
+/// per-call packet build of [`VictimFlow::key`] never runs on the event path. A flow
+/// with `stop = f64::INFINITY` is an unbounded source; the runner pulls only up to the
+/// experiment horizon.
+#[derive(Debug, Clone)]
+pub struct VictimSource {
+    flow: VictimFlow,
+    offered_gbps: f64,
+    key: Key,
+    bytes: usize,
+    dt: f64,
+    /// Next grid step `k` to probe (probe fires at `k*dt + dt/2`).
+    next_step: u64,
+}
+
+impl VictimSource {
+    /// Wrap a flow for a given sampling interval, pre-deriving its key under `schema`.
+    pub fn new(flow: VictimFlow, schema: &FieldSchema, sample_interval: f64) -> Self {
+        assert!(sample_interval > 0.0, "sample interval must be positive");
+        let probe = flow.representative_packet();
+        let key = FlowKey::from_packet(&probe).to_key(schema);
+        let bytes = probe.wire_len();
+        // Smallest k >= 0 with k*dt >= start (the first interval whose *start* falls
+        // inside the activity window, matching `is_active` sampled at interval starts).
+        let mut k = if flow.start <= 0.0 {
+            0
+        } else {
+            (flow.start / sample_interval).ceil() as u64
+        };
+        while (k as f64) * sample_interval < flow.start {
+            k += 1;
+        }
+        while k > 0 && ((k - 1) as f64) * sample_interval >= flow.start {
+            k -= 1;
+        }
+        VictimSource {
+            offered_gbps: flow.offered_gbps,
+            flow,
+            key,
+            bytes,
+            dt: sample_interval,
+            next_step: k,
+        }
+    }
+
+    /// The wrapped flow.
+    pub fn flow(&self) -> &VictimFlow {
+        &self.flow
+    }
+}
+
+impl TrafficSource for VictimSource {
+    fn label(&self) -> &str {
+        &self.flow.name
+    }
+
+    fn role(&self) -> SourceRole {
+        SourceRole::Victim
+    }
+
+    fn next_event(&mut self) -> Option<TrafficEvent> {
+        let t = self.next_step as f64 * self.dt;
+        if !self.flow.is_active(t) {
+            return None;
+        }
+        self.next_step += 1;
+        Some(TrafficEvent {
+            time: t + self.dt * 0.5,
+            key: self.key.clone(),
+            bytes: self.bytes,
+            payload: EventPayload::Probe {
+                offered_gbps: self.offered_gbps,
+            },
+        })
     }
 }
 
@@ -131,5 +230,50 @@ mod tests {
         let k = f.key(&schema);
         assert_eq!(k.get(schema.field_index("ip_src").unwrap()), 7);
         assert_eq!(k.get(schema.field_index("tp_dst").unwrap()), 80);
+    }
+
+    #[test]
+    fn victim_source_probes_mid_interval_while_active() {
+        let schema = FieldSchema::ovs_ipv4();
+        let f = VictimFlow::iperf_tcp("v", 1, 2, 4.0).active_between(3.0, 6.0);
+        let mut src = f.source(&schema, 1.0);
+        assert_eq!(src.label(), "v");
+        assert_eq!(src.role(), SourceRole::Victim);
+        let mut events = Vec::new();
+        while let Some(ev) = src.next_event() {
+            events.push(ev);
+        }
+        // Probes at 3.5, 4.5, 5.5 — one per interval whose start is inside [3, 6).
+        assert_eq!(
+            events.iter().map(|e| e.time).collect::<Vec<_>>(),
+            vec![3.5, 4.5, 5.5]
+        );
+        for ev in &events {
+            assert_eq!(
+                ev.key,
+                f.key(&schema),
+                "cached key must match VictimFlow::key"
+            );
+            assert_eq!(ev.payload, EventPayload::Probe { offered_gbps: 4.0 });
+        }
+    }
+
+    #[test]
+    fn always_on_victim_source_is_unbounded() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut src = VictimFlow::iperf_udp("v", 1, 2, 1.0).source(&schema, 0.5);
+        for step in 0..1000 {
+            let ev = src.next_event().expect("infinite source");
+            assert_eq!(ev.time, step as f64 * 0.5 + 0.25);
+        }
+    }
+
+    #[test]
+    fn victim_source_respects_unaligned_start() {
+        let schema = FieldSchema::ovs_ipv4();
+        // Start at 2.3 with dt=1: the first interval whose *start* is active is t=3.
+        let f = VictimFlow::iperf_tcp("v", 1, 2, 1.0).active_between(2.3, 5.0);
+        let mut src = f.source(&schema, 1.0);
+        assert_eq!(src.next_event().unwrap().time, 3.5);
     }
 }

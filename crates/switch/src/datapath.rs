@@ -424,6 +424,38 @@ impl<B: FastPathBackend> Datapath<B> {
         report
     }
 
+    /// Process an ordered run of timestamped events `(header, wire_bytes, time)`,
+    /// amortising the stats bookkeeping over the whole chunk — the entry point the
+    /// event-driven experiment runner drains `TrafficSource` streams into.
+    ///
+    /// Unlike [`Datapath::process_batch`], every event is processed at its **own**
+    /// timestamp: the idle-expiry sweep is checked per event and each lookup refreshes
+    /// entry liveness at the event's time, so per-packet verdicts, costs and cache
+    /// evolution are identical to calling [`Datapath::process_key`] in a loop over the
+    /// same `(header, bytes, time)` sequence. Times must be nondecreasing. Like all
+    /// keyed entry points, the microflow cache is bypassed (keys carry no microflow
+    /// identity).
+    pub fn process_timed_batch(&mut self, batch: &[(Key, usize, f64)]) -> BatchReport {
+        let mut pending = DatapathStats::default();
+        let mut max_masks_scanned = 0;
+        for (header, bytes, now) in batch {
+            self.maybe_expire(*now);
+            let outcome = self.process_classified_stats(header, *bytes, *now, &mut pending);
+            max_masks_scanned = max_masks_scanned.max(outcome.masks_scanned);
+        }
+        let report = BatchReport {
+            processed: batch.len(),
+            allowed: pending.allowed,
+            denied: pending.denied,
+            fastpath_hits: pending.megaflow_hits,
+            upcalls: pending.upcalls,
+            total_cost: pending.busy_seconds,
+            max_masks_scanned,
+        };
+        self.stats.merge(&pending);
+        report
+    }
+
     fn process_classified(
         &mut self,
         header: &Key,
@@ -760,6 +792,42 @@ mod tests {
         assert_eq!(batched.stats().denied, looped.stats().denied);
         assert_eq!(batched.stats().upcalls, looped.stats().upcalls);
         assert_eq!(batched.mask_count(), looped.mask_count());
+    }
+
+    #[test]
+    fn process_timed_batch_matches_per_key_loop_exactly() {
+        let schema = FieldSchema::ovs_ipv4();
+        let table = fig6_table();
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        let ip_src = schema.field_index("ip_src").unwrap();
+        // Spread events over 20 s so idle expiry fires mid-batch.
+        let mut batch = Vec::new();
+        for i in 0..40u32 {
+            let mut k = schema.zero_value();
+            k.set(tp_dst, (i % 7) as u128 * 100);
+            k.set(ip_src, 0x0a00_0000 + (i % 5) as u128);
+            batch.push((k, 64usize, i as f64 * 0.5));
+        }
+        let mut looped = Datapath::new(table.clone());
+        let loop_outcomes: Vec<ProcessOutcome> = batch
+            .iter()
+            .map(|(k, b, t)| looped.process_key(k, *b, *t))
+            .collect();
+        let mut batched = Datapath::new(table);
+        let report = batched.process_timed_batch(&batch);
+        assert_eq!(report.processed, 40);
+        assert_eq!(
+            report.total_cost.to_bits(),
+            loop_outcomes.iter().map(|o| o.cost).sum::<f64>().to_bits(),
+            "timed batch must charge exactly the per-key costs"
+        );
+        assert_eq!(
+            report.max_masks_scanned,
+            loop_outcomes.iter().map(|o| o.masks_scanned).max().unwrap()
+        );
+        assert_eq!(batched.stats(), looped.stats());
+        assert_eq!(batched.mask_count(), looped.mask_count());
+        assert_eq!(batched.entry_count(), looped.entry_count());
     }
 
     #[test]

@@ -48,6 +48,48 @@
 //! [`prelude::Datapath::process_key`] loop at the same time, while per-entry hit
 //! counters advance once per run of identical headers (see
 //! [`prelude::BatchReport`] for the full semantics).
+//! [`prelude::Datapath::process_timed_batch`] is the timestamped variant the
+//! event-driven runner uses: each event processed at its own time, verdicts and cache
+//! evolution identical to a `process_key` loop.
+//!
+//! ## Streaming experiment construction
+//!
+//! Experiments are composed from pull-based [`prelude::TrafficSource`]s — lazily
+//! yielded, timestamped `(key, bytes)` events — merged by a [`prelude::TrafficMix`]
+//! and drained through the event-driven [`prelude::ExperimentRunner`]. An
+//! [`prelude::AttackTrace`] is one source, the lazy [`prelude::AttackGenerator`]
+//! synthesizes explosion traffic on the fly (no materialised packet vector, so a
+//! 100M-packet run is O(1) memory), and [`prelude::VictimSource`] wraps a
+//! [`prelude::VictimFlow`] as per-interval measurement probes. Multi-attacker,
+//! staggered-onset or background-churn scenarios are just more sources:
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use tse::prelude::*;
+//!
+//! let schema = FieldSchema::ovs_ipv4();
+//! let table = Scenario::SipSpDp.flow_table(&schema);
+//! let mix = TrafficMix::new()
+//!     .with(VictimSource::new(
+//!         VictimFlow::iperf_tcp("Victim", 0x0a000005, 0x0a000063, 10.0),
+//!         &schema,
+//!         1.0,
+//!     ))
+//!     // A lazy SipDp attacker from t=5 s — keys synthesized on the fly.
+//!     .with(AttackGenerator::new(
+//!         "Attacker 1",
+//!         &schema,
+//!         Scenario::SipDp.key_iter(&schema, &schema.zero_value()).cycle(),
+//!         StdRng::seed_from_u64(1),
+//!         100.0,
+//!         5.0,
+//!     ).with_limit(1500));
+//! let mut runner = ExperimentRunner::new(Datapath::new(table), vec![], OffloadConfig::gro_off());
+//! let timeline = runner.run_mix(mix, 30.0);
+//! assert_eq!(timeline.samples.len(), 30);
+//! assert!(timeline.mean_total_between(20.0, 29.0) < timeline.mean_total_between(0.0, 5.0));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -62,10 +104,17 @@ pub use tse_switch as switch;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use tse_attack::bounds::{multi_field_bound, single_field_curve};
-    pub use tse_attack::colocated::{bit_inversion_list, bit_inversion_trace, scenario_trace};
+    pub use tse_attack::colocated::{
+        bit_inversion_keys, bit_inversion_list, bit_inversion_trace, scenario_key_iter,
+        scenario_trace, BitInversionKeys,
+    };
     pub use tse_attack::expectation::ExpectationModel;
-    pub use tse_attack::general::random_trace;
+    pub use tse_attack::general::{random_trace, RandomKeys};
     pub use tse_attack::scenarios::Scenario;
+    pub use tse_attack::source::{
+        AttackGenerator, EventPayload, SourceRole, TraceSource, TrafficEvent, TrafficMix,
+        TrafficSource,
+    };
     pub use tse_attack::trace::AttackTrace;
     pub use tse_classifier::backend::{
         BaselineBackend, FastPathBackend, HyperCutsBackend, LinearSearchBackend, TableBacked,
@@ -83,8 +132,8 @@ pub mod prelude {
     pub use tse_packet::Packet;
     pub use tse_simnet::cloud::CloudPlatform;
     pub use tse_simnet::offload::OffloadConfig;
-    pub use tse_simnet::runner::{ExperimentRunner, Timeline};
-    pub use tse_simnet::traffic::VictimFlow;
+    pub use tse_simnet::runner::{ExperimentRunner, Timeline, TimelineSample};
+    pub use tse_simnet::traffic::{VictimFlow, VictimSource};
     pub use tse_switch::cost::CostModel;
     pub use tse_switch::datapath::{BatchReport, Datapath, DatapathBuilder, DatapathConfig};
     pub use tse_switch::tenant::{merge_tenant_acls, AclField, AllowClause, TenantAcl};

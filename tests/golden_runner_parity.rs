@@ -1,0 +1,217 @@
+//! Golden parity: the event-driven `ExperimentRunner` must reproduce the
+//! pre-streaming-redesign runner's `Timeline` **bit-for-bit** for single-source runs.
+//!
+//! `reference_run` below is a frozen, verbatim copy of the old `ExperimentRunner::run`
+//! loop (pre `TrafficSource` redesign), expressed against the public datapath API. It
+//! is the ground truth the redesigned runner (trace + victims wrapped in a
+//! `TrafficMix`, drained through `Datapath::process_timed_batch`) is compared against:
+//! every sample of every scenario must match exactly, down to the f64 bits.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tse::prelude::*;
+use tse::switch::stats::PathTaken;
+
+/// One sample of the frozen reference runner (the old `TimelineSample` fields).
+struct RefSample {
+    time: f64,
+    victim_gbps: Vec<f64>,
+    attacker_pps: f64,
+    mask_count: usize,
+    entry_count: usize,
+    victim_masks_scanned: usize,
+}
+
+/// Frozen copy of the pre-redesign `ExperimentRunner::run` (TSS backend, no guard).
+fn reference_run(
+    datapath: &mut Datapath,
+    victims: &[VictimFlow],
+    offload: &OffloadConfig,
+    attack: &AttackTrace,
+    duration: f64,
+) -> Vec<RefSample> {
+    let dt = 1.0; // the old default sample interval
+    let mut samples = Vec::new();
+    let mut attack_iter = attack.packets().iter().peekable();
+    let steps = (duration / dt).ceil() as usize;
+    for step in 0..steps {
+        let t = step as f64 * dt;
+        let t_end = t + dt;
+
+        // 1. Replay the attack packets that fall into this interval.
+        let mut attack_packets = 0u64;
+        let mut attack_busy = 0.0f64;
+        while let Some(tp) = attack_iter.peek() {
+            if tp.time >= t_end {
+                break;
+            }
+            let tp = attack_iter.next().expect("peeked");
+            if tp.time >= t {
+                let outcome = datapath.process_packet(&tp.packet, tp.time);
+                attack_packets += 1;
+                attack_busy += outcome.cost;
+            }
+        }
+        datapath.maybe_expire(t_end);
+
+        // 2. Probe each active victim flow once.
+        let mut victim_costs = Vec::with_capacity(victims.len());
+        let mut victim_masks_scanned = 0;
+        for flow in victims {
+            if !flow.is_active(t) {
+                victim_costs.push(None);
+                continue;
+            }
+            let probe = flow.representative_packet();
+            let outcome = datapath.process_packet(&probe, t + dt * 0.5);
+            victim_masks_scanned = victim_masks_scanned.max(outcome.masks_scanned);
+            let units = datapath.megaflow().cost_units(outcome.masks_scanned);
+            let cost = match outcome.path {
+                PathTaken::SlowPath => offload.cost.slow_path(units),
+                PathTaken::Microflow => offload.cost.microflow(),
+                _ => offload.cost.fast_path(units),
+            };
+            victim_costs.push(Some(cost));
+        }
+
+        // 3. Convert the CPU left after attack processing into victim throughput.
+        let available_cpu = (dt - attack_busy).max(0.0);
+        let active: Vec<usize> = victim_costs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|_| i))
+            .collect();
+        let mut victim_gbps = vec![0.0; victims.len()];
+        if !active.is_empty() {
+            let share = available_cpu / active.len() as f64;
+            let mut leftover = 0.0;
+            for &i in &active {
+                let cost = victim_costs[i].expect("active flow has a cost");
+                let offered_pps =
+                    victims[i].offered_gbps * 1e9 / 8.0 / offload.bytes_per_invocation as f64;
+                let achievable_pps = share / cost / dt;
+                let pps = achievable_pps.min(offered_pps);
+                leftover += (achievable_pps - pps).max(0.0) * cost * dt;
+                victim_gbps[i] = pps * offload.bytes_per_invocation as f64 * 8.0 / 1e9;
+            }
+            if leftover > 1e-12 {
+                let limited: Vec<usize> = active
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        victim_gbps[i] + 1e-9 < victims[i].offered_gbps.min(offload.line_rate_gbps)
+                    })
+                    .collect();
+                if !limited.is_empty() {
+                    let extra = leftover / limited.len() as f64;
+                    for &i in &limited {
+                        let cost = victim_costs[i].expect("active");
+                        let extra_gbps =
+                            extra / cost / dt * offload.bytes_per_invocation as f64 * 8.0 / 1e9;
+                        victim_gbps[i] = (victim_gbps[i] + extra_gbps).min(victims[i].offered_gbps);
+                    }
+                }
+            }
+            let total: f64 = victim_gbps.iter().sum();
+            if total > offload.line_rate_gbps {
+                let scale = offload.line_rate_gbps / total;
+                for v in &mut victim_gbps {
+                    *v *= scale;
+                }
+            }
+        }
+
+        samples.push(RefSample {
+            time: t,
+            victim_gbps,
+            attacker_pps: attack_packets as f64 / dt,
+            mask_count: datapath.mask_count(),
+            entry_count: datapath.entry_count(),
+            victim_masks_scanned,
+        });
+    }
+    samples
+}
+
+fn assert_bit_for_bit(reference: &[RefSample], timeline: &Timeline, context: &str) {
+    assert_eq!(reference.len(), timeline.samples.len(), "{context}: length");
+    for (r, s) in reference.iter().zip(&timeline.samples) {
+        let ctx = format!("{context} @ t={}", r.time);
+        assert_eq!(r.time.to_bits(), s.time.to_bits(), "{ctx}: time");
+        assert_eq!(
+            r.victim_gbps.len(),
+            s.victim_gbps.len(),
+            "{ctx}: victim arity"
+        );
+        for (i, (a, b)) in r.victim_gbps.iter().zip(&s.victim_gbps).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{ctx}: victim {i} gbps {a} vs {b}"
+            );
+        }
+        assert_eq!(
+            r.attacker_pps.to_bits(),
+            s.attacker_pps.to_bits(),
+            "{ctx}: attacker pps"
+        );
+        assert_eq!(r.mask_count, s.mask_count, "{ctx}: masks");
+        assert_eq!(r.entry_count, s.entry_count, "{ctx}: entries");
+        assert_eq!(
+            r.victim_masks_scanned, s.victim_masks_scanned,
+            "{ctx}: victim masks scanned"
+        );
+    }
+}
+
+/// The canonical Fig. 8a-style setup, per scenario: three victims with staggered
+/// activity windows, a cyclic co-located attack at 100 pps from t=30 s.
+fn scenario_fixture(scenario: Scenario) -> (FlowTable, Vec<VictimFlow>, AttackTrace) {
+    let schema = FieldSchema::ovs_ipv4();
+    let table = scenario.flow_table(&schema);
+    let victims = vec![
+        VictimFlow::iperf_tcp("Victim 1", 0x0a000005, 0x0a000063, 10.0).with_src_port(40001),
+        VictimFlow::iperf_tcp("Victim 2", 0x0a000006, 0x0a000063, 6.0).with_src_port(40002),
+        VictimFlow::iperf_udp("Victim 3", 0x0a000007, 0x0a000063, 3.0).active_between(20.0, 70.0),
+    ];
+    let keys = scenario_trace(&schema, scenario, &schema.zero_value());
+    let attack = if keys.is_empty() {
+        AttackTrace::default()
+    } else {
+        let mut rng = StdRng::seed_from_u64(99);
+        AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 30.0, 3000)
+    };
+    (table, victims, attack)
+}
+
+#[test]
+fn event_driven_runner_matches_frozen_reference_for_every_scenario() {
+    for scenario in Scenario::ALL {
+        let (table, victims, attack) = scenario_fixture(scenario);
+        let offload = OffloadConfig::gro_off();
+
+        let mut ref_dp = Datapath::new(table.clone());
+        let reference = reference_run(&mut ref_dp, &victims, &offload, &attack, 90.0);
+
+        let mut runner = ExperimentRunner::new(Datapath::new(table), victims.clone(), offload);
+        let timeline = runner.run(&attack, 90.0);
+
+        assert_eq!(
+            timeline.victim_names,
+            victims.iter().map(|v| v.name.clone()).collect::<Vec<_>>()
+        );
+        assert_bit_for_bit(&reference, &timeline, scenario.name());
+    }
+}
+
+#[test]
+fn parity_holds_for_udp_offload_and_partial_duration() {
+    // A second configuration axis: UDP offload model, shorter horizon, Dp scenario.
+    let (table, victims, attack) = scenario_fixture(Scenario::Dp);
+    let offload = OffloadConfig::udp();
+    let mut ref_dp = Datapath::new(table.clone());
+    let reference = reference_run(&mut ref_dp, &victims, &offload, &attack, 47.0);
+    let mut runner = ExperimentRunner::new(Datapath::new(table), victims, offload);
+    let timeline = runner.run(&attack, 47.0);
+    assert_bit_for_bit(&reference, &timeline, "Dp/udp/47s");
+}
