@@ -13,6 +13,9 @@
 //! * [`expectation`] — the analytic model (Eq. 1/2, Appendix 11.3) for the expected
 //!   number of masks sparked by `n` random packets — the "E" curves of Fig. 9b;
 //! * [`bounds`] — the Theorem 4.1/4.2 space–time trade-off bounds;
+//! * [`sharding`] — shard-aware crafting for multi-PMD switches: retag the free field
+//!   of a key stream so the explosion RSS-targets one chosen shard (the shard-pinned
+//!   worst case) or sprays every shard evenly;
 //! * [`trace`] — turning header sequences into timed, noise-randomised packet traces;
 //! * [`source`] — the streaming form: pull-based [`source::TrafficSource`] event
 //!   streams ([`trace::AttackTrace`] replay, the lazy [`source::AttackGenerator`]) and
@@ -30,6 +33,7 @@ pub mod colocated;
 pub mod expectation;
 pub mod general;
 pub mod scenarios;
+pub mod sharding;
 pub mod source;
 pub mod trace;
 
@@ -41,6 +45,7 @@ pub use colocated::{
 pub use expectation::ExpectationModel;
 pub use general::{random_trace, random_trace_on_fields, RandomKeys};
 pub use scenarios::{Scenario, TargetField};
+pub use sharding::{pin_to_shard, retag_key_to_shard, spray_shards, ShardSteeredKeys};
 pub use source::{
     AttackGenerator, EventPayload, SourceRole, TraceSource, TrafficEvent, TrafficMix, TrafficSource,
 };

@@ -4,7 +4,7 @@
 //! tuple-space-explosion traffic hitting one datapath over time". This module expresses
 //! that directly: a [`TrafficSource`] lazily yields timestamped classification events,
 //! and a [`TrafficMix`] k-way-merges any number of sources by timestamp. An
-//! [`AttackTrace`](crate::trace::AttackTrace) is one source
+//! [`AttackTrace`] is one source
 //! ([`TraceSource`]); [`AttackGenerator`] is the lazy form that synthesizes explosion
 //! traffic on the fly instead of materialising a packet vector; victim flows (in
 //! `tse-simnet`) are another. The experiment runner drains the merged stream — a

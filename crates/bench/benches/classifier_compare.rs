@@ -10,9 +10,11 @@ use tse_classifier::backend::{
     FastPathBackend, HyperCutsBackend, LinearSearchBackend, TrieBackend,
 };
 use tse_classifier::baseline::{Classifier, HierarchicalTrie, HyperCuts, LinearSearch};
+use tse_classifier::flowtable::FlowTable;
+use tse_classifier::rule::Action;
 use tse_classifier::strategy::{generate_megaflow, MegaflowStrategy};
-use tse_classifier::tss::TupleSpace;
-use tse_packet::fields::{FieldSchema, Key};
+use tse_classifier::tss::{InsertError, LookupOutcome, MaskOrdering, MegaflowEntry, TupleSpace};
+use tse_packet::fields::{self, FieldSchema, Key, Mask};
 use tse_switch::datapath::Datapath;
 
 fn bench_compare(c: &mut Criterion) {
@@ -142,5 +144,168 @@ fn bench_batch_vs_loop(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compare, bench_batch_vs_loop);
+/// A [`TupleSpace`] whose `find_conflict` is the index-less reference: a linear scan
+/// over every entry of every tuple (no comparable-mask probes, no summary prefilter).
+/// Everything else delegates, so megaflow generation runs unchanged — only the
+/// conflict check differs.
+struct ScanConflict(TupleSpace);
+
+impl FastPathBackend for ScanConflict {
+    fn fresh(schema: &FieldSchema) -> Self {
+        ScanConflict(TupleSpace::new(schema.clone()))
+    }
+    fn name(&self) -> &'static str {
+        "tss-scan-conflict"
+    }
+    fn schema(&self) -> &FieldSchema {
+        self.0.schema()
+    }
+    fn lookup(&mut self, header: &Key, now: f64) -> LookupOutcome {
+        self.0.lookup(header, now)
+    }
+    fn insert_megaflow(
+        &mut self,
+        key: Key,
+        mask: Mask,
+        action: Action,
+        now: f64,
+    ) -> Result<(), InsertError> {
+        self.0.insert(key, mask, action, now)
+    }
+    fn find_conflict(&self, key: &Key, mask: &Mask) -> Option<(Key, Mask)> {
+        let key = key.apply_mask(mask);
+        self.0
+            .entries()
+            .find(|e| !fields::disjoint(&key, mask, &e.key, &e.mask))
+            .map(|e| (e.key.clone(), e.mask.clone()))
+    }
+    fn clear(&mut self) {
+        self.0.clear()
+    }
+    fn mask_count(&self) -> usize {
+        self.0.mask_count()
+    }
+    fn entry_count(&self) -> usize {
+        self.0.entry_count()
+    }
+    fn set_mask_ordering(&mut self, ordering: MaskOrdering) {
+        self.0.set_ordering(ordering)
+    }
+    fn evict_where(&mut self, predicate: &mut dyn FnMut(&MegaflowEntry) -> bool) -> usize {
+        self.0.remove_where(|e| predicate(e))
+    }
+}
+
+/// Drive the slow path for the whole scenario trace through `cache` — the insert-heavy
+/// phase of an attack, dominated by `find_conflict`.
+fn build_attacked_cache<B: FastPathBackend>(
+    cache: &mut B,
+    table: &FlowTable,
+    strategy: &MegaflowStrategy,
+    trace: &[Key],
+) -> usize {
+    for key in trace {
+        if cache.lookup(key, 0.0).action.is_some() {
+            continue;
+        }
+        if let Ok(g) = generate_megaflow(table, cache, key, strategy) {
+            cache.insert_megaflow(g.key, g.mask, g.action, 0.0).unwrap();
+        }
+    }
+    cache.mask_count()
+}
+
+/// The comparable-mask conflict index vs. the index-less full entry scan: slow-path
+/// megaflow generation against a fully exploded cache (`generate_megaflow` consults
+/// `find_conflict` through the backend trait, so the two variants differ only in the
+/// conflict check), plus the raw conflict probe itself.
+fn bench_conflict_index(c: &mut Criterion) {
+    let schema = FieldSchema::ovs_ipv4();
+    let scenario = Scenario::SipDp;
+    let table = scenario.flow_table(&schema);
+    let strategy = MegaflowStrategy::wildcarding(&schema);
+    let trace = scenario_trace(&schema, scenario, &schema.zero_value());
+
+    let mut group = c.benchmark_group("tss_conflict_index");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let mut indexed = TupleSpace::new(schema.clone());
+    build_attacked_cache(&mut indexed, &table, &strategy, &trace);
+    let scan = ScanConflict(indexed.clone());
+
+    // 64 fresh denied headers the attack never sent: each generation run performs one
+    // conflict check per header against the 513-mask cache.
+    let fresh: Vec<Key> = (0..64u128)
+        .map(|i| {
+            let mut k = schema.zero_value();
+            k.set(schema.field_index("ip_src").unwrap(), 0xc0a8_0000 + i);
+            k.set(schema.field_index("tp_src").unwrap(), 2_000 + i);
+            k.set(schema.field_index("tp_dst").unwrap(), 50_000 + i);
+            k
+        })
+        .collect();
+    group.bench_function("generate_vs_exploded_cache/indexed", |b| {
+        b.iter(|| {
+            let mut generated = 0usize;
+            for h in &fresh {
+                if generate_megaflow(&table, &indexed, h, &strategy).is_ok() {
+                    generated += 1;
+                }
+            }
+            std::hint::black_box(generated)
+        })
+    });
+    group.bench_function("generate_vs_exploded_cache/full_scan", |b| {
+        b.iter(|| {
+            let mut generated = 0usize;
+            for h in &fresh {
+                if generate_megaflow(&table, &scan, h, &strategy).is_ok() {
+                    generated += 1;
+                }
+            }
+            std::hint::black_box(generated)
+        })
+    });
+    let probe_key = {
+        let mut k = schema.zero_value();
+        k.set(schema.field_index("ip_src").unwrap(), 0xdead_beef);
+        k.set(schema.field_index("tp_dst").unwrap(), 65_000);
+        k
+    };
+    // A partial candidate mask of the shape generation narrows with (high bits of the
+    // targeted fields): comparable with some tuples, summary-prefiltered on the rest.
+    let probe_mask = {
+        let mut m = schema.empty_mask();
+        m.set(schema.field_index("ip_src").unwrap(), 0xffff_0000);
+        m.set(schema.field_index("tp_dst").unwrap(), 0xff00);
+        m
+    };
+    assert_eq!(
+        indexed.find_conflict(&probe_key, &probe_mask),
+        FastPathBackend::find_conflict(&scan, &probe_key, &probe_mask)
+    );
+    group.bench_function(
+        format!("find_conflict_miss/indexed_{}_masks", indexed.mask_count()),
+        |b| b.iter(|| std::hint::black_box(indexed.find_conflict(&probe_key, &probe_mask))),
+    );
+    group.bench_function("find_conflict_miss/full_scan", |b| {
+        b.iter(|| {
+            std::hint::black_box(FastPathBackend::find_conflict(
+                &scan,
+                &probe_key,
+                &probe_mask,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compare,
+    bench_batch_vs_loop,
+    bench_conflict_index
+);
 criterion_main!(benches);

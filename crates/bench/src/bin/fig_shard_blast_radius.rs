@@ -1,0 +1,146 @@
+//! E-SHARD: shard-local blast radius on a multi-PMD datapath — the experiment the
+//! paper's single-cache model cannot express.
+//!
+//! Four PMD shards behind RSS steering carry two 10 Gbps victims pinned (by source
+//! port) to *different* shards. A co-located SipDp attacker retags her free destination
+//! address so every attack packet RSS-targets the shard of "Victim A" (the shard-pinned
+//! explosion). Expected shape:
+//!
+//! * Victim A's timeline collapses exactly like Fig. 8a — its PMD's cache fills with
+//!   attack masks and its core burns cycles on them;
+//! * Victim B, one shard over, stays at baseline throughout: private cache, private
+//!   CPU budget, zero blast radius;
+//! * the per-shard mask columns show the explosion confined to the attacked shard.
+//!
+//! A second run sprays the same attack round-robin over all shards: every per-shard
+//! cache fills at 1/4 rate and *both* victims degrade — the whole-switch attack.
+//!
+//! Run with `--duration <s>` (default 70) — CI smoke-runs it short.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tse_attack::scenarios::Scenario;
+use tse_attack::sharding::{pin_to_shard, spray_shards, ShardSteeredKeys};
+use tse_attack::source::{AttackGenerator, TrafficMix};
+use tse_attack::BitInversionKeys;
+use tse_packet::fields::FieldSchema;
+use tse_simnet::offload::OffloadConfig;
+use tse_simnet::runner::{ExperimentRunner, Timeline};
+use tse_simnet::traffic::{VictimFlow, VictimSource};
+use tse_switch::datapath::Datapath;
+use tse_switch::pmd::{ShardedDatapath, Steering};
+
+const N_SHARDS: usize = 4;
+const ATTACK_START: f64 = 20.0;
+const ATTACK_PPS: f64 = 100.0;
+
+/// A victim whose source port steers its 5-tuple to `shard`. The victims offer 4 Gbps
+/// each so the 10 Gbps NIC is never the bottleneck — what moves a victim's throughput
+/// is purely its own shard's CPU.
+fn victim_on_shard(name: &str, src_ip: u32, schema: &FieldSchema, shard: usize) -> VictimFlow {
+    VictimFlow::iperf_tcp(name, src_ip, 0x0a00_0063, 4.0).steered_to_shard(
+        schema,
+        Steering::Rss,
+        N_SHARDS,
+        shard,
+    )
+}
+
+/// The SipDp co-located key stream with the base fields the crafted packets will carry
+/// (TCP protocol, the attacker's own service as destination — the RSS-free field).
+fn attack_keys(schema: &FieldSchema) -> BitInversionKeys {
+    let mut base = schema.zero_value();
+    base.set(schema.field_index("ip_proto").unwrap(), 6);
+    base.set(schema.field_index("ip_dst").unwrap(), 0x0a00_00c8);
+    Scenario::SipDp.key_iter(schema, &base)
+}
+
+fn run(
+    schema: &FieldSchema,
+    victims: &[VictimFlow],
+    keys: ShardSteeredKeys<std::iter::Cycle<BitInversionKeys>>,
+    duration: f64,
+) -> Timeline {
+    let table = Scenario::SipDp.flow_table(schema);
+    let sharded = ShardedDatapath::from_builder(Datapath::builder(table), N_SHARDS, Steering::Rss);
+    let mut runner = ExperimentRunner::sharded(sharded, Vec::new(), OffloadConfig::gro_off());
+    let mut mix = TrafficMix::new();
+    for flow in victims {
+        mix.push(Box::new(VictimSource::new(
+            flow.clone(),
+            schema,
+            runner.sample_interval,
+        )));
+    }
+    let packets = ((duration - ATTACK_START).max(1.0) * ATTACK_PPS) as usize;
+    mix.push(Box::new(
+        AttackGenerator::new(
+            "Attacker",
+            schema,
+            keys,
+            StdRng::seed_from_u64(99),
+            ATTACK_PPS,
+            ATTACK_START,
+        )
+        .with_limit(packets),
+    ));
+    runner.run_mix(mix, duration)
+}
+
+fn summarize(label: &str, tl: &Timeline, duration: f64) {
+    let before_end = ATTACK_START - 1.0;
+    let during_start = ATTACK_START + 10.0;
+    let during_end = duration.min(during_start + 30.0);
+    println!("\n-- {label} --");
+    println!("{}", tl.render_table());
+    for (i, name) in tl.victim_names.iter().enumerate() {
+        let mean = |start: f64, stop: f64| {
+            let vals: Vec<f64> = tl
+                .samples
+                .iter()
+                .filter(|s| s.time >= start && s.time < stop)
+                .map(|s| s.victim_gbps[i])
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        println!(
+            "{label}: {name} mean Gbps before {:.2}, during attack {:.2}",
+            mean(5.0, before_end),
+            mean(during_start, during_end),
+        );
+    }
+    let peak: Vec<usize> = (0..tl.shard_count)
+        .map(|s| {
+            tl.samples
+                .iter()
+                .map(|x| x.shard_masks[s])
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    println!("{label}: peak masks per shard {peak:?}");
+}
+
+fn main() {
+    let duration = tse_bench::duration_arg(70.0);
+    let schema = FieldSchema::ovs_ipv4();
+    let ip_dst = schema.field_index("ip_dst").unwrap();
+
+    let victim_a = victim_on_shard("Victim A", 0x0a00_0005, &schema, 0);
+    let victim_b = victim_on_shard("Victim B", 0x0a00_0006, &schema, 2);
+    let victims = [victim_a, victim_b];
+    println!(
+        "== Shard blast radius: {N_SHARDS} PMD shards (RSS), SipDp @ {ATTACK_PPS} pps from t={ATTACK_START} s =="
+    );
+    println!("Victim A pinned to shard 0 (attacked); Victim B pinned to shard 2.");
+
+    // Shard-pinned explosion: every attack packet retagged onto Victim A's shard.
+    let pinned = pin_to_shard(&schema, attack_keys(&schema).cycle(), ip_dst, N_SHARDS, 0);
+    let tl = run(&schema, &victims, pinned, duration);
+    summarize("shard-pinned attack (shard 0)", &tl, duration);
+
+    // Spray: the same stream spread round-robin over every shard.
+    let sprayed = spray_shards(&schema, attack_keys(&schema).cycle(), ip_dst, N_SHARDS);
+    let tl = run(&schema, &victims, sprayed, duration);
+    summarize("sprayed attack (all shards)", &tl, duration);
+}

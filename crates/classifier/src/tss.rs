@@ -66,6 +66,56 @@ pub enum MaskOrdering {
     HitCount,
 }
 
+/// One tuple (all entries sharing a mask) plus the conflict-index summaries that let
+/// [`TupleSpace::find_conflict`] rule the whole tuple out without scanning its entries.
+///
+/// The summaries are the bitwise AND / OR of every stored (masked) key, maintained
+/// incrementally on insert and recomputed on removal. A prospective entry `(K, M)` can
+/// conflict with some entry of this tuple only if an entry agrees with `K` on every bit
+/// of `M AND mask`; if `K` has a 1 where *no* stored key does (`!key_or`), or a 0 where
+/// *every* stored key has a 1 (`key_and`), no entry can agree and the tuple is skipped
+/// in O(fields) instead of O(entries).
+#[derive(Debug, Clone)]
+struct TupleBucket {
+    /// Masked key -> entry.
+    entries: HashMap<Key, MegaflowEntry>,
+    /// Bitwise AND of all stored keys (all-ones where every entry agrees on 1).
+    key_and: Key,
+    /// Bitwise OR of all stored keys (zero where every entry agrees on 0).
+    key_or: Key,
+}
+
+impl TupleBucket {
+    fn new(first_key: &Key) -> Self {
+        TupleBucket {
+            entries: HashMap::new(),
+            key_and: first_key.clone(),
+            key_or: first_key.clone(),
+        }
+    }
+
+    /// Fold one more key into the summaries (call before/after inserting it).
+    fn absorb(&mut self, key: &Key) {
+        self.key_and = self.key_and.and(key);
+        self.key_or = self.key_or.or(key);
+    }
+
+    /// Recompute the summaries from scratch (after removals). No-op on an empty bucket
+    /// (it is about to be dropped).
+    fn rebuild_summary(&mut self) {
+        let mut it = self.entries.keys();
+        let Some(first) = it.next() else { return };
+        let mut key_and = first.clone();
+        let mut key_or = first.clone();
+        for k in it {
+            key_and = key_and.and(k);
+            key_or = key_or.or(k);
+        }
+        self.key_and = key_and;
+        self.key_or = key_or;
+    }
+}
+
 /// The TSS megaflow cache.
 #[derive(Debug, Clone)]
 pub struct TupleSpace {
@@ -75,8 +125,8 @@ pub struct TupleSpace {
     masks: Vec<Mask>,
     /// Per-mask hit counters (parallel to `masks`), used by [`MaskOrdering::HitCount`].
     mask_hits: Vec<u64>,
-    /// Per-mask hash tables: masked key -> entry.
-    tuples: HashMap<Mask, HashMap<Key, MegaflowEntry>>,
+    /// Per-mask buckets: entries plus the conflict-index summaries.
+    tuples: HashMap<Mask, TupleBucket>,
 }
 
 impl TupleSpace {
@@ -122,7 +172,7 @@ impl TupleSpace {
 
     /// Number of entries |C|.
     pub fn entry_count(&self) -> usize {
-        self.tuples.values().map(|t| t.len()).sum()
+        self.tuples.values().map(|t| t.entries.len()).sum()
     }
 
     /// The distinct masks in current probe order.
@@ -132,7 +182,7 @@ impl TupleSpace {
 
     /// Iterate over all entries.
     pub fn entries(&self) -> impl Iterator<Item = &MegaflowEntry> {
-        self.tuples.values().flat_map(|t| t.values())
+        self.tuples.values().flat_map(|t| t.entries.values())
     }
 
     /// Megaflow lookup — Algorithm 1 of the paper.
@@ -149,7 +199,7 @@ impl TupleSpace {
             scanned += 1;
             let masked = header.apply_mask(mask);
             if let Some(tuple) = self.tuples.get(mask) {
-                if tuple.contains_key(&masked) {
+                if tuple.entries.contains_key(&masked) {
                     hit = Some((idx, mask.clone(), masked));
                     break;
                 }
@@ -161,7 +211,7 @@ impl TupleSpace {
                 let entry = self
                     .tuples
                     .get_mut(&mask)
-                    .and_then(|t| t.get_mut(&masked))
+                    .and_then(|t| t.entries.get_mut(&masked))
                     .expect("hit entry must exist");
                 entry.hits += 1;
                 entry.last_used = now;
@@ -185,7 +235,7 @@ impl TupleSpace {
     pub fn peek(&self, header: &Key) -> Option<&MegaflowEntry> {
         for mask in &self.masks {
             let masked = header.apply_mask(mask);
-            if let Some(entry) = self.tuples.get(mask).and_then(|t| t.get(&masked)) {
+            if let Some(entry) = self.tuples.get(mask).and_then(|t| t.entries.get(&masked)) {
                 return Some(entry);
             }
         }
@@ -221,7 +271,7 @@ impl TupleSpace {
                 self.masks.push(mask.clone());
                 self.mask_hits.push(0);
             }
-            self.tuples.insert(mask.clone(), HashMap::new());
+            self.tuples.insert(mask.clone(), TupleBucket::new(&key));
         }
         let entry = MegaflowEntry {
             key: key.clone(),
@@ -231,10 +281,9 @@ impl TupleSpace {
             last_used: now,
             installed_at: now,
         };
-        self.tuples
-            .get_mut(&mask)
-            .expect("tuple just ensured")
-            .insert(key, entry);
+        let bucket = self.tuples.get_mut(&mask).expect("tuple just ensured");
+        bucket.absorb(&key);
+        bucket.entries.insert(key, entry);
         Ok(())
     }
 
@@ -246,25 +295,57 @@ impl TupleSpace {
     /// slow-path megaflow generation uses to decide which extra bits to un-wildcard
     /// (§3.2): while a conflict exists, the generator narrows the new entry.
     ///
-    /// Complexity note: for a tuple whose mask is entirely covered by the new mask the
-    /// check is a single hash probe (two entries under comparable masks conflict only if
-    /// they agree on every common bit); only tuples with bits outside the new mask need a
-    /// scan. This keeps generation fast even when a tuple holds hundreds of thousands of
-    /// entries (the IPv6 exact-match anomaly of §5.4).
+    /// Complexity note — the comparable-mask conflict index: tuples are visited in
+    /// probe order, and each is first checked against its per-tuple key-bit
+    /// summaries, field-wise and without allocating: a conflicting entry must agree
+    /// with the new key on every bit of `M AND mask`, so a common bit where the key
+    /// has a 1 and *no* stored key does (or a 0 where *every* stored key has a 1)
+    /// rules the whole tuple out in O(fields). Only surviving tuples are touched:
+    ///
+    /// * a tuple whose mask is entirely covered by the new mask is answered by a
+    ///   **single hash probe** (comparable entries conflict only if they agree on
+    ///   every common bit), which stays fast even when the tuple holds hundreds of
+    ///   thousands of entries (the IPv6 exact-match anomaly of §5.4);
+    /// * an incomparable tuple falls back to an entry scan — but since most tuples
+    ///   were already excluded by their summaries, the common no-conflict case of
+    ///   megaflow generation never reaches it.
+    ///
+    /// The `tss_conflict_index` group of the `classifier_compare` criterion bench
+    /// measures this path against the index-less full entry scan.
     pub fn find_conflict(&self, key: &Key, mask: &Mask) -> Option<(Key, Mask)> {
         let key = key.apply_mask(mask);
-        for (existing_mask, tuple) in &self.tuples {
-            let common = mask.and(existing_mask);
-            if &common == existing_mask {
-                // Every bit the existing tuple examines is also examined by the new
-                // entry: conflict iff the tuple holds exactly the new key projected onto
-                // the existing mask.
+        for existing_mask in &self.masks {
+            let tuple = &self.tuples[existing_mask];
+            // Summary prefilter over common = mask & existing_mask, computed inline.
+            // `comparable` tracks whether existing_mask ⊆ mask along the way.
+            let mut excluded = false;
+            let mut comparable = true;
+            for (((k, m), e), (and, or)) in key
+                .values()
+                .iter()
+                .zip(mask.values())
+                .zip(existing_mask.values())
+                .zip(tuple.key_and.values().iter().zip(tuple.key_or.values()))
+            {
+                let c = m & e;
+                comparable &= c == *e;
+                if (k & c & !or) | (!k & c & and) != 0 {
+                    excluded = true;
+                    break;
+                }
+            }
+            if excluded {
+                continue;
+            }
+            if comparable {
+                // Conflict iff the tuple holds exactly the new key projected onto the
+                // existing mask.
                 let probe = key.apply_mask(existing_mask);
-                if tuple.contains_key(&probe) {
+                if tuple.entries.contains_key(&probe) {
                     return Some((probe, existing_mask.clone()));
                 }
             } else {
-                for e in tuple.values() {
+                for e in tuple.entries.values() {
                     if !fields::disjoint(&key, mask, &e.key, &e.mask) {
                         return Some((e.key.clone(), e.mask.clone()));
                     }
@@ -280,9 +361,12 @@ impl TupleSpace {
     pub fn remove_where<F: FnMut(&MegaflowEntry) -> bool>(&mut self, mut predicate: F) -> usize {
         let mut removed = 0;
         for tuple in self.tuples.values_mut() {
-            let before = tuple.len();
-            tuple.retain(|_, e| !predicate(e));
-            removed += before - tuple.len();
+            let before = tuple.entries.len();
+            tuple.entries.retain(|_, e| !predicate(e));
+            if tuple.entries.len() < before {
+                removed += before - tuple.entries.len();
+                tuple.rebuild_summary();
+            }
         }
         self.drop_empty_masks();
         removed
@@ -326,7 +410,10 @@ impl TupleSpace {
         let mut kept_hits = Vec::with_capacity(self.masks.len());
         let mut kept_masks = Vec::with_capacity(self.masks.len());
         for (mask, hits) in self.masks.drain(..).zip(self.mask_hits.drain(..)) {
-            let empty = tuples.get(&mask).map(|t| t.is_empty()).unwrap_or(true);
+            let empty = tuples
+                .get(&mask)
+                .map(|t| t.entries.is_empty())
+                .unwrap_or(true);
             if empty {
                 tuples.remove(&mask);
             } else {
@@ -350,7 +437,7 @@ impl TupleSpace {
     pub fn render(&self) -> String {
         let mut lines = Vec::new();
         for (i, mask) in self.masks.iter().enumerate() {
-            let mut keys: Vec<&MegaflowEntry> = self.tuples[mask].values().collect();
+            let mut keys: Vec<&MegaflowEntry> = self.tuples[mask].entries.values().collect();
             keys.sort_by(|a, b| a.key.cmp(&b.key));
             for e in keys {
                 lines.push(format!(
@@ -548,6 +635,50 @@ mod tests {
         assert_eq!(c.mask_count(), 0);
         assert_eq!(c.entry_count(), 0);
         assert_eq!(c.lookup(&k(0b001), 0.0).masks_scanned, 0);
+    }
+
+    /// Reference implementation: scan every entry (what `find_conflict` did before the
+    /// comparable-mask index).
+    fn find_conflict_scan(c: &TupleSpace, key: &Key, mask: &Mask) -> Option<(Key, Mask)> {
+        let key = key.apply_mask(mask);
+        c.entries()
+            .find(|e| !fields::disjoint(&key, mask, &e.key, &e.mask))
+            .map(|e| (e.key.clone(), e.mask.clone()))
+    }
+
+    #[test]
+    fn conflict_index_agrees_with_full_scan() {
+        // Exhaustively compare the indexed find_conflict with the entry scan over every
+        // (key, mask) pair of the 3-bit space, on a populated cache, after a lookup
+        // refresh, and after removals (which rebuild the summaries).
+        let mut c = fig3_cache();
+        for phase in 0..3 {
+            if phase == 1 {
+                c.lookup(&k(0b001), 1.0);
+            }
+            if phase == 2 {
+                c.remove_where(|e| e.mask == k(0b110));
+            }
+            for key in 0..8u128 {
+                for mask in 0..8u128 {
+                    let fast = c.find_conflict(&k(key), &k(mask)).is_some();
+                    let slow = find_conflict_scan(&c, &k(key), &k(mask)).is_some();
+                    assert_eq!(fast, slow, "phase {phase} key {key:03b} mask {mask:03b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_index_summary_excludes_incomparable_tuples() {
+        // Two entries under mask 011 agree on bit 0 = 1; a query under the incomparable
+        // mask 101 with bit 0 = 0 is excluded by the summary (key_and has bit 0 set).
+        let mut c = TupleSpace::new(hyp_schema());
+        c.insert(k(0b001), k(0b011), Action::Deny, 0.0).unwrap();
+        c.insert(k(0b011), k(0b011), Action::Deny, 0.0).unwrap();
+        assert_eq!(c.find_conflict(&k(0b100), &k(0b101)), None);
+        // Flipping the query's bit 0 to 1 re-enables the conflict.
+        assert!(c.find_conflict(&k(0b101), &k(0b101)).is_some());
     }
 
     #[test]

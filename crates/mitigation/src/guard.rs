@@ -50,6 +50,8 @@ impl Default for GuardConfig {
 pub struct GuardReport {
     /// Simulation time of the pass.
     pub time: f64,
+    /// Datapath shard the pass ran on (0 for the monolithic datapath).
+    pub shard: usize,
     /// Mask count before cleaning.
     pub masks_before: usize,
     /// Mask count after cleaning.
@@ -118,12 +120,62 @@ impl MfcGuard {
         Some(self.run_once(datapath, now, observed_attack_pps))
     }
 
+    /// Sharded form of [`MfcGuard::maybe_run`]: if the interval has elapsed, run one
+    /// pass **per shard**, each with its own eviction budget — shard `s`'s mask count
+    /// is compared against the threshold and its own `per_shard_attack_pps[s]` drives
+    /// the CPU exit, so a clean PMD is never swept because a different PMD is under
+    /// attack (and vice versa). Returns one report per shard, or an empty vector when
+    /// gated by the interval.
+    ///
+    /// `per_shard_attack_pps` must have one entry per shard.
+    pub fn maybe_run_sharded<B: FastPathBackend>(
+        &mut self,
+        datapath: &mut tse_switch::pmd::ShardedDatapath<B>,
+        now: f64,
+        per_shard_attack_pps: &[f64],
+    ) -> Vec<GuardReport> {
+        match self.last_run {
+            Some(last) if now - last < self.config.interval => return Vec::new(),
+            _ => {}
+        }
+        self.last_run = Some(now);
+        self.run_once_sharded(datapath, now, per_shard_attack_pps)
+    }
+
+    /// Run one guard pass per shard unconditionally (see [`MfcGuard::maybe_run_sharded`]).
+    pub fn run_once_sharded<B: FastPathBackend>(
+        &mut self,
+        datapath: &mut tse_switch::pmd::ShardedDatapath<B>,
+        now: f64,
+        per_shard_attack_pps: &[f64],
+    ) -> Vec<GuardReport> {
+        assert_eq!(
+            per_shard_attack_pps.len(),
+            datapath.shard_count(),
+            "one observed attack rate per shard"
+        );
+        (0..datapath.shard_count())
+            .map(|s| self.run_pass(datapath.shard_mut(s), now, per_shard_attack_pps[s], s))
+            .collect()
+    }
+
     /// Run one guard pass unconditionally (Alg. 2 lines 2–14).
     pub fn run_once<B: FastPathBackend>(
         &mut self,
         datapath: &mut Datapath<B>,
         now: f64,
         observed_attack_pps: f64,
+    ) -> GuardReport {
+        self.run_pass(datapath, now, observed_attack_pps, 0)
+    }
+
+    /// One guard pass over one (shard's) datapath, recorded under `shard`.
+    fn run_pass<B: FastPathBackend>(
+        &mut self,
+        datapath: &mut Datapath<B>,
+        now: f64,
+        observed_attack_pps: f64,
+        shard: usize,
     ) -> GuardReport {
         let masks_before = datapath.mask_count();
         let projected_cpu = self.cpu_model.utilization_percent(observed_attack_pps);
@@ -159,6 +211,7 @@ impl MfcGuard {
 
         let report = GuardReport {
             time: now,
+            shard,
             masks_before,
             masks_after: datapath.mask_count(),
             entries_removed,
@@ -264,6 +317,42 @@ mod tests {
         assert!(report.stopped_by_cpu);
         assert_eq!(report.entries_removed, 0);
         assert_eq!(dp.mask_count(), before);
+    }
+
+    #[test]
+    fn sharded_sweep_cleans_only_the_attacked_shard() {
+        use tse_switch::pmd::{ShardedDatapath, Steering};
+        let schema = FieldSchema::ovs_ipv4();
+        let table = Scenario::SpDp.flow_table(&schema);
+        // Pin everything to shard 1 of 3: only that shard's cache explodes.
+        let mut sharded = ShardedDatapath::new(table, 3, Steering::Pinned(1));
+        for (i, h) in scenario_trace(&schema, Scenario::SpDp, &schema.zero_value())
+            .iter()
+            .enumerate()
+        {
+            sharded.process_key(h, 60, 0.1 + i as f64 * 1e-3);
+        }
+        assert!(sharded.shard(1).mask_count() > 50);
+        let mut guard = MfcGuard::new(GuardConfig::default());
+        let reports = guard.maybe_run_sharded(&mut sharded, 1.0, &[0.0, 100.0, 0.0]);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(
+            reports.iter().map(|r| r.shard).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // Clean shards are below the mask threshold: untouched. The attacked shard is
+        // swept under its own budget.
+        assert_eq!(reports[0].entries_removed, 0);
+        assert_eq!(reports[2].entries_removed, 0);
+        assert!(reports[1].entries_removed > 50);
+        assert!(sharded.shard(1).mask_count() < reports[1].masks_before / 5);
+        // Stored reports carry the shard ids too.
+        assert_eq!(guard.reports().len(), 3);
+        assert_eq!(guard.reports()[1].shard, 1);
+        // Interval gating applies to the whole sharded pass.
+        assert!(guard
+            .maybe_run_sharded(&mut sharded, 5.0, &[0.0, 100.0, 0.0])
+            .is_empty());
     }
 
     #[test]

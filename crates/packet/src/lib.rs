@@ -31,6 +31,7 @@ pub mod flowkey;
 pub mod ipv4;
 pub mod ipv6;
 pub mod l4;
+pub mod rss;
 pub mod wire;
 
 pub use builder::PacketBuilder;

@@ -1,0 +1,127 @@
+//! Receive-Side Scaling (RSS) hashing: the NIC-side primitive that decides which PMD
+//! thread — and therefore which *private* megaflow cache — a packet lands on.
+//!
+//! In the paper's OVS-DPDK testbed every PMD thread polls its own RX queue and owns its
+//! own megaflow cache; the NIC spreads flows across queues by hashing the 5-tuple.
+//! Both sides of the reproduction need the exact same hash: the sharded datapath
+//! (`tse-switch`) to steer packets, and the attack generators (`tse-attack`) to craft
+//! keys that *land on a chosen shard* (the shard-pinned explosion) or that spray all
+//! shards evenly. Keeping the function here, below both crates, keeps them in
+//! agreement by construction.
+//!
+//! The hash is FNV-1a over the selected field values — deterministic across processes
+//! (no per-process `RandomState`), cheap, and well-spread for the low shard counts
+//! (2–16 PMDs) the experiments model. Real NICs use Toeplitz; any fixed hash of the
+//! same tuple reproduces the behaviour that matters here: a *stable, total* partition
+//! of the flow space that an attacker who knows the hash can aim.
+
+use crate::fields::{FieldSchema, Key};
+
+/// The canonical 5-tuple field names RSS hashes over, in schema order.
+const RSS_FIELD_NAMES: [&str; 5] = ["ip_src", "ip_dst", "ip_proto", "tp_src", "tp_dst"];
+/// IPv6 variants of the address fields.
+const RSS_FIELD_NAMES_V6: [&str; 2] = ["ip6_src", "ip6_dst"];
+
+/// The indices of the fields RSS hashes for `schema`: the 5-tuple (addresses, protocol,
+/// ports) for the OVS IPv4/IPv6 schemas — noise fields such as TTL are *not* part of
+/// the hash, exactly like hardware RSS — or every field for schemas without 5-tuple
+/// names (the HYP teaching protocols), so steering is still a total partition there.
+pub fn rss_fields(schema: &FieldSchema) -> Vec<usize> {
+    let mut out: Vec<usize> = RSS_FIELD_NAMES
+        .iter()
+        .chain(RSS_FIELD_NAMES_V6.iter())
+        .filter_map(|name| schema.field_index(name))
+        .collect();
+    if out.is_empty() {
+        out = (0..schema.field_count()).collect();
+    }
+    out.sort_unstable();
+    out
+}
+
+/// FNV-1a over the values of `fields` (indices into `key`), in the given order.
+///
+/// Deterministic: the same key and field list always hash identically, across calls
+/// and across processes.
+pub fn rss_hash(key: &Key, fields: &[usize]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &f in fields {
+        let v = key.get(f);
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// The shard (RX queue / PMD thread) a key is steered to among `n_shards`.
+///
+/// # Panics
+/// Panics if `n_shards` is zero.
+pub fn shard_of(key: &Key, fields: &[usize], n_shards: usize) -> usize {
+    assert!(n_shards > 0, "shard count must be positive");
+    (rss_hash(key, fields) % n_shards as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::FieldSchema;
+
+    #[test]
+    fn ipv4_schema_hashes_the_5_tuple_only() {
+        let schema = FieldSchema::ovs_ipv4();
+        let fields = rss_fields(&schema);
+        assert_eq!(fields.len(), 5);
+        assert!(!fields.contains(&schema.field_index("ttl").unwrap()));
+        // TTL (noise) must not influence steering.
+        let mut a = schema.zero_value();
+        a.set(schema.field_index("tp_dst").unwrap(), 80);
+        let mut b = a.clone();
+        b.set(schema.field_index("ttl").unwrap(), 97);
+        assert_eq!(rss_hash(&a, &fields), rss_hash(&b, &fields));
+    }
+
+    #[test]
+    fn hyp_schema_falls_back_to_all_fields() {
+        let schema = FieldSchema::hyp();
+        assert_eq!(rss_fields(&schema), vec![0]);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let schema = FieldSchema::ovs_ipv4();
+        let fields = rss_fields(&schema);
+        for n in 1..=8usize {
+            for v in 0..64u128 {
+                let mut k = schema.zero_value();
+                k.set(0, v * 0x0101);
+                k.set(5, v);
+                let s = shard_of(&k, &fields, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(&k, &fields, n), "stable across calls");
+            }
+        }
+    }
+
+    #[test]
+    fn hash_spreads_distinct_ports_across_shards() {
+        // Sanity: 256 distinct destination ports should not all collapse onto one of
+        // 4 shards (an attacker must *work* to pin a shard).
+        let schema = FieldSchema::ovs_ipv4();
+        let fields = rss_fields(&schema);
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        let mut seen = [0usize; 4];
+        for p in 0..256u128 {
+            let mut k = schema.zero_value();
+            k.set(tp_dst, p);
+            seen[shard_of(&k, &fields, 4)] += 1;
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            assert!(count > 16, "shard {i} starved: {seen:?}");
+        }
+    }
+}

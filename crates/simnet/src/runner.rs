@@ -24,6 +24,7 @@ use tse_classifier::tss::TupleSpace;
 use tse_mitigation::guard::MfcGuard;
 use tse_packet::fields::Key;
 use tse_switch::datapath::Datapath;
+use tse_switch::pmd::ShardedDatapath;
 
 use crate::offload::OffloadConfig;
 use crate::traffic::{VictimFlow, VictimSource};
@@ -41,13 +42,21 @@ pub struct TimelineSample {
     /// Attack packets per second delivered by each attacker source during this
     /// interval, in the order of [`Timeline::attacker_names`].
     pub attacker_pps_by_source: Vec<f64>,
-    /// Megaflow masks at the end of the interval.
+    /// Megaflow masks at the end of the interval (all shards combined).
     pub mask_count: usize,
-    /// Megaflow entries at the end of the interval.
+    /// Megaflow entries at the end of the interval (all shards combined).
     pub entry_count: usize,
     /// Masks scanned by a victim fast-path lookup during this interval (0 if no victim
     /// is active).
     pub victim_masks_scanned: usize,
+    /// Megaflow masks per datapath shard at the end of the interval (a singleton for
+    /// the default 1-shard runner; sums to [`TimelineSample::mask_count`]).
+    pub shard_masks: Vec<usize>,
+    /// Megaflow entries per datapath shard at the end of the interval.
+    pub shard_entries: Vec<usize>,
+    /// Attack packets per second delivered to each shard during this interval — the
+    /// shard-local blast radius series.
+    pub shard_attacker_pps: Vec<f64>,
 }
 
 impl TimelineSample {
@@ -65,6 +74,8 @@ pub struct Timeline {
     /// Attacker source names, in the order of
     /// [`TimelineSample::attacker_pps_by_source`].
     pub attacker_names: Vec<String>,
+    /// Number of datapath shards the experiment ran over (1 for the monolithic runner).
+    pub shard_count: usize,
     /// Per-second samples.
     pub samples: Vec<TimelineSample>,
 }
@@ -114,9 +125,12 @@ impl Timeline {
 
     /// Render the timeline as an aligned text table (one row per second), the textual
     /// equivalent of the Fig. 8 plots. With more than one attacker source, a delivered
-    /// pps column is appended per attacker.
+    /// pps column is appended per attacker; with more than one datapath shard, a
+    /// per-shard mask-count column is appended per shard (single-shard output is
+    /// unchanged from the monolithic runner's).
     pub fn render_table(&self) -> String {
         let multi_attacker = self.attacker_names.len() > 1;
+        let multi_shard = self.shard_count > 1;
         let mut out = String::new();
         out.push_str("time_s");
         for name in &self.victim_names {
@@ -126,6 +140,11 @@ impl Timeline {
         if multi_attacker {
             for name in &self.attacker_names {
                 out.push_str(&format!("\t{name}_pps"));
+            }
+        }
+        if multi_shard {
+            for i in 0..self.shard_count {
+                out.push_str(&format!("\tshard{i}_masks"));
             }
         }
         out.push('\n');
@@ -146,6 +165,11 @@ impl Timeline {
                     out.push_str(&format!("\t{pps:10.0}"));
                 }
             }
+            if multi_shard {
+                for m in &s.shard_masks {
+                    out.push_str(&format!("\t{m:12}"));
+                }
+            }
             out.push('\n');
         }
         out
@@ -157,6 +181,12 @@ impl Timeline {
 /// attack-immune baselines, which is how the backend comparison of Fig. 9 is run
 /// through the real pipeline instead of bare classify loops.
 ///
+/// The datapath under test is a [`ShardedDatapath`]: [`ExperimentRunner::new`] wraps a
+/// plain [`Datapath`] as a single shard (bit-for-bit the monolithic behaviour, see
+/// `tests/golden_runner_parity.rs`), while [`ExperimentRunner::sharded`] runs a true
+/// multi-PMD experiment — every shard owns a private cache *and a private CPU budget*,
+/// so an attack only costs the victims steered to the shards it actually hits.
+///
 /// Workloads are composed as [`TrafficMix`]es of [`TrafficSource`]s
 /// (see [`ExperimentRunner::run_mix`]); [`ExperimentRunner::run`] is the legacy
 /// one-trace-plus-stored-victims entry point, now a shim over the mix form.
@@ -164,22 +194,33 @@ impl Timeline {
 /// [`TrafficSource`]: tse_attack::source::TrafficSource
 #[derive(Debug)]
 pub struct ExperimentRunner<B: FastPathBackend = TupleSpace> {
-    /// The shared hypervisor datapath under test.
-    pub datapath: Datapath<B>,
+    /// The (possibly sharded) hypervisor datapath under test.
+    pub datapath: ShardedDatapath<B>,
     /// Victim flows used by the [`ExperimentRunner::run`] shim (wrapped into
     /// [`VictimSource`]s; [`ExperimentRunner::run_mix`] ignores them).
     pub victims: Vec<VictimFlow>,
     /// Victim-side offload configuration (bytes per classifier invocation, line rate).
     pub offload: OffloadConfig,
-    /// Optional MFCGuard instance protecting the datapath.
+    /// Optional MFCGuard instance protecting the datapath (swept per shard).
     pub guard: Option<MfcGuard>,
     /// Sampling/measurement interval in seconds.
     pub sample_interval: f64,
 }
 
 impl<B: FastPathBackend> ExperimentRunner<B> {
-    /// Create a runner with a 1-second sampling interval and no guard.
+    /// Create a runner over a monolithic datapath (wrapped as one shard) with a
+    /// 1-second sampling interval and no guard.
     pub fn new(datapath: Datapath<B>, victims: Vec<VictimFlow>, offload: OffloadConfig) -> Self {
+        Self::sharded(ShardedDatapath::single(datapath), victims, offload)
+    }
+
+    /// Create a runner over a sharded multi-PMD datapath with a 1-second sampling
+    /// interval and no guard.
+    pub fn sharded(
+        datapath: ShardedDatapath<B>,
+        victims: Vec<VictimFlow>,
+        offload: OffloadConfig,
+    ) -> Self {
         ExperimentRunner {
             datapath,
             victims,
@@ -260,9 +301,11 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
         }
         let n_victims = victim_names.len();
         let n_attackers = attacker_names.len();
+        let n_shards = self.datapath.shard_count();
         let mut timeline = Timeline {
             victim_names,
             attacker_names,
+            shard_count: n_shards,
             samples: Vec::new(),
         };
         let steps = (duration / dt).ceil() as usize;
@@ -273,25 +316,36 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
             let t_end = t + dt;
 
             // 1. Drain this interval's events; replay packet chunks as they close.
+            //    Attack cost and packet counts are tracked per shard: every shard is a
+            //    PMD thread with a private CPU budget.
             let mut attack_packets = 0u64;
-            let mut attack_busy = 0.0f64;
+            let mut shard_busy = vec![0.0f64; n_shards];
+            let mut shard_packets = vec![0u64; n_shards];
             let mut per_attacker = vec![0u64; n_attackers];
             let mut chunk_src = usize::MAX;
             chunk.clear();
             probes.clear();
-            let mut flush =
-                |datapath: &mut Datapath<B>, chunk: &mut Vec<(Key, usize, f64)>, src: usize| {
-                    if chunk.is_empty() {
-                        return (0.0, 0u64);
-                    }
-                    let report = datapath.process_timed_batch(chunk);
-                    let n = chunk.len() as u64;
-                    if attacker_slot[src] != usize::MAX {
-                        per_attacker[attacker_slot[src]] += n;
-                    }
-                    chunk.clear();
-                    (report.total_cost, n)
-                };
+            let flush = |datapath: &mut ShardedDatapath<B>,
+                         chunk: &mut Vec<(Key, usize, f64)>,
+                         src: usize,
+                         shard_busy: &mut [f64],
+                         shard_packets: &mut [u64],
+                         per_attacker: &mut [u64]| {
+                if chunk.is_empty() {
+                    return 0u64;
+                }
+                let report = datapath.process_timed_batch(chunk);
+                for (s, r) in report.per_shard.iter().enumerate() {
+                    shard_busy[s] += r.total_cost;
+                    shard_packets[s] += r.processed as u64;
+                }
+                let n = chunk.len() as u64;
+                if attacker_slot[src] != usize::MAX {
+                    per_attacker[attacker_slot[src]] += n;
+                }
+                chunk.clear();
+                n
+            };
             while let Some((src, ev)) = mix.next_before(t_end) {
                 match ev.payload {
                     EventPayload::Packet => {
@@ -301,9 +355,14 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                             continue;
                         }
                         if src != chunk_src {
-                            let (cost, n) = flush(&mut self.datapath, &mut chunk, chunk_src);
-                            attack_busy += cost;
-                            attack_packets += n;
+                            attack_packets += flush(
+                                &mut self.datapath,
+                                &mut chunk,
+                                chunk_src,
+                                &mut shard_busy,
+                                &mut shard_packets,
+                                &mut per_attacker,
+                            );
                             chunk_src = src;
                         }
                         chunk.push((ev.key, ev.bytes, ev.time));
@@ -311,18 +370,25 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                     EventPayload::Probe { .. } => probes.push((src, ev)),
                 }
             }
-            let (cost, n) = flush(&mut self.datapath, &mut chunk, chunk_src);
-            attack_busy += cost;
-            attack_packets += n;
+            attack_packets += flush(
+                &mut self.datapath,
+                &mut chunk,
+                chunk_src,
+                &mut shard_busy,
+                &mut shard_packets,
+                &mut per_attacker,
+            );
             self.datapath.maybe_expire(t_end);
 
             // 2. Replay the probes (already in time-then-insertion order): refresh each
-            //    active victim's megaflow entry and read its current per-invocation
-            //    cost. Work units go through the backend's cost hook, and the scan is
-            //    re-priced with this experiment's offload cost model (the datapath's
-            //    own model prices the attack packets).
+            //    active victim's megaflow entry *on the shard it is steered to* and
+            //    read its current per-invocation cost. Work units go through the
+            //    backend's cost hook, and the scan is re-priced with this experiment's
+            //    offload cost model (the datapath's own model prices the attack
+            //    packets).
             let mut victim_costs: Vec<Option<f64>> = vec![None; n_victims];
             let mut victim_offered = vec![0.0f64; n_victims];
+            let mut victim_shard = vec![0usize; n_victims];
             let mut victim_masks_scanned = 0;
             for (src, ev) in &probes {
                 let EventPayload::Probe { offered_gbps } = ev.payload else {
@@ -332,9 +398,17 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                     continue; // probe from a non-victim source: nothing to attribute
                 }
                 let slot = victim_slot[*src];
-                let outcome = self.datapath.process_key(&ev.key, ev.bytes, ev.time);
+                let shard = self.datapath.shard_of_key(&ev.key);
+                let outcome = self
+                    .datapath
+                    .shard_mut(shard)
+                    .process_key(&ev.key, ev.bytes, ev.time);
                 victim_masks_scanned = victim_masks_scanned.max(outcome.masks_scanned);
-                let units = self.datapath.megaflow().cost_units(outcome.masks_scanned);
+                let units = self
+                    .datapath
+                    .shard(shard)
+                    .megaflow()
+                    .cost_units(outcome.masks_scanned);
                 let cost = match outcome.path {
                     tse_switch::stats::PathTaken::SlowPath => self.offload.cost.slow_path(units),
                     tse_switch::stats::PathTaken::Microflow => self.offload.cost.microflow(),
@@ -342,17 +416,25 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 };
                 victim_costs[slot] = Some(cost);
                 victim_offered[slot] = offered_gbps;
+                victim_shard[slot] = shard;
             }
 
-            // 3. Convert the CPU left after attack processing into victim throughput.
-            let available_cpu = (dt - attack_busy).max(0.0);
-            let active: Vec<usize> = victim_costs
-                .iter()
-                .enumerate()
-                .filter_map(|(i, c)| c.map(|_| i))
-                .collect();
+            // 3. Convert the CPU left after attack processing into victim throughput —
+            //    per shard: each PMD splits *its own* leftover cycles across the
+            //    victims steered to it, so an attack pinned to one shard starves only
+            //    that shard's victims.
             let mut victim_gbps = vec![0.0; n_victims];
-            if !active.is_empty() {
+            for (shard, busy) in shard_busy.iter().enumerate() {
+                let available_cpu = (dt - busy).max(0.0);
+                let active: Vec<usize> = victim_costs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, c)| c.map(|_| i))
+                    .filter(|&i| victim_shard[i] == shard)
+                    .collect();
+                if active.is_empty() {
+                    continue;
+                }
                 let share = available_cpu / active.len() as f64;
                 let mut leftover = 0.0;
                 for &i in &active {
@@ -364,7 +446,8 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                     leftover += (achievable_pps - pps).max(0.0) * cost * dt;
                     victim_gbps[i] = pps * self.offload.bytes_per_invocation as f64 * 8.0 / 1e9;
                 }
-                // One redistribution pass: give unused CPU to still-limited flows.
+                // One redistribution pass: give unused CPU to still-limited flows on
+                // the same shard.
                 if leftover > 1e-12 {
                     let limited: Vec<usize> = active
                         .iter()
@@ -385,19 +468,22 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                         }
                     }
                 }
-                // Line-rate cap on the aggregate.
-                let total: f64 = victim_gbps.iter().sum();
-                if total > self.offload.line_rate_gbps {
-                    let scale = self.offload.line_rate_gbps / total;
-                    for v in &mut victim_gbps {
-                        *v *= scale;
-                    }
+            }
+            // Line-rate cap on the aggregate: the NIC is shared by all shards.
+            let total: f64 = victim_gbps.iter().sum();
+            if total > self.offload.line_rate_gbps {
+                let scale = self.offload.line_rate_gbps / total;
+                for v in &mut victim_gbps {
+                    *v *= scale;
                 }
             }
 
-            // 4. Let MFCGuard run if attached.
+            // 4. Let MFCGuard run if attached — one sweep per shard, each under its
+            //    own eviction budget and its own observed attack rate.
             if let Some(guard) = &mut self.guard {
-                guard.maybe_run(&mut self.datapath, t_end, attack_packets as f64 / dt);
+                let per_shard_pps: Vec<f64> =
+                    shard_packets.iter().map(|&c| c as f64 / dt).collect();
+                guard.maybe_run_sharded(&mut self.datapath, t_end, &per_shard_pps);
             }
 
             timeline.samples.push(TimelineSample {
@@ -408,6 +494,9 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 mask_count: self.datapath.mask_count(),
                 entry_count: self.datapath.entry_count(),
                 victim_masks_scanned,
+                shard_masks: self.datapath.shard_mask_counts(),
+                shard_entries: self.datapath.shard_entry_counts(),
+                shard_attacker_pps: shard_packets.iter().map(|&c| c as f64 / dt).collect(),
             });
         }
         timeline

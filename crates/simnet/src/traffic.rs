@@ -6,7 +6,8 @@ use tse_packet::builder::PacketBuilder;
 use tse_packet::fields::{FieldSchema, Key};
 use tse_packet::flowkey::FlowKey;
 use tse_packet::l4::IpProto;
-use tse_packet::Packet;
+use tse_packet::{rss, Packet};
+use tse_switch::pmd::Steering;
 
 /// An iperf-like victim flow: a single long-lived TCP or UDP stream offered at a fixed
 /// rate between two tenant endpoints.
@@ -67,6 +68,52 @@ impl VictimFlow {
     pub fn with_src_port(mut self, port: u16) -> Self {
         self.src_port = port;
         self
+    }
+
+    /// Scan source ports upward from the current one until the flow's key steers to
+    /// `shard` of `n_shards` under `steering` — how an experiment places a victim on a
+    /// chosen PMD of a [`ShardedDatapath`](tse_switch::pmd::ShardedDatapath).
+    ///
+    /// # Panics
+    /// Panics if the steering policy does not depend on the source port (a
+    /// [`Steering::Pinned`] flow or a [`Steering::PerTenant`] hash of the source
+    /// address — no port can move those) and the flow does not already land on
+    /// `shard`, or if the scan exhausts all ports without reaching it.
+    pub fn steered_to_shard(
+        mut self,
+        schema: &FieldSchema,
+        steering: Steering,
+        n_shards: usize,
+        shard: usize,
+    ) -> Self {
+        assert!(shard < n_shards, "target shard out of range");
+        let fields = steering.steer_fields(schema);
+        let shard_of = |flow: &VictimFlow| match steering {
+            Steering::Pinned(i) => i,
+            _ => rss::shard_of(&flow.key(schema), &fields, n_shards),
+        };
+        if shard_of(&self) == shard {
+            return self;
+        }
+        let port_moves_hash = schema
+            .field_index("tp_src")
+            .is_some_and(|tp_src| fields.contains(&tp_src));
+        assert!(
+            port_moves_hash,
+            "{steering:?} ignores the source port: {} cannot be moved to shard {shard}",
+            self.name
+        );
+        let start = self.src_port;
+        for port in start..=u16::MAX {
+            self.src_port = port;
+            if shard_of(&self) == shard {
+                return self;
+            }
+        }
+        panic!(
+            "no source port in {start}..=65535 steers {} to shard {shard}/{n_shards}",
+            self.name
+        );
     }
 
     /// Is the flow offering traffic at time `t`?
@@ -230,6 +277,51 @@ mod tests {
         let k = f.key(&schema);
         assert_eq!(k.get(schema.field_index("ip_src").unwrap()), 7);
         assert_eq!(k.get(schema.field_index("tp_dst").unwrap()), 80);
+    }
+
+    #[test]
+    fn steered_to_shard_lands_on_the_requested_shard() {
+        let schema = FieldSchema::ovs_ipv4();
+        for shard in 0..4 {
+            let flow = VictimFlow::iperf_tcp("v", 0x0a000005, 0x0a000063, 4.0)
+                .with_src_port(40_000)
+                .steered_to_shard(&schema, Steering::Rss, 4, shard);
+            assert_eq!(
+                Steering::Rss.shard_of(&schema, &flow.key(&schema), 4),
+                shard
+            );
+            assert!(flow.src_port >= 40_000);
+        }
+        // Pinned steering: reachable iff the pin matches.
+        let flow = VictimFlow::iperf_tcp("v", 1, 2, 1.0).steered_to_shard(
+            &schema,
+            Steering::Pinned(2),
+            4,
+            2,
+        );
+        assert_eq!(flow.src_port, 40_000, "first candidate port already works");
+    }
+
+    #[test]
+    #[should_panic(expected = "ignores the source port")]
+    fn steered_to_shard_rejects_port_independent_steering() {
+        let schema = FieldSchema::ovs_ipv4();
+        // An ip_src whose PerTenant hash misses shard 0: no port can move it.
+        let src_ip = (1u32..)
+            .find(|&ip| {
+                Steering::PerTenant.shard_of(
+                    &schema,
+                    &VictimFlow::iperf_tcp("v", ip, 2, 1.0).key(&schema),
+                    4,
+                ) != 0
+            })
+            .unwrap();
+        let _ = VictimFlow::iperf_tcp("v", src_ip, 2, 1.0).steered_to_shard(
+            &schema,
+            Steering::PerTenant,
+            4,
+            0,
+        );
     }
 
     #[test]

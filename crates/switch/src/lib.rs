@@ -12,6 +12,9 @@
 //!   algorithmic work (masks scanned, upcalls) into simulated seconds and therefore
 //!   throughput (DESIGN.md §4 explains the substitution for the paper's hardware
 //!   testbed);
+//! * [`pmd`] — the sharded multi-PMD form of the datapath: N per-shard caches behind an
+//!   RSS-style steering policy, modelling OVS-DPDK's one-megaflow-cache-per-PMD-thread
+//!   architecture and the shard-local blast radius of the attack;
 //! * [`stats`] — per-path counters and busy-time accounting;
 //! * [`tenant`] — multi-tenant ACL composition: per-tenant ACLs merged into the single
 //!   flow table of the shared hypervisor switch, the abstraction Co-located TSE exploits.
@@ -21,6 +24,7 @@
 
 pub mod cost;
 pub mod datapath;
+pub mod pmd;
 pub mod slowpath;
 pub mod stats;
 pub mod tenant;
@@ -29,6 +33,7 @@ pub use cost::CostModel;
 pub use datapath::{
     BatchReport, Datapath, DatapathBuilder, DatapathConfig, ProcessOutcome, DEFAULT_IDLE_TIMEOUT,
 };
+pub use pmd::{ShardedBatchReport, ShardedDatapath, Steering};
 pub use slowpath::{SlowPath, UpcallOutcome};
 pub use stats::{DatapathStats, PathTaken};
 pub use tenant::{

@@ -1,0 +1,550 @@
+//! The sharded multi-PMD datapath: N per-shard [`Datapath`] instances behind an
+//! RSS-style steering policy.
+//!
+//! In the paper's OVS-DPDK testbed the victim switch is not one cache but one cache
+//! **per PMD thread**: the NIC's RSS hash spreads flows across RX queues, each polled
+//! by a PMD that owns a *private* megaflow cache and a private CPU budget. The tuple
+//! space explosion therefore has a *shard-local blast radius* — an attack whose
+//! 5-tuples all hash to one queue saturates that PMD's cache and core while a victim
+//! steered to another PMD keeps its fast path and its cycles; an attack sprayed across
+//! the hash space poisons every PMD at once.
+//!
+//! [`ShardedDatapath`] reproduces exactly that: a [`Steering`] policy maps every
+//! header key to one shard (a total, stable partition of the flow space), batched
+//! entry points fan events out per shard in one pass, and statistics/mask counts are
+//! reported both per shard and aggregated via [`DatapathStats::merge`]. A 1-shard
+//! `ShardedDatapath` is bit-for-bit identical to the plain [`Datapath`] (asserted by
+//! the golden-parity suite), so everything built on the monolithic switch carries
+//! over unchanged.
+
+use tse_classifier::backend::FastPathBackend;
+use tse_classifier::flowtable::FlowTable;
+use tse_classifier::tss::TupleSpace;
+use tse_packet::fields::{FieldSchema, Key};
+use tse_packet::flowkey::FlowKey;
+use tse_packet::rss;
+use tse_packet::Packet;
+
+use crate::datapath::{BatchReport, Datapath, DatapathBuilder, ProcessOutcome};
+use crate::stats::DatapathStats;
+
+/// How packets are distributed over the shards — the model of the NIC's RX-queue
+/// assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steering {
+    /// Hash the 5-tuple ([`rss::rss_fields`]) — hardware RSS, the paper's testbed
+    /// configuration. Noise fields (TTL) do not influence placement.
+    Rss,
+    /// Steer by source address only: all traffic of one tenant lands on one shard
+    /// (a queue-per-tenant isolation policy some deployments use).
+    PerTenant,
+    /// Send everything to one fixed shard (degenerate policy; also how a 1-shard
+    /// datapath behaves under any policy).
+    Pinned(usize),
+}
+
+impl Steering {
+    /// The field indices this policy hashes for `schema` (empty for [`Steering::Pinned`]).
+    pub fn steer_fields(&self, schema: &FieldSchema) -> Vec<usize> {
+        match self {
+            Steering::Rss => rss::rss_fields(schema),
+            Steering::PerTenant => {
+                let src = schema
+                    .field_index("ip_src")
+                    .or_else(|| schema.field_index("ip6_src"))
+                    .unwrap_or(0);
+                vec![src]
+            }
+            Steering::Pinned(_) => Vec::new(),
+        }
+    }
+
+    /// The shard `key` is steered to among `n_shards` — a pure function of the key:
+    /// every key maps to exactly one shard and repeated calls always agree.
+    ///
+    /// # Panics
+    /// Panics if `n_shards` is zero or a [`Steering::Pinned`] target is out of range.
+    pub fn shard_of(&self, schema: &FieldSchema, key: &Key, n_shards: usize) -> usize {
+        assert!(n_shards > 0, "shard count must be positive");
+        match self {
+            Steering::Pinned(i) => {
+                assert!(*i < n_shards, "pinned shard {i} out of range 0..{n_shards}");
+                *i
+            }
+            _ => rss::shard_of(key, &self.steer_fields(schema), n_shards),
+        }
+    }
+}
+
+/// Per-shard result of one sharded batch dispatch.
+///
+/// `per_shard[s]` is the [`BatchReport`] of shard `s`'s sub-batch (zero counters for
+/// shards that received no events); [`ShardedBatchReport::aggregate`] folds them into
+/// one report equivalent to a monolithic run's.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardedBatchReport {
+    /// One report per shard, in shard order.
+    pub per_shard: Vec<BatchReport>,
+}
+
+impl ShardedBatchReport {
+    /// Fold the per-shard reports into one (sums, except `max_masks_scanned` which is
+    /// the maximum over shards).
+    pub fn aggregate(&self) -> BatchReport {
+        let mut total = BatchReport::default();
+        // Exhaustive destructuring: a field added to BatchReport fails to compile here
+        // instead of being silently dropped from the aggregate.
+        for r in &self.per_shard {
+            let BatchReport {
+                processed,
+                allowed,
+                denied,
+                fastpath_hits,
+                upcalls,
+                total_cost,
+                max_masks_scanned,
+            } = r;
+            total.processed += processed;
+            total.allowed += allowed;
+            total.denied += denied;
+            total.fastpath_hits += fastpath_hits;
+            total.upcalls += upcalls;
+            total.total_cost += total_cost;
+            total.max_masks_scanned = total.max_masks_scanned.max(*max_masks_scanned);
+        }
+        total
+    }
+}
+
+/// N per-shard datapaths behind a [`Steering`] policy — the multi-PMD form of
+/// [`Datapath`]. Generic over the same fast-path backend `B`; every shard runs an
+/// identical configuration over an identical flow table, but owns private megaflow
+/// state, private statistics and (in the experiment runner) a private CPU budget.
+#[derive(Debug, Clone)]
+pub struct ShardedDatapath<B: FastPathBackend = TupleSpace> {
+    shards: Vec<Datapath<B>>,
+    steering: Steering,
+    /// Field indices the steering policy hashes (cached from the schema at build).
+    steer_fields: Vec<usize>,
+    /// Whether the schema is the OVS IPv4 / IPv6 family (cached for the per-packet
+    /// family check in [`ShardedDatapath::process_packet`]).
+    schema_is_v4: bool,
+    schema_is_v6: bool,
+}
+
+impl<B: FastPathBackend> ShardedDatapath<B> {
+    /// Wrap an existing datapath as a single shard. This is the compatibility form:
+    /// every entry point behaves bit-for-bit like the wrapped [`Datapath`].
+    pub fn single(datapath: Datapath<B>) -> Self {
+        Self::from_shards(vec![datapath], Steering::Rss)
+    }
+
+    fn from_shards(shards: Vec<Datapath<B>>, steering: Steering) -> Self {
+        let schema = shards[0].table().schema();
+        ShardedDatapath {
+            steer_fields: steering.steer_fields(schema),
+            schema_is_v4: schema.field_index("ip_src").is_some(),
+            schema_is_v6: schema.field_index("ip6_src").is_some(),
+            shards,
+            steering,
+        }
+    }
+
+    /// Build `n_shards` identical datapaths from one builder (each shard gets its own
+    /// fresh backend) behind `steering`.
+    ///
+    /// # Panics
+    /// Panics if `n_shards` is zero or a [`Steering::Pinned`] target is out of range.
+    pub fn from_builder(builder: DatapathBuilder<B>, n_shards: usize, steering: Steering) -> Self
+    where
+        DatapathBuilder<B>: Clone,
+    {
+        assert!(n_shards > 0, "shard count must be positive");
+        if let Steering::Pinned(i) = steering {
+            assert!(i < n_shards, "pinned shard {i} out of range 0..{n_shards}");
+        }
+        let shards: Vec<Datapath<B>> = (0..n_shards).map(|_| builder.clone().build()).collect();
+        Self::from_shards(shards, steering)
+    }
+
+    /// Number of shards (PMD threads).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The steering policy in effect.
+    pub fn steering(&self) -> Steering {
+        self.steering
+    }
+
+    /// The shards, in shard order.
+    pub fn shards(&self) -> &[Datapath<B>] {
+        &self.shards
+    }
+
+    /// Shard `i` (read-only).
+    pub fn shard(&self, i: usize) -> &Datapath<B> {
+        &self.shards[i]
+    }
+
+    /// Mutable access to shard `i` (the per-shard interface MFCGuard sweeps use).
+    pub fn shard_mut(&mut self, i: usize) -> &mut Datapath<B> {
+        &mut self.shards[i]
+    }
+
+    /// The shard `key` is steered to.
+    pub fn shard_of_key(&self, key: &Key) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        match self.steering {
+            Steering::Pinned(i) => i,
+            _ => rss::shard_of(key, &self.steer_fields, self.shards.len()),
+        }
+    }
+
+    /// The installed flow table (identical on every shard).
+    pub fn table(&self) -> &FlowTable {
+        self.shards[0].table()
+    }
+
+    /// Replace the flow table on every shard (OVS revalidation semantics per shard).
+    pub fn install_table(&mut self, table: FlowTable) {
+        for shard in &mut self.shards {
+            shard.install_table(table.clone());
+        }
+    }
+
+    /// Total megaflow masks across all shards.
+    pub fn mask_count(&self) -> usize {
+        self.shards.iter().map(Datapath::mask_count).sum()
+    }
+
+    /// Total megaflow entries across all shards.
+    pub fn entry_count(&self) -> usize {
+        self.shards.iter().map(Datapath::entry_count).sum()
+    }
+
+    /// Megaflow masks per shard, in shard order — the shard-local blast radius metric.
+    pub fn shard_mask_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(Datapath::mask_count).collect()
+    }
+
+    /// Megaflow entries per shard, in shard order.
+    pub fn shard_entry_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(Datapath::entry_count).collect()
+    }
+
+    /// Statistics of shard `i`.
+    pub fn shard_stats(&self, i: usize) -> &DatapathStats {
+        self.shards[i].stats()
+    }
+
+    /// Aggregate statistics: every shard's counters folded with [`DatapathStats::merge`].
+    pub fn stats(&self) -> DatapathStats {
+        let mut total = DatapathStats::default();
+        for shard in &self.shards {
+            total.merge(shard.stats());
+        }
+        total
+    }
+
+    /// Reset the statistics of every shard.
+    pub fn reset_stats(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset_stats();
+        }
+    }
+
+    /// Run the idle-expiry sweep on every shard if its revalidation interval elapsed.
+    /// Idle shards expire on the same clock as busy ones — each PMD's revalidator runs
+    /// regardless of traffic.
+    pub fn maybe_expire(&mut self, now: f64) {
+        for shard in &mut self.shards {
+            shard.maybe_expire(now);
+        }
+    }
+
+    /// Process one pre-extracted header key on the shard it is steered to.
+    pub fn process_key(&mut self, header: &Key, bytes: usize, now: f64) -> ProcessOutcome {
+        let shard = self.shard_of_key(header);
+        self.shards[shard].process_key(header, bytes, now)
+    }
+
+    /// Process a concrete packet on the shard its flow key is steered to. Packets whose
+    /// family does not match the installed schema (which the per-shard datapath permits
+    /// unclassified) are accounted on shard 0.
+    pub fn process_packet(&mut self, pkt: &Packet, now: f64) -> ProcessOutcome {
+        let flow = FlowKey::from_packet(pkt);
+        let family_matches =
+            (flow.is_v6 && self.schema_is_v6) || (!flow.is_v6 && self.schema_is_v4);
+        let shard = if family_matches {
+            self.shard_of_key(&flow.to_key(self.shards[0].table().schema()))
+        } else {
+            0
+        };
+        self.shards[shard].process_packet(pkt, now)
+    }
+
+    /// Fan a timestamped event batch out to the shards in one pass and process each
+    /// shard's sub-batch with [`Datapath::process_timed_batch`].
+    ///
+    /// Events keep their relative order within each shard (the order the PMD's RX
+    /// queue would deliver them), and each shard's expiry/entry liveness evolves at the
+    /// events' own timestamps. With one shard this is exactly the monolithic
+    /// `process_timed_batch`.
+    pub fn process_timed_batch(&mut self, batch: &[(Key, usize, f64)]) -> ShardedBatchReport {
+        if self.shards.len() == 1 {
+            return ShardedBatchReport {
+                per_shard: vec![self.shards[0].process_timed_batch(batch)],
+            };
+        }
+        let mut sub: Vec<Vec<(Key, usize, f64)>> = vec![Vec::new(); self.shards.len()];
+        for (key, bytes, time) in batch {
+            sub[self.shard_of_key(key)].push((key.clone(), *bytes, *time));
+        }
+        let per_shard = self
+            .shards
+            .iter_mut()
+            .zip(&sub)
+            .map(|(shard, events)| {
+                if events.is_empty() {
+                    BatchReport::default()
+                } else {
+                    shard.process_timed_batch(events)
+                }
+            })
+            .collect();
+        ShardedBatchReport { per_shard }
+    }
+
+    /// Fan a single-timestamp batch out per shard (the [`Datapath::process_batch`]
+    /// semantics — one expiry sweep per shard, consecutive identical headers within a
+    /// shard's sub-batch deduplicated).
+    pub fn process_batch(&mut self, batch: &[(Key, usize)], now: f64) -> ShardedBatchReport {
+        if self.shards.len() == 1 {
+            return ShardedBatchReport {
+                per_shard: vec![self.shards[0].process_batch(batch, now)],
+            };
+        }
+        let mut sub: Vec<Vec<(Key, usize)>> = vec![Vec::new(); self.shards.len()];
+        for (key, bytes) in batch {
+            sub[self.shard_of_key(key)].push((key.clone(), *bytes));
+        }
+        let per_shard = self
+            .shards
+            .iter_mut()
+            .zip(&sub)
+            .map(|(shard, events)| {
+                if events.is_empty() {
+                    BatchReport::default()
+                } else {
+                    shard.process_batch(events, now)
+                }
+            })
+            .collect();
+        ShardedBatchReport { per_shard }
+    }
+}
+
+impl ShardedDatapath<TupleSpace> {
+    /// `n_shards` TSS datapaths over `table` with default configuration behind `steering`
+    /// — shorthand for `ShardedDatapath::from_builder(Datapath::builder(table), ..)`.
+    pub fn new(table: FlowTable, n_shards: usize, steering: Steering) -> Self {
+        ShardedDatapath::from_builder(Datapath::builder(table), n_shards, steering)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tse_classifier::rule::Action;
+    use tse_packet::builder::PacketBuilder;
+
+    fn fig6_table(schema: &FieldSchema) -> FlowTable {
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        FlowTable::whitelist_default_deny(schema, &[(tp_dst, 80)])
+    }
+
+    /// A spread of distinct keys (varying ports/addresses).
+    fn key_spread(schema: &FieldSchema, n: usize) -> Vec<Key> {
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        let ip_src = schema.field_index("ip_src").unwrap();
+        (0..n)
+            .map(|i| {
+                let mut k = schema.zero_value();
+                k.set(tp_dst, (i % 400) as u128);
+                k.set(ip_src, 0x0a00_0000 + (i / 7) as u128);
+                k
+            })
+            .collect()
+    }
+
+    #[test]
+    fn steering_is_a_total_partition() {
+        let schema = FieldSchema::ovs_ipv4();
+        for steering in [Steering::Rss, Steering::PerTenant, Steering::Pinned(2)] {
+            for key in key_spread(&schema, 200) {
+                let s = steering.shard_of(&schema, &key, 4);
+                assert!(s < 4);
+                assert_eq!(s, steering.shard_of(&schema, &key, 4));
+            }
+        }
+    }
+
+    #[test]
+    fn per_tenant_groups_by_source_address() {
+        let schema = FieldSchema::ovs_ipv4();
+        let ip_src = schema.field_index("ip_src").unwrap();
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        let mut a = schema.zero_value();
+        a.set(ip_src, 0x0a000001);
+        a.set(tp_dst, 80);
+        let mut b = a.clone();
+        b.set(tp_dst, 443);
+        assert_eq!(
+            Steering::PerTenant.shard_of(&schema, &a, 8),
+            Steering::PerTenant.shard_of(&schema, &b, 8),
+            "same tenant, different ports, same shard"
+        );
+    }
+
+    #[test]
+    fn one_shard_matches_the_plain_datapath_bitwise() {
+        let schema = FieldSchema::ovs_ipv4();
+        let table = fig6_table(&schema);
+        let batch: Vec<(Key, usize, f64)> = key_spread(&schema, 120)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, 64usize, i as f64 * 0.2))
+            .collect();
+
+        let mut mono = Datapath::new(table.clone());
+        let mono_report = mono.process_timed_batch(&batch);
+        let mut sharded = ShardedDatapath::new(table, 1, Steering::Rss);
+        let report = sharded.process_timed_batch(&batch);
+
+        assert_eq!(report.per_shard.len(), 1);
+        assert_eq!(report.aggregate(), mono_report);
+        assert_eq!(sharded.stats(), *mono.stats());
+        assert_eq!(sharded.mask_count(), mono.mask_count());
+        assert_eq!(sharded.entry_count(), mono.entry_count());
+        assert_eq!(
+            sharded.stats().busy_seconds.to_bits(),
+            mono.stats().busy_seconds.to_bits(),
+            "costs must match to the f64 bit"
+        );
+    }
+
+    #[test]
+    fn sharded_verdicts_match_the_flow_table() {
+        // Sharding must never change a verdict: each key still classifies against the
+        // same table, just on its own shard.
+        let schema = FieldSchema::ovs_ipv4();
+        let table = fig6_table(&schema);
+        let mut sharded = ShardedDatapath::new(table.clone(), 4, Steering::Rss);
+        for (i, key) in key_spread(&schema, 200).iter().enumerate() {
+            let out = sharded.process_key(key, 64, i as f64 * 1e-3);
+            let expect = table.lookup(key).unwrap().action;
+            assert_eq!(out.action, expect);
+        }
+        // Aggregate stats account for every packet.
+        assert_eq!(sharded.stats().packets(), 200);
+        let per_shard: u64 = (0..4).map(|i| sharded.shard_stats(i).packets()).sum();
+        assert_eq!(per_shard, 200);
+    }
+
+    #[test]
+    fn merged_shard_stats_equal_the_aggregate() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut sharded = ShardedDatapath::new(fig6_table(&schema), 3, Steering::Rss);
+        let batch: Vec<(Key, usize, f64)> = key_spread(&schema, 150)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, 64usize, i as f64 * 0.01))
+            .collect();
+        sharded.process_timed_batch(&batch);
+        let mut merged = DatapathStats::default();
+        for i in 0..sharded.shard_count() {
+            merged.merge(sharded.shard_stats(i));
+        }
+        assert_eq!(merged, sharded.stats());
+        assert_eq!(merged.packets(), 150);
+    }
+
+    #[test]
+    fn pinned_steering_loads_one_shard_only() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut sharded = ShardedDatapath::new(fig6_table(&schema), 4, Steering::Pinned(3));
+        for (i, key) in key_spread(&schema, 60).iter().enumerate() {
+            sharded.process_key(key, 64, i as f64 * 1e-3);
+        }
+        assert_eq!(sharded.shard_stats(3).packets(), 60);
+        for i in 0..3 {
+            assert_eq!(sharded.shard_stats(i).packets(), 0);
+            assert_eq!(sharded.shard(i).mask_count(), 0);
+        }
+        assert!(sharded.shard(3).mask_count() > 0);
+    }
+
+    #[test]
+    fn rss_spreads_attack_state_across_shards() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut sharded = ShardedDatapath::new(fig6_table(&schema), 4, Steering::Rss);
+        for (i, key) in key_spread(&schema, 400).iter().enumerate() {
+            sharded.process_key(key, 64, i as f64 * 1e-4);
+        }
+        let masks = sharded.shard_mask_counts();
+        assert!(
+            masks.iter().all(|&m| m > 0),
+            "all shards touched: {masks:?}"
+        );
+        assert_eq!(masks.iter().sum::<usize>(), sharded.mask_count());
+        assert_eq!(
+            sharded.shard_entry_counts().iter().sum::<usize>(),
+            sharded.entry_count()
+        );
+    }
+
+    #[test]
+    fn install_table_flushes_every_shard() {
+        let schema = FieldSchema::ovs_ipv4();
+        let table = fig6_table(&schema);
+        let mut sharded = ShardedDatapath::new(table.clone(), 2, Steering::Rss);
+        for (i, key) in key_spread(&schema, 50).iter().enumerate() {
+            sharded.process_key(key, 64, i as f64 * 1e-3);
+        }
+        assert!(sharded.entry_count() > 0);
+        sharded.install_table(table);
+        assert_eq!(sharded.entry_count(), 0);
+        assert_eq!(sharded.mask_count(), 0);
+    }
+
+    #[test]
+    fn process_packet_routes_by_flow_key() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut sharded = ShardedDatapath::new(fig6_table(&schema), 4, Steering::Rss);
+        let pkt = PacketBuilder::tcp_v4([10, 0, 0, 9], [10, 0, 0, 99], 5555, 80).build();
+        let key = FlowKey::from_packet(&pkt).to_key(&schema);
+        let shard = sharded.shard_of_key(&key);
+        let out = sharded.process_packet(&pkt, 0.0);
+        assert_eq!(out.action, Action::Allow);
+        assert_eq!(sharded.shard_stats(shard).packets(), 1);
+    }
+
+    #[test]
+    fn expiry_runs_on_idle_shards_too() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut sharded = ShardedDatapath::new(fig6_table(&schema), 2, Steering::Rss);
+        for (i, key) in key_spread(&schema, 50).iter().enumerate() {
+            sharded.process_key(key, 64, 0.01 + i as f64 * 1e-4);
+        }
+        assert!(sharded.mask_count() > 0);
+        sharded.maybe_expire(30.0);
+        assert_eq!(
+            sharded.mask_count(),
+            0,
+            "all shards swept on the same clock"
+        );
+    }
+}

@@ -22,6 +22,9 @@ pub struct DatapathStats {
     pub megaflow_hits: u64,
     /// Packets that needed the slow path (upcalls).
     pub upcalls: u64,
+    /// Packets permitted without classification (non-IP traffic, or a family mismatch
+    /// with the installed table's schema).
+    pub unclassified: u64,
     /// Packets ultimately permitted.
     pub allowed: u64,
     /// Packets ultimately dropped by policy.
@@ -37,7 +40,7 @@ pub struct DatapathStats {
 impl DatapathStats {
     /// Total packets processed.
     pub fn packets(&self) -> u64 {
-        self.microflow_hits + self.megaflow_hits + self.upcalls
+        self.microflow_hits + self.megaflow_hits + self.upcalls + self.unclassified
     }
 
     /// Average masks scanned per megaflow lookup (hits + upcalls).
@@ -73,7 +76,7 @@ impl DatapathStats {
             PathTaken::Microflow => self.microflow_hits += 1,
             PathTaken::Megaflow => self.megaflow_hits += 1,
             PathTaken::SlowPath => self.upcalls += 1,
-            PathTaken::Unclassified => {}
+            PathTaken::Unclassified => self.unclassified += 1,
         }
         if permitted {
             self.allowed += 1;
@@ -85,17 +88,32 @@ impl DatapathStats {
         self.busy_seconds += cost;
     }
 
-    /// Fold another accumulator into this one (used by the batch entry point, which
-    /// accumulates into a batch-local instance and merges once).
+    /// Fold another accumulator into this one (used by the batch entry points, which
+    /// accumulate into a batch-local instance and merge once, and by
+    /// [`ShardedDatapath::stats`](crate::pmd::ShardedDatapath::stats) to aggregate
+    /// per-shard counters). Every field must be folded here — `merge_covers_every_field`
+    /// below fails if a newly added counter is forgotten.
     pub fn merge(&mut self, other: &DatapathStats) {
-        self.microflow_hits += other.microflow_hits;
-        self.megaflow_hits += other.megaflow_hits;
-        self.upcalls += other.upcalls;
-        self.allowed += other.allowed;
-        self.denied += other.denied;
-        self.masks_scanned += other.masks_scanned;
-        self.busy_seconds += other.busy_seconds;
-        self.allowed_bytes += other.allowed_bytes;
+        let DatapathStats {
+            microflow_hits,
+            megaflow_hits,
+            upcalls,
+            unclassified,
+            allowed,
+            denied,
+            masks_scanned,
+            busy_seconds,
+            allowed_bytes,
+        } = other;
+        self.microflow_hits += microflow_hits;
+        self.megaflow_hits += megaflow_hits;
+        self.upcalls += upcalls;
+        self.unclassified += unclassified;
+        self.allowed += allowed;
+        self.denied += denied;
+        self.masks_scanned += masks_scanned;
+        self.busy_seconds += busy_seconds;
+        self.allowed_bytes += allowed_bytes;
     }
 
     /// Reset every counter (used between measurement intervals).
@@ -129,6 +147,51 @@ mod tests {
         assert_eq!(s.packets(), 0);
         assert_eq!(s.avg_masks_scanned(), 0.0);
         assert_eq!(s.upcall_ratio(), 0.0);
+    }
+
+    /// A stats value with every field nonzero, built through the public API only.
+    fn all_fields_nonzero() -> DatapathStats {
+        let mut s = DatapathStats::default();
+        s.record(PathTaken::Microflow, true, 0, 1e-7, 100);
+        s.record(PathTaken::Megaflow, true, 3, 1e-6, 200);
+        s.record(PathTaken::SlowPath, false, 7, 1e-4, 60);
+        s.record(PathTaken::Unclassified, true, 0, 1e-7, 42);
+        assert!(
+            s.microflow_hits > 0
+                && s.megaflow_hits > 0
+                && s.upcalls > 0
+                && s.unclassified > 0
+                && s.allowed > 0
+                && s.denied > 0
+                && s.masks_scanned > 0
+                && s.busy_seconds > 0.0
+                && s.allowed_bytes > 0,
+            "fixture must exercise every counter"
+        );
+        s
+    }
+
+    #[test]
+    fn merge_covers_every_field() {
+        // Merging into a default accumulator must reproduce the source exactly; a field
+        // forgotten in `merge` makes the struct equality fail.
+        let s = all_fields_nonzero();
+        let mut m = DatapathStats::default();
+        m.merge(&s);
+        assert_eq!(m, s);
+        // Merging twice doubles every counter (associativity smoke check).
+        m.merge(&s);
+        assert_eq!(m.packets(), 2 * s.packets());
+        assert_eq!(m.allowed_bytes, 2 * s.allowed_bytes);
+        assert_eq!(m.busy_seconds, 2.0 * s.busy_seconds);
+    }
+
+    #[test]
+    fn unclassified_packets_are_counted() {
+        let mut s = DatapathStats::default();
+        s.record(PathTaken::Unclassified, true, 0, 1e-7, 42);
+        assert_eq!(s.unclassified, 1);
+        assert_eq!(s.packets(), 1);
     }
 
     #[test]

@@ -90,6 +90,34 @@
 //! assert_eq!(timeline.samples.len(), 30);
 //! assert!(timeline.mean_total_between(20.0, 29.0) < timeline.mean_total_between(0.0, 5.0));
 //! ```
+//!
+//! ## Sharded multi-PMD datapath
+//!
+//! [`prelude::ShardedDatapath`] models OVS-DPDK's one-megaflow-cache-per-PMD-thread
+//! architecture: N per-shard datapaths behind a [`prelude::Steering`] policy (RSS
+//! 5-tuple hash, per-tenant, or pinned), each with private cache state, statistics and
+//! — in the experiment runner ([`prelude::ExperimentRunner::sharded`]) — a private CPU
+//! budget. The attack side can aim at it: [`prelude::pin_to_shard`] retags a key
+//! stream's free field so the whole explosion lands on one chosen shard, while
+//! [`prelude::spray_shards`] poisons every shard round-robin.
+//!
+//! ```
+//! use tse::prelude::*;
+//!
+//! let schema = FieldSchema::ovs_ipv4();
+//! let table = Scenario::SipDp.flow_table(&schema);
+//! let mut sharded = ShardedDatapath::from_builder(Datapath::builder(table), 4, Steering::Rss);
+//! // Pin the co-located explosion to shard 0 by retagging the attacker's free ip_dst.
+//! let mut base = schema.zero_value();
+//! base.set(schema.field_index("ip_proto").unwrap(), 6);
+//! let ip_dst = schema.field_index("ip_dst").unwrap();
+//! for key in pin_to_shard(&schema, Scenario::SipDp.key_iter(&schema, &base), ip_dst, 4, 0) {
+//!     sharded.process_key(&key, 64, 0.0);
+//! }
+//! let masks = sharded.shard_mask_counts();
+//! assert!(masks[0] > 400, "targeted shard explodes: {masks:?}");
+//! assert!(masks[1..].iter().all(|&m| m == 0), "other shards stay clean");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -111,6 +139,9 @@ pub mod prelude {
     pub use tse_attack::expectation::ExpectationModel;
     pub use tse_attack::general::{random_trace, RandomKeys};
     pub use tse_attack::scenarios::Scenario;
+    pub use tse_attack::sharding::{
+        pin_to_shard, retag_key_to_shard, spray_shards, ShardSteeredKeys,
+    };
     pub use tse_attack::source::{
         AttackGenerator, EventPayload, SourceRole, TraceSource, TrafficEvent, TrafficMix,
         TrafficSource,
@@ -136,5 +167,6 @@ pub mod prelude {
     pub use tse_simnet::traffic::{VictimFlow, VictimSource};
     pub use tse_switch::cost::CostModel;
     pub use tse_switch::datapath::{BatchReport, Datapath, DatapathBuilder, DatapathConfig};
+    pub use tse_switch::pmd::{ShardedBatchReport, ShardedDatapath, Steering};
     pub use tse_switch::tenant::{merge_tenant_acls, AclField, AllowClause, TenantAcl};
 }

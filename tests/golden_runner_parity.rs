@@ -205,6 +205,36 @@ fn event_driven_runner_matches_frozen_reference_for_every_scenario() {
 }
 
 #[test]
+fn one_shard_sharded_runner_matches_frozen_reference_for_every_scenario() {
+    // The multi-PMD refactor must be invisible at one shard: an ExperimentRunner over
+    // a 1-shard ShardedDatapath (any steering policy — with one shard they are all the
+    // same total partition) reproduces the frozen pre-sharding runner bit-for-bit.
+    for scenario in Scenario::ALL {
+        let (table, victims, attack) = scenario_fixture(scenario);
+        let offload = OffloadConfig::gro_off();
+
+        let mut ref_dp = Datapath::new(table.clone());
+        let reference = reference_run(&mut ref_dp, &victims, &offload, &attack, 90.0);
+
+        let sharded = ShardedDatapath::from_builder(Datapath::builder(table), 1, Steering::Rss);
+        let mut runner = ExperimentRunner::sharded(sharded, victims.clone(), offload);
+        let timeline = runner.run(&attack, 90.0);
+
+        assert_eq!(timeline.shard_count, 1);
+        for s in &timeline.samples {
+            assert_eq!(
+                s.shard_masks,
+                vec![s.mask_count],
+                "per-shard masks aggregate"
+            );
+            assert_eq!(s.shard_entries, vec![s.entry_count]);
+            assert_eq!(s.shard_attacker_pps, vec![s.attacker_pps]);
+        }
+        assert_bit_for_bit(&reference, &timeline, &format!("sharded(1)/{}", scenario));
+    }
+}
+
+#[test]
 fn parity_holds_for_udp_offload_and_partial_duration() {
     // A second configuration axis: UDP offload model, shorter horizon, Dp scenario.
     let (table, victims, attack) = scenario_fixture(Scenario::Dp);
