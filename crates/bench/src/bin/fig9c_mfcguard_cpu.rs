@@ -1,12 +1,104 @@
 //! E-F9c: MFCGuard's cost — slow-path (ovs-vswitchd) CPU utilisation as a function of
 //! the attack packet rate once the guard keeps adversarial traffic out of the fast path.
+//!
+//! Two halves:
+//!
+//! 1. a guarded timeline per attack rate, run through the composable
+//!    `MitigationStack` API ([`GuardMitigation`] attached with
+//!    `ExperimentRunner::with_mitigation`): the victim keeps its throughput while the
+//!    guard's sweeps — surfaced as [`MitigationAction::GuardSweep`] in the timeline —
+//!    report the projected slow-path CPU the balancing exit of Alg. 2 reasons about;
+//! 2. the bare calibrated CPU model, the analytic curve of Fig. 9c.
+//!
+//! Run with `--duration <s>` (default 60) — CI smoke-runs it short.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tse_attack::scenarios::Scenario;
+use tse_attack::source::{AttackGenerator, TrafficMix};
 use tse_bench::render_table;
 use tse_mitigation::cpu_model::SlowPathCpuModel;
+use tse_mitigation::guard::{GuardConfig, GuardMitigation};
+use tse_mitigation::stack::MitigationAction;
+use tse_packet::fields::FieldSchema;
+use tse_simnet::offload::OffloadConfig;
+use tse_simnet::runner::ExperimentRunner;
+use tse_simnet::traffic::{VictimFlow, VictimSource};
+use tse_switch::datapath::Datapath;
+
+const ATTACK_START: f64 = 10.0;
 
 fn main() {
-    let model = SlowPathCpuModel::ovs_vswitchd_default();
+    let duration = tse_bench::duration_arg(60.0);
+    let schema = FieldSchema::ovs_ipv4();
+    let scenario = Scenario::SipDp;
+
     println!("== Fig. 9c: slow-path CPU usage vs. attack rate (MFCGuard active) ==\n");
+    println!("-- guarded timelines (MitigationStack: one GuardMitigation stage) --");
+    let mut rows = Vec::new();
+    for rate in [100.0f64, 1_000.0, 5_000.0] {
+        let mut runner = ExperimentRunner::new(
+            Datapath::new(scenario.flow_table(&schema)),
+            Vec::new(),
+            OffloadConfig::gro_off(),
+        )
+        .with_mitigation(GuardMitigation::new(GuardConfig::default()));
+        let mix = TrafficMix::new()
+            .with(VictimSource::new(
+                VictimFlow::iperf_tcp("victim", 0x0a00_0005, 0x0a00_0063, 10.0),
+                &schema,
+                runner.sample_interval,
+            ))
+            .with(
+                AttackGenerator::new(
+                    "attacker",
+                    &schema,
+                    scenario.key_iter(&schema, &schema.zero_value()).cycle(),
+                    StdRng::seed_from_u64(9),
+                    rate,
+                    ATTACK_START,
+                )
+                .with_limit(((duration - ATTACK_START).max(1.0) * rate) as usize),
+            );
+        let tl = runner.run_mix(mix, duration);
+        let during_end = duration - 1.0;
+        let victim_during = tl.mean_total_between(ATTACK_START + 5.0, during_end);
+        let (mut sweeps, mut swept_entries, mut peak_cpu) = (0u64, 0usize, 0.0f64);
+        for s in &tl.samples {
+            for a in &s.mitigation_actions {
+                if let MitigationAction::GuardSweep(r) = a {
+                    peak_cpu = peak_cpu.max(r.projected_cpu_percent);
+                    if r.entries_removed > 0 {
+                        sweeps += 1;
+                        swept_entries += r.entries_removed;
+                    }
+                }
+            }
+        }
+        rows.push(vec![
+            format!("{rate:.0}"),
+            format!("{victim_during:5.2}"),
+            format!("{sweeps}"),
+            format!("{swept_entries}"),
+            format!("{peak_cpu:6.1} %"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "attack rate [pps]",
+                "victim Gbps",
+                "sweeps",
+                "entries wiped",
+                "projected slow-path CPU",
+            ],
+            &rows,
+        )
+    );
+
+    println!("-- calibrated ovs-vswitchd CPU model --");
+    let model = SlowPathCpuModel::ovs_vswitchd_default();
     let rows: Vec<Vec<String>> = [
         10.0f64, 100.0, 1_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0,
     ]

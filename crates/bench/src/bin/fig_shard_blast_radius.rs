@@ -15,6 +15,11 @@
 //! A second run sprays the same attack round-robin over all shards: every per-shard
 //! cache fills at 1/4 rate and *both* victims degrade — the whole-switch attack.
 //!
+//! A third run repeats the pinned attack with a per-shard-configured
+//! [`GuardMitigation`] on the runner's `MitigationStack`: only the attacked shard's
+//! guard sweeps (under a tightened mask threshold), and Victim A recovers while the
+//! other shards' guards never touch their caches.
+//!
 //! Run with `--duration <s>` (default 70) — CI smoke-runs it short.
 
 use rand::rngs::StdRng;
@@ -23,6 +28,8 @@ use tse_attack::scenarios::Scenario;
 use tse_attack::sharding::{pin_to_shard, spray_shards, ShardSteeredKeys};
 use tse_attack::source::{AttackGenerator, TrafficMix};
 use tse_attack::BitInversionKeys;
+use tse_mitigation::guard::{GuardConfig, GuardMitigation};
+use tse_mitigation::stack::MitigationAction;
 use tse_packet::fields::FieldSchema;
 use tse_simnet::offload::OffloadConfig;
 use tse_simnet::runner::{ExperimentRunner, Timeline};
@@ -59,11 +66,15 @@ fn run(
     schema: &FieldSchema,
     victims: &[VictimFlow],
     keys: ShardSteeredKeys<std::iter::Cycle<BitInversionKeys>>,
+    guard: Option<GuardMitigation>,
     duration: f64,
 ) -> Timeline {
     let table = Scenario::SipDp.flow_table(schema);
     let sharded = ShardedDatapath::from_builder(Datapath::builder(table), N_SHARDS, Steering::Rss);
     let mut runner = ExperimentRunner::sharded(sharded, Vec::new(), OffloadConfig::gro_off());
+    if let Some(guard) = guard {
+        runner = runner.with_mitigation(guard);
+    }
     let mut mix = TrafficMix::new();
     for flow in victims {
         mix.push(Box::new(VictimSource::new(
@@ -119,6 +130,17 @@ fn summarize(label: &str, tl: &Timeline, duration: f64) {
         })
         .collect();
     println!("{label}: peak masks per shard {peak:?}");
+    let mut swept_per_shard = vec![0usize; tl.shard_count];
+    for s in &tl.samples {
+        for a in &s.mitigation_actions {
+            if let MitigationAction::GuardSweep(r) = a {
+                swept_per_shard[r.shard] += r.entries_removed;
+            }
+        }
+    }
+    if swept_per_shard.iter().any(|&n| n > 0) {
+        println!("{label}: guard-swept entries per shard {swept_per_shard:?}");
+    }
 }
 
 fn main() {
@@ -136,11 +158,25 @@ fn main() {
 
     // Shard-pinned explosion: every attack packet retagged onto Victim A's shard.
     let pinned = pin_to_shard(&schema, attack_keys(&schema).cycle(), ip_dst, N_SHARDS, 0);
-    let tl = run(&schema, &victims, pinned, duration);
+    let tl = run(&schema, &victims, pinned, None, duration);
     summarize("shard-pinned attack (shard 0)", &tl, duration);
 
     // Spray: the same stream spread round-robin over every shard.
     let sprayed = spray_shards(&schema, attack_keys(&schema).cycle(), ip_dst, N_SHARDS);
-    let tl = run(&schema, &victims, sprayed, duration);
+    let tl = run(&schema, &victims, sprayed, None, duration);
     summarize("sprayed attack (all shards)", &tl, duration);
+
+    // Pinned again, defended: a per-shard-configured guard on the mitigation stack —
+    // the attacked shard sweeps under a tightened threshold, every other shard's guard
+    // is left at the default (and never fires: their caches stay tiny).
+    let pinned = pin_to_shard(&schema, attack_keys(&schema).cycle(), ip_dst, N_SHARDS, 0);
+    let guard = GuardMitigation::new(GuardConfig::default()).with_shard_config(
+        0,
+        GuardConfig {
+            mask_threshold: 30,
+            ..GuardConfig::default()
+        },
+    );
+    let tl = run(&schema, &victims, pinned, Some(guard), duration);
+    summarize("shard-pinned attack + per-shard guard", &tl, duration);
 }

@@ -180,6 +180,31 @@ impl TupleSpace {
         &self.masks
     }
 
+    /// The distinct masks in probe order, each with its cumulative fast-path hit count
+    /// — the signal a mask-pressure eviction policy ranks on (attack masks accumulate
+    /// hits slowly because every adversarial key is fresh; a victim's long-lived mask
+    /// is hit once per packet).
+    pub fn mask_usage(&self) -> Vec<(Mask, u64)> {
+        self.masks
+            .iter()
+            .cloned()
+            .zip(self.mask_hits.iter().copied())
+            .collect()
+    }
+
+    /// Remove one mask and every entry of its tuple (shrinking |M| by one); returns
+    /// the number of entries removed (0 if the mask is not present).
+    pub fn remove_mask(&mut self, mask: &Mask) -> usize {
+        let Some(bucket) = self.tuples.remove(mask) else {
+            return 0;
+        };
+        if let Some(pos) = self.masks.iter().position(|m| m == mask) {
+            self.masks.remove(pos);
+            self.mask_hits.remove(pos);
+        }
+        bucket.entries.len()
+    }
+
     /// Iterate over all entries.
     pub fn entries(&self) -> impl Iterator<Item = &MegaflowEntry> {
         self.tuples.values().flat_map(|t| t.entries.values())
@@ -576,6 +601,44 @@ mod tests {
         assert_eq!(c.entry_count(), 1);
         assert_eq!(c.mask_count(), 1);
         assert_eq!(c.peek(&k(0b001)).unwrap().action, Action::Allow);
+    }
+
+    #[test]
+    fn mask_usage_tracks_probe_order_and_hits() {
+        let mut c = fig3_cache();
+        // Hit the allow entry (mask 111) twice and the 1** deny entry once.
+        c.lookup(&k(0b001), 1.0);
+        c.lookup(&k(0b001), 2.0);
+        c.lookup(&k(0b100), 3.0);
+        let usage = c.mask_usage();
+        assert_eq!(usage.len(), 3);
+        assert_eq!(
+            usage.iter().map(|(m, _)| m.clone()).collect::<Vec<_>>(),
+            c.masks().to_vec(),
+            "usage reports masks in probe order"
+        );
+        let hits_of = |mask: u128| {
+            usage
+                .iter()
+                .find(|(m, _)| *m == k(mask))
+                .map(|(_, h)| *h)
+                .unwrap()
+        };
+        assert_eq!(hits_of(0b111), 2);
+        assert_eq!(hits_of(0b100), 1);
+        assert_eq!(hits_of(0b110), 0);
+    }
+
+    #[test]
+    fn remove_mask_drops_the_whole_tuple() {
+        let mut c = fig3_cache();
+        assert_eq!(c.remove_mask(&k(0b111)), 2, "111 is shared by two entries");
+        assert_eq!(c.mask_count(), 2);
+        assert_eq!(c.entry_count(), 2);
+        assert!(c.lookup(&k(0b001), 0.0).action.is_none());
+        // Removing an absent mask is a no-op.
+        assert_eq!(c.remove_mask(&k(0b111)), 0);
+        assert_eq!(c.mask_count(), 2);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use tse_switch::datapath::Datapath;
 
 use crate::cpu_model::SlowPathCpuModel;
 use crate::pattern::is_tse_pattern;
+use crate::stack::{Mitigation, MitigationAction, MitigationCtx};
 
 /// MFCGuard configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -112,12 +113,18 @@ impl MfcGuard {
         now: f64,
         observed_attack_pps: f64,
     ) -> Option<GuardReport> {
-        match self.last_run {
-            Some(last) if now - last < self.config.interval => return None,
-            _ => {}
+        self.maybe_run_on_shard(datapath, now, observed_attack_pps, 0)
+    }
+
+    /// The shared interval gate: true (and the clock is advanced) when a pass is due.
+    fn interval_elapsed(&mut self, now: f64) -> bool {
+        if let Some(last) = self.last_run {
+            if now - last < self.config.interval {
+                return false;
+            }
         }
         self.last_run = Some(now);
-        Some(self.run_once(datapath, now, observed_attack_pps))
+        true
     }
 
     /// Sharded form of [`MfcGuard::maybe_run`]: if the interval has elapsed, run one
@@ -134,11 +141,9 @@ impl MfcGuard {
         now: f64,
         per_shard_attack_pps: &[f64],
     ) -> Vec<GuardReport> {
-        match self.last_run {
-            Some(last) if now - last < self.config.interval => return Vec::new(),
-            _ => {}
+        if !self.interval_elapsed(now) {
+            return Vec::new();
         }
-        self.last_run = Some(now);
         self.run_once_sharded(datapath, now, per_shard_attack_pps)
     }
 
@@ -167,6 +172,24 @@ impl MfcGuard {
         observed_attack_pps: f64,
     ) -> GuardReport {
         self.run_pass(datapath, now, observed_attack_pps, 0)
+    }
+
+    /// Interval-gated pass over one shard's datapath, recorded under `shard` — the
+    /// building block [`GuardMitigation`] uses to run one *independently configured*
+    /// guard per shard (each with its own cadence and thresholds), in contrast to
+    /// [`MfcGuard::maybe_run_sharded`], which sweeps every shard under a single shared
+    /// config whenever the shared interval elapses.
+    pub fn maybe_run_on_shard<B: FastPathBackend>(
+        &mut self,
+        datapath: &mut Datapath<B>,
+        now: f64,
+        observed_attack_pps: f64,
+        shard: usize,
+    ) -> Option<GuardReport> {
+        if !self.interval_elapsed(now) {
+            return None;
+        }
+        Some(self.run_pass(datapath, now, observed_attack_pps, shard))
     }
 
     /// One guard pass over one (shard's) datapath, recorded under `shard`.
@@ -220,6 +243,119 @@ impl MfcGuard {
         };
         self.reports.push(report);
         report
+    }
+}
+
+/// MFCGuard as a [`Mitigation`] stage: one guard instance **per shard**, each with its
+/// own configuration (interval, mask threshold, CPU budget) and its own interval
+/// gating.
+///
+/// By default every shard runs under the same [`GuardConfig`];
+/// [`GuardMitigation::with_shard_config`] overrides individual shards — e.g. a tighter
+/// mask threshold on the PMD that carries a latency-critical tenant, or a disabled
+/// guard (`mask_threshold: usize::MAX`) on a shard reserved for bulk traffic. Every
+/// pass surfaces its [`GuardReport`] as a
+/// [`MitigationAction::GuardSweep`], so per-shard guard activity is attributable in
+/// the timeline.
+///
+/// With a uniform config this is behaviourally identical to the pre-stack runner's
+/// `Option<MfcGuard>` + [`MfcGuard::maybe_run_sharded`] plumbing (asserted bit-for-bit
+/// by `tests/golden_runner_parity.rs`): per-shard gating fires at exactly the times
+/// the shared gate did, because every shard observes the same clock.
+pub struct GuardMitigation {
+    default_config: GuardConfig,
+    overrides: Vec<(usize, GuardConfig)>,
+    /// One guard per shard, created on the first hook call (when the shard count is
+    /// first observable).
+    guards: Vec<MfcGuard>,
+}
+
+impl GuardMitigation {
+    /// Guard every shard under `config`.
+    pub fn new(config: GuardConfig) -> Self {
+        GuardMitigation {
+            default_config: config,
+            overrides: Vec::new(),
+            guards: Vec::new(),
+        }
+    }
+
+    /// Wrap an existing [`MfcGuard`] — the compatibility shim behind the runner's
+    /// `with_guard`: the guard's config becomes the uniform per-shard config.
+    pub fn from_guard(guard: MfcGuard) -> Self {
+        GuardMitigation::new(*guard.config())
+    }
+
+    /// Override the configuration of one shard (builder form; the last override for a
+    /// shard wins). Must be called before the first sample.
+    pub fn with_shard_config(mut self, shard: usize, config: GuardConfig) -> Self {
+        assert!(
+            self.guards.is_empty(),
+            "shard overrides must be configured before the first sample"
+        );
+        self.overrides.retain(|(s, _)| *s != shard);
+        self.overrides.push((shard, config));
+        self
+    }
+
+    /// The configuration shard `shard` runs under.
+    pub fn config_for(&self, shard: usize) -> GuardConfig {
+        self.overrides
+            .iter()
+            .find(|(s, _)| *s == shard)
+            .map(|(_, c)| *c)
+            .unwrap_or(self.default_config)
+    }
+
+    /// Every per-shard report generated so far, flattened in (shard, pass) order.
+    /// Empty until the first sample (guards are created lazily).
+    pub fn reports(&self) -> Vec<GuardReport> {
+        self.guards
+            .iter()
+            .flat_map(|g| g.reports().iter().copied())
+            .collect()
+    }
+
+    fn ensure_guards(&mut self, n_shards: usize) {
+        if self.guards.len() != n_shards {
+            self.guards = (0..n_shards)
+                .map(|s| MfcGuard::new(self.config_for(s)))
+                .collect();
+        }
+    }
+}
+
+impl<B: FastPathBackend> Mitigation<B> for GuardMitigation {
+    fn name(&self) -> &str {
+        "mfcguard"
+    }
+
+    fn on_sample(&mut self, ctx: &mut MitigationCtx<'_, B>) -> Vec<MitigationAction> {
+        let n = ctx.shard_count();
+        assert_eq!(ctx.shard_attack_pps.len(), n);
+        self.ensure_guards(n);
+        let mut actions = Vec::new();
+        for shard in 0..n {
+            if let Some(report) = self.guards[shard].maybe_run_on_shard(
+                ctx.datapath.shard_mut(shard),
+                ctx.now,
+                ctx.shard_attack_pps[shard],
+                shard,
+            ) {
+                actions.push(MitigationAction::GuardSweep(report));
+            }
+        }
+        actions
+    }
+}
+
+impl std::fmt::Debug for GuardMitigation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuardMitigation")
+            .field("default_config", &self.default_config)
+            .field("overrides", &self.overrides)
+            .field("shards", &self.guards.len())
+            .finish()
     }
 }
 
@@ -353,6 +489,68 @@ mod tests {
         assert!(guard
             .maybe_run_sharded(&mut sharded, 5.0, &[0.0, 100.0, 0.0])
             .is_empty());
+    }
+
+    #[test]
+    fn guard_mitigation_applies_per_shard_configs() {
+        use tse_switch::pmd::{ShardedDatapath, Steering};
+        let schema = FieldSchema::ovs_ipv4();
+        let table = Scenario::SpDp.flow_table(&schema);
+        // Two shards, both exploded identically via pinned replays.
+        let mut sharded = ShardedDatapath::new(table, 2, Steering::Pinned(0));
+        let keys = scenario_trace(&schema, Scenario::SpDp, &schema.zero_value());
+        for (i, h) in keys.iter().enumerate() {
+            sharded.process_key(h, 60, 0.1 + i as f64 * 1e-3);
+        }
+        // Replay the same keys onto shard 1 through its direct interface.
+        for (i, h) in keys.iter().enumerate() {
+            sharded
+                .shard_mut(1)
+                .process_key(h, 60, 0.1 + i as f64 * 1e-3);
+        }
+        assert!(sharded.shard(0).mask_count() > 50);
+        assert_eq!(sharded.shard(0).mask_count(), sharded.shard(1).mask_count());
+
+        // Shard 0 sweeps under the default config; shard 1's threshold is set above
+        // its mask count, so its guard idles.
+        let mut mitigation = GuardMitigation::new(GuardConfig::default()).with_shard_config(
+            1,
+            GuardConfig {
+                mask_threshold: usize::MAX,
+                ..GuardConfig::default()
+            },
+        );
+        assert_eq!(mitigation.config_for(1).mask_threshold, usize::MAX);
+        assert_eq!(
+            mitigation.config_for(0).mask_threshold,
+            GuardConfig::default().mask_threshold
+        );
+        let pps = [100.0, 100.0];
+        let zeros = [0.0, 0.0];
+        let mut ctx = MitigationCtx {
+            datapath: &mut sharded,
+            now: 1.0,
+            dt: 1.0,
+            shard_attack_pps: &pps,
+            shard_delivered_pps: &pps,
+            shard_busy_seconds: &zeros,
+        };
+        let actions =
+            Mitigation::<tse_classifier::tss::TupleSpace>::on_sample(&mut mitigation, &mut ctx);
+        assert_eq!(actions.len(), 2, "one sweep report per shard");
+        let reports: Vec<GuardReport> = actions
+            .iter()
+            .map(|a| match a {
+                MitigationAction::GuardSweep(r) => *r,
+                other => panic!("unexpected action {other:?}"),
+            })
+            .collect();
+        assert_eq!(reports[0].shard, 0);
+        assert!(reports[0].entries_removed > 50, "default config sweeps");
+        assert_eq!(reports[1].shard, 1);
+        assert_eq!(reports[1].entries_removed, 0, "override idles shard 1");
+        assert!(sharded.shard(0).mask_count() < sharded.shard(1).mask_count());
+        assert_eq!(mitigation.reports().len(), 2);
     }
 
     #[test]

@@ -39,14 +39,49 @@ pub fn rss_fields(schema: &FieldSchema) -> Vec<usize> {
     out
 }
 
+/// The default (unrandomised) hash key: [`rss_hash_keyed`] under this key is exactly
+/// the historical [`rss_hash`], so everything built before key rotation existed keeps
+/// hashing identically.
+pub const DEFAULT_HASH_KEY: u64 = 0;
+
 /// FNV-1a over the values of `fields` (indices into `key`), in the given order.
 ///
 /// Deterministic: the same key and field list always hash identically, across calls
-/// and across processes.
+/// and across processes. Equivalent to [`rss_hash_keyed`] with [`DEFAULT_HASH_KEY`].
 pub fn rss_hash(key: &Key, fields: &[usize]) -> u64 {
+    rss_hash_keyed(key, fields, DEFAULT_HASH_KEY)
+}
+
+/// Keyed FNV-1a: like [`rss_hash`], but the `hash_key` is folded into the hash state
+/// before any field value — the model of the NIC's (Toeplitz) RSS *key*, the secret an
+/// operator can rotate so an attacker who solved the placement function yesterday can
+/// no longer aim at a chosen queue today.
+///
+/// `hash_key == `[`DEFAULT_HASH_KEY`] contributes nothing, so the unkeyed hash is the
+/// `0` point of the keyed family; any other key permutes placements pseudo-randomly
+/// while remaining a stable, total partition of the flow space.
+///
+/// Under any non-default key, the FNV accumulator is additionally passed through a
+/// xorshift-multiply finalizer. This matters for the rotation defense: raw FNV-1a
+/// taken modulo a power-of-two shard count is *affine over the low bits* (each byte
+/// step is XOR-then-multiply-by-an-odd-prime, and multiplication mod 2^k is linear
+/// over GF(2)^k for k ≤ 2), so a key prefix alone would shift **every** flow's
+/// placement by the same XOR constant — victim and shard-pinned attacker would move
+/// *together* and the "rotation" would be cosmetic. The finalizer folds the high bits
+/// into the low ones, making each flow's displacement under a new key independent.
+/// The default key skips both the prefix and the finalizer, so unkeyed placements are
+/// bit-identical to the historical [`rss_hash`].
+pub fn rss_hash_keyed(key: &Key, fields: &[usize], hash_key: u64) -> u64 {
     const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut h = FNV_OFFSET;
+    let keyed = hash_key != DEFAULT_HASH_KEY;
+    if keyed {
+        for byte in hash_key.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
     for &f in fields {
         let v = key.get(f);
         for byte in v.to_le_bytes() {
@@ -54,16 +89,40 @@ pub fn rss_hash(key: &Key, fields: &[usize]) -> u64 {
             h = h.wrapping_mul(FNV_PRIME);
         }
     }
+    if keyed {
+        // See the doc comment for why the finalizer is load-bearing.
+        h = splitmix64_mix(h);
+    }
     h
 }
 
-/// The shard (RX queue / PMD thread) a key is steered to among `n_shards`.
+/// The SplitMix64 output-mixing function: a bijective xorshift-multiply avalanche over
+/// all 64 bits. Used as the keyed-hash finalizer above (so placement mod a small shard
+/// count depends on the whole state, not just the affine low bits of raw FNV) and as
+/// the step function of deterministic key-rotation schedules.
+pub fn splitmix64_mix(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The shard (RX queue / PMD thread) a key is steered to among `n_shards`, under the
+/// default hash key.
 ///
 /// # Panics
 /// Panics if `n_shards` is zero.
 pub fn shard_of(key: &Key, fields: &[usize], n_shards: usize) -> usize {
+    shard_of_keyed(key, fields, n_shards, DEFAULT_HASH_KEY)
+}
+
+/// The shard a key is steered to among `n_shards` under an explicit `hash_key` (see
+/// [`rss_hash_keyed`]).
+///
+/// # Panics
+/// Panics if `n_shards` is zero.
+pub fn shard_of_keyed(key: &Key, fields: &[usize], n_shards: usize, hash_key: u64) -> usize {
     assert!(n_shards > 0, "shard count must be positive");
-    (rss_hash(key, fields) % n_shards as u64) as usize
+    (rss_hash_keyed(key, fields, hash_key) % n_shards as u64) as usize
 }
 
 #[cfg(test)]
@@ -105,6 +164,49 @@ mod tests {
                 assert_eq!(s, shard_of(&k, &fields, n), "stable across calls");
             }
         }
+    }
+
+    #[test]
+    fn default_hash_key_is_the_unkeyed_hash() {
+        let schema = FieldSchema::ovs_ipv4();
+        let fields = rss_fields(&schema);
+        for v in 0..32u128 {
+            let mut k = schema.zero_value();
+            k.set(0, v * 0x1_0001);
+            k.set(4, v);
+            assert_eq!(
+                rss_hash(&k, &fields),
+                rss_hash_keyed(&k, &fields, DEFAULT_HASH_KEY)
+            );
+        }
+    }
+
+    #[test]
+    fn rotated_hash_key_permutes_placements_but_stays_a_partition() {
+        let schema = FieldSchema::ovs_ipv4();
+        let fields = rss_fields(&schema);
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        let keys: Vec<Key> = (0..256u128)
+            .map(|p| {
+                let mut k = schema.zero_value();
+                k.set(tp_dst, p);
+                k
+            })
+            .collect();
+        let mut moved = 0;
+        for k in &keys {
+            let before = shard_of_keyed(k, &fields, 4, DEFAULT_HASH_KEY);
+            let after = shard_of_keyed(k, &fields, 4, 0x5eed_cafe_f00d_beef);
+            assert!(after < 4);
+            // Stable under the new key across calls.
+            assert_eq!(after, shard_of_keyed(k, &fields, 4, 0x5eed_cafe_f00d_beef));
+            if before != after {
+                moved += 1;
+            }
+        }
+        // A rotation must actually move a large fraction of the flow space
+        // (~3/4 in expectation for 4 shards).
+        assert!(moved > 128, "rotation moved only {moved}/256 keys");
     }
 
     #[test]

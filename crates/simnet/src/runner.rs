@@ -21,7 +21,8 @@ use tse_attack::source::{EventPayload, SourceRole, TrafficEvent, TrafficMix};
 use tse_attack::trace::AttackTrace;
 use tse_classifier::backend::FastPathBackend;
 use tse_classifier::tss::TupleSpace;
-use tse_mitigation::guard::MfcGuard;
+use tse_mitigation::guard::{GuardMitigation, MfcGuard};
+use tse_mitigation::stack::{Mitigation, MitigationAction, MitigationCtx, MitigationStack};
 use tse_packet::fields::Key;
 use tse_switch::datapath::Datapath;
 use tse_switch::pmd::ShardedDatapath;
@@ -57,12 +58,25 @@ pub struct TimelineSample {
     /// Attack packets per second delivered to each shard during this interval — the
     /// shard-local blast radius series.
     pub shard_attacker_pps: Vec<f64>,
+    /// What the mitigation stack did at the end of this interval, in pipeline order
+    /// (empty when no stack is attached or no stage intervened). Per-shard actions
+    /// carry their shard id ([`MitigationAction::shard`]); a rekey is switch-wide.
+    pub mitigation_actions: Vec<MitigationAction>,
 }
 
 impl TimelineSample {
     /// Aggregate victim throughput ("Victim SUM" in Fig. 8a).
     pub fn total_victim_gbps(&self) -> f64 {
         self.victim_gbps.iter().sum()
+    }
+
+    /// The mitigation actions that apply to `shard` this interval: the shard's own
+    /// actions plus switch-wide ones (rekeys), in pipeline order.
+    pub fn actions_on_shard(&self, shard: usize) -> Vec<&MitigationAction> {
+        self.mitigation_actions
+            .iter()
+            .filter(|a| a.shard().map(|s| s == shard).unwrap_or(true))
+            .collect()
     }
 }
 
@@ -201,8 +215,9 @@ pub struct ExperimentRunner<B: FastPathBackend = TupleSpace> {
     pub victims: Vec<VictimFlow>,
     /// Victim-side offload configuration (bytes per classifier invocation, line rate).
     pub offload: OffloadConfig,
-    /// Optional MFCGuard instance protecting the datapath (swept per shard).
-    pub guard: Option<MfcGuard>,
+    /// The ordered mitigation pipeline protecting the datapath, invoked once per
+    /// sample interval (empty by default — no defense).
+    pub mitigations: MitigationStack<B>,
     /// Sampling/measurement interval in seconds.
     pub sample_interval: f64,
 }
@@ -225,15 +240,25 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
             datapath,
             victims,
             offload,
-            guard: None,
+            mitigations: MitigationStack::new(),
             sample_interval: 1.0,
         }
     }
 
-    /// Attach an MFCGuard instance.
-    pub fn with_guard(mut self, guard: MfcGuard) -> Self {
-        self.guard = Some(guard);
+    /// Append a mitigation to the runner's defense pipeline (builder form; stages run
+    /// in the order they were added, once per sample interval).
+    pub fn with_mitigation(mut self, mitigation: impl Mitigation<B> + 'static) -> Self {
+        self.mitigations.push(mitigation);
         self
+    }
+
+    /// Attach an MFCGuard instance — compatibility shim over the mitigation pipeline:
+    /// the guard is wrapped as a uniform [`GuardMitigation`] stage, which sweeps every
+    /// shard under the guard's configuration exactly as the pre-stack runner's
+    /// hard-wired `Option<MfcGuard>` did (asserted bit-for-bit by
+    /// `tests/golden_runner_parity.rs`).
+    pub fn with_guard(self, guard: MfcGuard) -> Self {
+        self.with_mitigation(GuardMitigation::from_guard(guard))
     }
 
     /// Run the experiment for `duration` seconds against the given attack trace and
@@ -276,8 +301,16 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
     ///    the current per-invocation cost under the runner's offload model;
     /// 4. splits the CPU left over from attack processing across the active victims
     ///    (equal shares, one redistribution pass, aggregate line-rate cap);
-    /// 5. lets the attached MFCGuard run, then emits the [`TimelineSample`] with
-    ///    per-attacker delivered-pps attribution.
+    /// 5. runs the mitigation pipeline ([`MitigationStack::on_sample`], stages in
+    ///    order, each seeing per-shard telemetry for the interval), then emits the
+    ///    [`TimelineSample`] with per-attacker delivered-pps attribution and the
+    ///    stack's [`MitigationAction`]s.
+    ///
+    /// Before the first interval the stack's [`Mitigation::on_start`] hooks run with
+    /// zeroed telemetry, so defenses that must be armed *during* the first interval
+    /// (install quotas) are in force from t = 0; after the last interval the
+    /// [`Mitigation::on_finish`] hooks disarm whatever per-shard state the stages
+    /// installed, so a reused runner or datapath leaves the run undefended.
     pub fn run_mix(&mut self, mut mix: TrafficMix<'_>, duration: f64) -> Timeline {
         let dt = self.sample_interval;
         let roles = mix.roles();
@@ -311,6 +344,18 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
         let steps = (duration / dt).ceil() as usize;
         let mut chunk: Vec<(Key, usize, f64)> = Vec::new();
         let mut probes: Vec<(usize, TrafficEvent)> = Vec::new();
+        if !self.mitigations.is_empty() {
+            let zeros = vec![0.0f64; n_shards];
+            let mut ctx = MitigationCtx {
+                datapath: &mut self.datapath,
+                now: 0.0,
+                dt,
+                shard_attack_pps: &zeros,
+                shard_delivered_pps: &zeros,
+                shard_busy_seconds: &zeros,
+            };
+            self.mitigations.on_start(&mut ctx);
+        }
         for step in 0..steps {
             let t = step as f64 * dt;
             let t_end = t + dt;
@@ -390,6 +435,7 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
             let mut victim_offered = vec![0.0f64; n_victims];
             let mut victim_shard = vec![0usize; n_victims];
             let mut victim_masks_scanned = 0;
+            let mut shard_probes = vec![0u64; n_shards];
             for (src, ev) in &probes {
                 let EventPayload::Probe { offered_gbps } = ev.payload else {
                     continue;
@@ -399,6 +445,7 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 }
                 let slot = victim_slot[*src];
                 let shard = self.datapath.shard_of_key(&ev.key);
+                shard_probes[shard] += 1;
                 let outcome = self
                     .datapath
                     .shard_mut(shard)
@@ -478,13 +525,28 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 }
             }
 
-            // 4. Let MFCGuard run if attached — one sweep per shard, each under its
-            //    own eviction budget and its own observed attack rate.
-            if let Some(guard) = &mut self.guard {
-                let per_shard_pps: Vec<f64> =
-                    shard_packets.iter().map(|&c| c as f64 / dt).collect();
-                guard.maybe_run_sharded(&mut self.datapath, t_end, &per_shard_pps);
-            }
+            // 4. Run the mitigation pipeline — each stage sees this interval's
+            //    per-shard telemetry and the datapath as left by the stages before it.
+            let shard_attacker_pps: Vec<f64> =
+                shard_packets.iter().map(|&c| c as f64 / dt).collect();
+            let mitigation_actions = if self.mitigations.is_empty() {
+                Vec::new()
+            } else {
+                let delivered_pps: Vec<f64> = shard_packets
+                    .iter()
+                    .zip(&shard_probes)
+                    .map(|(&pkts, &probes)| (pkts + probes) as f64 / dt)
+                    .collect();
+                let mut ctx = MitigationCtx {
+                    datapath: &mut self.datapath,
+                    now: t_end,
+                    dt,
+                    shard_attack_pps: &shard_attacker_pps,
+                    shard_delivered_pps: &delivered_pps,
+                    shard_busy_seconds: &shard_busy,
+                };
+                self.mitigations.on_sample(&mut ctx)
+            };
 
             timeline.samples.push(TimelineSample {
                 time: t,
@@ -496,8 +558,23 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 victim_masks_scanned,
                 shard_masks: self.datapath.shard_mask_counts(),
                 shard_entries: self.datapath.shard_entry_counts(),
-                shard_attacker_pps: shard_packets.iter().map(|&c| c as f64 / dt).collect(),
+                shard_attacker_pps,
+                mitigation_actions,
             });
+        }
+        if !self.mitigations.is_empty() {
+            // Teardown: stages disarm whatever per-shard state they installed (e.g.
+            // upcall quotas), so a reused runner/datapath leaves the run undefended.
+            let zeros = vec![0.0f64; n_shards];
+            let mut ctx = MitigationCtx {
+                datapath: &mut self.datapath,
+                now: steps as f64 * dt,
+                dt,
+                shard_attack_pps: &zeros,
+                shard_delivered_pps: &zeros,
+                shard_busy_seconds: &zeros,
+            };
+            self.mitigations.on_finish(&mut ctx);
         }
         timeline
     }
@@ -591,6 +668,64 @@ mod tests {
         assert!(
             during > 5.0,
             "guarded victim should keep most of its throughput: {during}"
+        );
+    }
+
+    #[test]
+    fn mitigation_actions_land_in_the_timeline() {
+        use tse_mitigation::guard::{GuardConfig, GuardMitigation};
+        use tse_mitigation::stack::MitigationAction;
+        let (runner, attack) = setup(Scenario::SipDp);
+        let mut runner = runner.with_mitigation(GuardMitigation::new(GuardConfig {
+            interval: 10.0,
+            mask_threshold: 30,
+            ..GuardConfig::default()
+        }));
+        assert_eq!(runner.mitigations.names(), vec!["mfcguard"]);
+        let timeline = runner.run(&attack, 60.0);
+        // Guard passes fire once per 10 s interval, one report per shard (1 shard
+        // here); during the attack they actually sweep.
+        let sweeps: Vec<&MitigationAction> = timeline
+            .samples
+            .iter()
+            .flat_map(|s| s.mitigation_actions.iter())
+            .collect();
+        assert!(!sweeps.is_empty());
+        let swept_entries: usize = sweeps
+            .iter()
+            .map(|a| match a {
+                MitigationAction::GuardSweep(r) => r.entries_removed,
+                other => panic!("unexpected action {other:?}"),
+            })
+            .sum();
+        assert!(
+            swept_entries > 50,
+            "guard swept the explosion: {swept_entries}"
+        );
+        // Shard attribution helper: every action here applies to shard 0.
+        for s in &timeline.samples {
+            assert_eq!(s.actions_on_shard(0).len(), s.mitigation_actions.len());
+        }
+        // An undefended runner reports no actions.
+        let (mut plain, attack) = setup(Scenario::SipDp);
+        let tl = plain.run(&attack, 20.0);
+        assert!(tl.samples.iter().all(|s| s.mitigation_actions.is_empty()));
+    }
+
+    #[test]
+    fn upcall_quota_is_disarmed_after_the_run() {
+        use tse_mitigation::UpcallLimiter;
+        let (runner, attack) = setup(Scenario::Dp);
+        let mut runner = runner.with_mitigation(UpcallLimiter::new(3));
+        runner.run(&attack, 40.0);
+        assert_eq!(
+            runner
+                .datapath
+                .shard(0)
+                .slow_path()
+                .install_quota_remaining(),
+            None,
+            "on_finish must remove the install quota from every shard"
         );
     }
 

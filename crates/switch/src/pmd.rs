@@ -59,19 +59,37 @@ impl Steering {
         }
     }
 
-    /// The shard `key` is steered to among `n_shards` — a pure function of the key:
-    /// every key maps to exactly one shard and repeated calls always agree.
+    /// The shard `key` is steered to among `n_shards` under the default hash key — a
+    /// pure function of the key: every key maps to exactly one shard and repeated calls
+    /// always agree.
     ///
     /// # Panics
     /// Panics if `n_shards` is zero or a [`Steering::Pinned`] target is out of range.
     pub fn shard_of(&self, schema: &FieldSchema, key: &Key, n_shards: usize) -> usize {
+        self.shard_of_keyed(schema, key, n_shards, rss::DEFAULT_HASH_KEY)
+    }
+
+    /// The shard `key` is steered to among `n_shards` under an explicit RSS `hash_key`
+    /// (see [`rss::rss_hash_keyed`]) — what a [`ShardedDatapath`] computes after
+    /// [`ShardedDatapath::rekey`]. [`Steering::Pinned`] ignores the key (there is no
+    /// hash to re-seed).
+    ///
+    /// # Panics
+    /// Panics if `n_shards` is zero or a [`Steering::Pinned`] target is out of range.
+    pub fn shard_of_keyed(
+        &self,
+        schema: &FieldSchema,
+        key: &Key,
+        n_shards: usize,
+        hash_key: u64,
+    ) -> usize {
         assert!(n_shards > 0, "shard count must be positive");
         match self {
             Steering::Pinned(i) => {
                 assert!(*i < n_shards, "pinned shard {i} out of range 0..{n_shards}");
                 *i
             }
-            _ => rss::shard_of(key, &self.steer_fields(schema), n_shards),
+            _ => rss::shard_of_keyed(key, &self.steer_fields(schema), n_shards, hash_key),
         }
     }
 }
@@ -126,6 +144,9 @@ pub struct ShardedDatapath<B: FastPathBackend = TupleSpace> {
     steering: Steering,
     /// Field indices the steering policy hashes (cached from the schema at build).
     steer_fields: Vec<usize>,
+    /// The RSS hash key in effect (see [`ShardedDatapath::rekey`]);
+    /// [`rss::DEFAULT_HASH_KEY`] until rotated.
+    hash_key: u64,
     /// Whether the schema is the OVS IPv4 / IPv6 family (cached for the per-packet
     /// family check in [`ShardedDatapath::process_packet`]).
     schema_is_v4: bool,
@@ -145,6 +166,7 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
             steer_fields: steering.steer_fields(schema),
             schema_is_v4: schema.field_index("ip_src").is_some(),
             schema_is_v6: schema.field_index("ip6_src").is_some(),
+            hash_key: rss::DEFAULT_HASH_KEY,
             shards,
             steering,
         }
@@ -177,6 +199,26 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
         self.steering
     }
 
+    /// The RSS hash key currently seeding the steering hash
+    /// ([`rss::DEFAULT_HASH_KEY`] until [`ShardedDatapath::rekey`] is called).
+    pub fn hash_key(&self) -> u64 {
+        self.hash_key
+    }
+
+    /// Re-seed the steering hash — the RSS hash-key *rotation* countermeasure: an
+    /// attacker who crafted her 5-tuples to land on a chosen shard under the old key
+    /// finds them scattered pseudo-randomly under the new one, while benign flows keep
+    /// a stable, total partition (each flow simply moves to its new home queue).
+    ///
+    /// Only the placement function changes: megaflow entries already cached on a shard
+    /// are left alone, exactly as a real NIC rekey would leave each PMD's cache intact.
+    /// Entries stranded on a shard their flow no longer steers to simply stop being
+    /// refreshed and age out through the normal idle timeout. [`Steering::Pinned`]
+    /// placement ignores the key entirely.
+    pub fn rekey(&mut self, hash_key: u64) {
+        self.hash_key = hash_key;
+    }
+
     /// The shards, in shard order.
     pub fn shards(&self) -> &[Datapath<B>] {
         &self.shards
@@ -199,7 +241,7 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
         }
         match self.steering {
             Steering::Pinned(i) => i,
-            _ => rss::shard_of(key, &self.steer_fields, self.shards.len()),
+            _ => rss::shard_of_keyed(key, &self.steer_fields, self.shards.len(), self.hash_key),
         }
     }
 
@@ -530,6 +572,42 @@ mod tests {
         let out = sharded.process_packet(&pkt, 0.0);
         assert_eq!(out.action, Action::Allow);
         assert_eq!(sharded.shard_stats(shard).packets(), 1);
+    }
+
+    #[test]
+    fn rekey_moves_flows_but_keeps_a_total_partition() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut sharded = ShardedDatapath::new(fig6_table(&schema), 4, Steering::Rss);
+        assert_eq!(sharded.hash_key(), rss::DEFAULT_HASH_KEY);
+        let keys = key_spread(&schema, 300);
+        let before: Vec<usize> = keys.iter().map(|k| sharded.shard_of_key(k)).collect();
+        sharded.rekey(0xdead_beef_0bad_cafe);
+        assert_eq!(sharded.hash_key(), 0xdead_beef_0bad_cafe);
+        let after: Vec<usize> = keys.iter().map(|k| sharded.shard_of_key(k)).collect();
+        // Still a stable, total partition...
+        for (k, &s) in keys.iter().zip(&after) {
+            assert!(s < 4);
+            assert_eq!(s, sharded.shard_of_key(k));
+        }
+        // ...but a large fraction of the flow space moved (~3/4 in expectation).
+        let moved = before.iter().zip(&after).filter(|(b, a)| b != a).count();
+        assert!(moved > 150, "rekey moved only {moved}/300 keys");
+        // Cached state is untouched by the rotation itself.
+        assert_eq!(sharded.entry_count(), 0);
+        sharded.process_key(&keys[0], 64, 0.0);
+        let entries = sharded.entry_count();
+        sharded.rekey(7);
+        assert_eq!(sharded.entry_count(), entries);
+    }
+
+    #[test]
+    fn rekey_does_not_move_pinned_steering() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut sharded = ShardedDatapath::new(fig6_table(&schema), 4, Steering::Pinned(3));
+        sharded.rekey(12345);
+        for key in key_spread(&schema, 50) {
+            assert_eq!(sharded.shard_of_key(&key), 3);
+        }
     }
 
     #[test]

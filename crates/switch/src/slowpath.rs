@@ -34,6 +34,12 @@ pub struct SlowPath {
     /// Count of upcalls that could not install an entry because the covering rule is
     /// suppressed (these packets will keep coming back).
     suppressed_upcalls: u64,
+    /// Remaining megaflow installs allowed before the quota window is re-armed
+    /// (`None` = unlimited, the default). See [`SlowPath::set_install_quota`].
+    install_quota: Option<u64>,
+    /// Cumulative count of upcalls answered without an install because the quota was
+    /// exhausted.
+    quota_denied_upcalls: u64,
 }
 
 impl SlowPath {
@@ -43,6 +49,8 @@ impl SlowPath {
             strategy,
             suppressed_rules: Vec::new(),
             suppressed_upcalls: 0,
+            install_quota: None,
+            quota_denied_upcalls: 0,
         }
     }
 
@@ -74,6 +82,31 @@ impl SlowPath {
         self.suppressed_upcalls
     }
 
+    /// (Re-)arm the megaflow-install quota: at most `quota` installs are performed
+    /// until the next call; further upcalls are still classified correctly but no
+    /// entry is installed for them (they stay on the slow path) and
+    /// [`SlowPath::quota_denied_upcalls`] advances. `None` removes the limit.
+    ///
+    /// This models OVS's upcall governance (bounded `ovs-vswitchd` handler/flow-put
+    /// budget per revalidation interval): a caller that re-arms the quota once per
+    /// measurement interval gets a per-interval install ceiling, which is exactly how
+    /// the `UpcallLimiter` mitigation drives it.
+    pub fn set_install_quota(&mut self, quota: Option<u64>) {
+        self.install_quota = quota;
+    }
+
+    /// Installs still allowed in the current quota window (`None` = unlimited).
+    pub fn install_quota_remaining(&self) -> Option<u64> {
+        self.install_quota
+    }
+
+    /// Cumulative number of upcalls answered without an install because the quota was
+    /// exhausted (monotone; callers interested in per-interval counts diff successive
+    /// readings).
+    pub fn quota_denied_upcalls(&self) -> u64 {
+        self.quota_denied_upcalls
+    }
+
     /// Handle one upcall: classify `header` against `table`, generate a megaflow under
     /// the Cover/Independence invariants and install it into `cache` (unless the matched
     /// rule is suppressed or the header is already covered). Works against any
@@ -97,6 +130,23 @@ impl SlowPath {
         }
         match generate_megaflow(table, cache, header, &self.strategy) {
             Ok(generated) => {
+                if self.install_quota == Some(0) {
+                    // Quota window exhausted: classify, but install nothing — the
+                    // packet (and every sibling behind it) keeps paying the slow-path
+                    // price until the quota is re-armed. Only real would-be installs
+                    // are charged; already-covered upcalls fall through below as
+                    // usual.
+                    self.quota_denied_upcalls += 1;
+                    return Some(UpcallOutcome {
+                        action: generated.action,
+                        rule_index: generated.rule_index,
+                        installed: false,
+                        new_mask: false,
+                    });
+                }
+                if let Some(quota) = &mut self.install_quota {
+                    *quota -= 1;
+                }
                 let masks_before = cache.mask_count();
                 cache
                     .insert_megaflow(generated.key, generated.mask, generated.action, now)
@@ -183,6 +233,72 @@ mod tests {
             .handle_upcall(&table, &mut cache, &hyp(0b100), 0.0)
             .unwrap();
         assert!(out.installed);
+    }
+
+    #[test]
+    fn install_quota_caps_installs_until_rearmed() {
+        let schema = FieldSchema::ovs_ipv4();
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        let tp_src = schema.field_index("tp_src").unwrap();
+        let table = FlowTable::whitelist_default_deny(&schema, &[(tp_dst, 80)]);
+        let mut cache = TupleSpace::new(schema.clone());
+        // Exact-match generation: every distinct key is its own install, so the quota
+        // arithmetic is visible key by key.
+        let mut sp = SlowPath::new(MegaflowStrategy::exact_match(&schema));
+        sp.set_install_quota(Some(2));
+        // Distinct deny keys: each would install its own megaflow.
+        for i in 0..5u128 {
+            let mut k = schema.zero_value();
+            k.set(tp_src, 1000 + i);
+            k.set(tp_dst, 9000 + i);
+            let out = sp.handle_upcall(&table, &mut cache, &k, 0.0).unwrap();
+            assert_eq!(out.action, Action::Deny, "verdict unaffected by the quota");
+            assert_eq!(out.installed, i < 2, "only the first two installs land");
+        }
+        assert_eq!(cache.entry_count(), 2);
+        assert_eq!(sp.install_quota_remaining(), Some(0));
+        assert_eq!(sp.quota_denied_upcalls(), 3);
+        // Re-arm: installs resume; the cumulative denial counter keeps its history.
+        sp.set_install_quota(Some(1));
+        let mut k = schema.zero_value();
+        k.set(tp_src, 7);
+        k.set(tp_dst, 7777);
+        assert!(
+            sp.handle_upcall(&table, &mut cache, &k, 1.0)
+                .unwrap()
+                .installed
+        );
+        assert_eq!(sp.quota_denied_upcalls(), 3);
+        // Removing the limit entirely restores unbounded installs.
+        sp.set_install_quota(None);
+        let mut k = schema.zero_value();
+        k.set(tp_src, 8);
+        k.set(tp_dst, 8888);
+        assert!(
+            sp.handle_upcall(&table, &mut cache, &k, 1.0)
+                .unwrap()
+                .installed
+        );
+    }
+
+    #[test]
+    fn already_covered_upcalls_do_not_consume_quota() {
+        let table = FlowTable::fig1_hyp();
+        let mut cache = TupleSpace::new(table.schema().clone());
+        let mut sp = SlowPath::new(MegaflowStrategy::wildcarding(table.schema()));
+        sp.set_install_quota(Some(1));
+        assert!(
+            sp.handle_upcall(&table, &mut cache, &hyp(0b111), 0.0)
+                .unwrap()
+                .installed
+        );
+        // 101 is covered by the (1**) deny megaflow: answered, not installed, and the
+        // exhausted quota is not charged for it either.
+        let out = sp
+            .handle_upcall(&table, &mut cache, &hyp(0b101), 0.0)
+            .unwrap();
+        assert!(!out.installed);
+        assert_eq!(sp.quota_denied_upcalls(), 0);
     }
 
     #[test]

@@ -118,6 +118,35 @@
 //! assert!(masks[0] > 400, "targeted shard explodes: {masks:?}");
 //! assert!(masks[1..].iter().all(|&m| m == 0), "other shards stay clean");
 //! ```
+//!
+//! ## Composable mitigations
+//!
+//! Defenses plug into the runner as an ordered [`prelude::MitigationStack`] of
+//! [`prelude::Mitigation`] stages, each invoked once per sample interval with
+//! per-shard telemetry and reporting what it did as [`prelude::MitigationAction`]s in
+//! every [`prelude::TimelineSample`]. Four stages ship: [`prelude::GuardMitigation`]
+//! (MFCGuard per shard, with per-shard config overrides),
+//! [`prelude::RssKeyRandomizer`] (hash-key rotation that defeats shard-pinned
+//! explosions), [`prelude::UpcallLimiter`] (per-shard megaflow-install quotas) and
+//! [`prelude::MaskCap`] (per-shard mask ceilings):
+//!
+//! ```
+//! use tse::prelude::*;
+//!
+//! let schema = FieldSchema::ovs_ipv4();
+//! let table = Scenario::SipDp.flow_table(&schema);
+//! let sharded = ShardedDatapath::from_builder(Datapath::builder(table), 4, Steering::Rss);
+//! let mut runner = ExperimentRunner::sharded(sharded, vec![], OffloadConfig::gro_off())
+//!     .with_mitigation(GuardMitigation::new(GuardConfig::default()))
+//!     .with_mitigation(RssKeyRandomizer::new(10.0, 0xC0FFEE));
+//! assert_eq!(runner.mitigations.names(), vec!["mfcguard", "rss-rekey"]);
+//! let timeline = runner.run_mix(TrafficMix::new(), 12.0);
+//! // The rekey at t=10 is attributed in the timeline.
+//! assert!(timeline.samples[9]
+//!     .mitigation_actions
+//!     .iter()
+//!     .any(|a| matches!(a, MitigationAction::Rekeyed { .. })));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -156,7 +185,9 @@ pub mod prelude {
     pub use tse_classifier::rule::{Action, Rule};
     pub use tse_classifier::strategy::{generate_megaflow, FieldStrategy, MegaflowStrategy};
     pub use tse_classifier::tss::{MaskOrdering, TupleSpace};
-    pub use tse_mitigation::guard::{GuardConfig, MfcGuard};
+    pub use tse_mitigation::defenses::{MaskCap, RssKeyRandomizer, UpcallLimiter};
+    pub use tse_mitigation::guard::{GuardConfig, GuardMitigation, GuardReport, MfcGuard};
+    pub use tse_mitigation::stack::{Mitigation, MitigationAction, MitigationCtx, MitigationStack};
     pub use tse_packet::builder::PacketBuilder;
     pub use tse_packet::fields::{FieldDef, FieldSchema, Key, Mask};
     pub use tse_packet::flowkey::FlowKey;

@@ -6,6 +6,12 @@
 //! is the ground truth the redesigned runner (trace + victims wrapped in a
 //! `TrafficMix`, drained through `Datapath::process_timed_batch`) is compared against:
 //! every sample of every scenario must match exactly, down to the f64 bits.
+//!
+//! `reference_guarded_run` is a second frozen copy: the pre-mitigation-stack runner's
+//! `run_mix` loop with its hard-wired `Option<MfcGuard>` (the `guard.maybe_run_sharded`
+//! call after throughput accounting). It is the ground truth the `with_guard` shim —
+//! now a `GuardMitigation` stage on the composable `MitigationStack` — is compared
+//! against, on every scenario, single- and multi-shard, down to the f64 bits.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -231,6 +237,353 @@ fn one_shard_sharded_runner_matches_frozen_reference_for_every_scenario() {
             assert_eq!(s.shard_attacker_pps, vec![s.attacker_pps]);
         }
         assert_bit_for_bit(&reference, &timeline, &format!("sharded(1)/{}", scenario));
+    }
+}
+
+/// One sample of the frozen pre-mitigation-stack guarded runner (the PR 3
+/// `TimelineSample` fields, before `mitigation_actions` existed).
+struct RefGuardedSample {
+    time: f64,
+    victim_gbps: Vec<f64>,
+    attacker_pps: f64,
+    mask_count: usize,
+    entry_count: usize,
+    victim_masks_scanned: usize,
+    shard_masks: Vec<usize>,
+    shard_entries: Vec<usize>,
+    shard_attacker_pps: Vec<f64>,
+}
+
+/// Frozen copy of the pre-mitigation-stack `ExperimentRunner::run` path: the event
+/// loop over a `TrafficMix` of victims plus one attack trace, with the hard-wired
+/// `Option<MfcGuard>` swept via `maybe_run_sharded` after throughput accounting —
+/// exactly the runner this PR redesigned away.
+fn reference_guarded_run(
+    datapath: &mut ShardedDatapath,
+    victims: &[VictimFlow],
+    offload: &OffloadConfig,
+    attack: &AttackTrace,
+    mut guard: Option<MfcGuard>,
+    duration: f64,
+) -> Vec<RefGuardedSample> {
+    let dt = 1.0;
+    let schema = datapath.table().schema().clone();
+    let mut mix = TrafficMix::new();
+    for flow in victims {
+        mix.push(Box::new(VictimSource::new(flow.clone(), &schema, dt)));
+    }
+    mix.push(Box::new(attack.source("Attacker", &schema)));
+
+    let roles = mix.roles();
+    let mut victim_slot = vec![usize::MAX; roles.len()];
+    let mut attacker_slot = vec![usize::MAX; roles.len()];
+    let mut n_victims = 0;
+    let mut n_attackers = 0;
+    for (i, role) in roles.iter().enumerate() {
+        match role {
+            SourceRole::Victim => {
+                victim_slot[i] = n_victims;
+                n_victims += 1;
+            }
+            SourceRole::Attacker => {
+                attacker_slot[i] = n_attackers;
+                n_attackers += 1;
+            }
+        }
+    }
+    let n_shards = datapath.shard_count();
+    let mut samples = Vec::new();
+    let steps = (duration / dt).ceil() as usize;
+    let mut chunk: Vec<(Key, usize, f64)> = Vec::new();
+    let mut probes: Vec<(usize, TrafficEvent)> = Vec::new();
+    for step in 0..steps {
+        let t = step as f64 * dt;
+        let t_end = t + dt;
+
+        let mut attack_packets = 0u64;
+        let mut shard_busy = vec![0.0f64; n_shards];
+        let mut shard_packets = vec![0u64; n_shards];
+        let mut per_attacker = vec![0u64; n_attackers];
+        let mut chunk_src = usize::MAX;
+        chunk.clear();
+        probes.clear();
+        let flush = |datapath: &mut ShardedDatapath,
+                     chunk: &mut Vec<(Key, usize, f64)>,
+                     src: usize,
+                     shard_busy: &mut [f64],
+                     shard_packets: &mut [u64],
+                     per_attacker: &mut [u64]| {
+            if chunk.is_empty() {
+                return 0u64;
+            }
+            let report = datapath.process_timed_batch(chunk);
+            for (s, r) in report.per_shard.iter().enumerate() {
+                shard_busy[s] += r.total_cost;
+                shard_packets[s] += r.processed as u64;
+            }
+            let n = chunk.len() as u64;
+            if attacker_slot[src] != usize::MAX {
+                per_attacker[attacker_slot[src]] += n;
+            }
+            chunk.clear();
+            n
+        };
+        while let Some((src, ev)) = mix.next_before(t_end) {
+            match ev.payload {
+                EventPayload::Packet => {
+                    if ev.time < t {
+                        continue;
+                    }
+                    if src != chunk_src {
+                        attack_packets += flush(
+                            datapath,
+                            &mut chunk,
+                            chunk_src,
+                            &mut shard_busy,
+                            &mut shard_packets,
+                            &mut per_attacker,
+                        );
+                        chunk_src = src;
+                    }
+                    chunk.push((ev.key, ev.bytes, ev.time));
+                }
+                EventPayload::Probe { .. } => probes.push((src, ev)),
+            }
+        }
+        attack_packets += flush(
+            datapath,
+            &mut chunk,
+            chunk_src,
+            &mut shard_busy,
+            &mut shard_packets,
+            &mut per_attacker,
+        );
+        datapath.maybe_expire(t_end);
+
+        let mut victim_costs: Vec<Option<f64>> = vec![None; n_victims];
+        let mut victim_offered = vec![0.0f64; n_victims];
+        let mut victim_shard = vec![0usize; n_victims];
+        let mut victim_masks_scanned = 0;
+        for (src, ev) in &probes {
+            let EventPayload::Probe { offered_gbps } = ev.payload else {
+                continue;
+            };
+            if victim_slot[*src] == usize::MAX {
+                continue;
+            }
+            let slot = victim_slot[*src];
+            let shard = datapath.shard_of_key(&ev.key);
+            let outcome = datapath
+                .shard_mut(shard)
+                .process_key(&ev.key, ev.bytes, ev.time);
+            victim_masks_scanned = victim_masks_scanned.max(outcome.masks_scanned);
+            let units = datapath
+                .shard(shard)
+                .megaflow()
+                .cost_units(outcome.masks_scanned);
+            let cost = match outcome.path {
+                PathTaken::SlowPath => offload.cost.slow_path(units),
+                PathTaken::Microflow => offload.cost.microflow(),
+                _ => offload.cost.fast_path(units),
+            };
+            victim_costs[slot] = Some(cost);
+            victim_offered[slot] = offered_gbps;
+            victim_shard[slot] = shard;
+        }
+
+        let mut victim_gbps = vec![0.0; n_victims];
+        for (shard, busy) in shard_busy.iter().enumerate() {
+            let available_cpu = (dt - busy).max(0.0);
+            let active: Vec<usize> = victim_costs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.map(|_| i))
+                .filter(|&i| victim_shard[i] == shard)
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            let share = available_cpu / active.len() as f64;
+            let mut leftover = 0.0;
+            for &i in &active {
+                let cost = victim_costs[i].expect("active flow has a cost");
+                let offered_pps =
+                    victim_offered[i] * 1e9 / 8.0 / offload.bytes_per_invocation as f64;
+                let achievable_pps = share / cost / dt;
+                let pps = achievable_pps.min(offered_pps);
+                leftover += (achievable_pps - pps).max(0.0) * cost * dt;
+                victim_gbps[i] = pps * offload.bytes_per_invocation as f64 * 8.0 / 1e9;
+            }
+            if leftover > 1e-12 {
+                let limited: Vec<usize> = active
+                    .iter()
+                    .copied()
+                    .filter(|&i| {
+                        victim_gbps[i] + 1e-9 < victim_offered[i].min(offload.line_rate_gbps)
+                    })
+                    .collect();
+                if !limited.is_empty() {
+                    let extra = leftover / limited.len() as f64;
+                    for &i in &limited {
+                        let cost = victim_costs[i].expect("active");
+                        let extra_gbps =
+                            extra / cost / dt * offload.bytes_per_invocation as f64 * 8.0 / 1e9;
+                        victim_gbps[i] = (victim_gbps[i] + extra_gbps).min(victim_offered[i]);
+                    }
+                }
+            }
+        }
+        let total: f64 = victim_gbps.iter().sum();
+        if total > offload.line_rate_gbps {
+            let scale = offload.line_rate_gbps / total;
+            for v in &mut victim_gbps {
+                *v *= scale;
+            }
+        }
+
+        // The pre-redesign guard hook: one shared-config sweep per shard whenever the
+        // shared interval elapses.
+        if let Some(guard) = &mut guard {
+            let per_shard_pps: Vec<f64> = shard_packets.iter().map(|&c| c as f64 / dt).collect();
+            guard.maybe_run_sharded(datapath, t_end, &per_shard_pps);
+        }
+
+        samples.push(RefGuardedSample {
+            time: t,
+            victim_gbps,
+            attacker_pps: attack_packets as f64 / dt,
+            mask_count: datapath.mask_count(),
+            entry_count: datapath.entry_count(),
+            victim_masks_scanned,
+            shard_masks: datapath.shard_mask_counts(),
+            shard_entries: datapath.shard_entry_counts(),
+            shard_attacker_pps: shard_packets.iter().map(|&c| c as f64 / dt).collect(),
+        });
+    }
+    samples
+}
+
+fn assert_guarded_bit_for_bit(reference: &[RefGuardedSample], timeline: &Timeline, context: &str) {
+    assert_eq!(reference.len(), timeline.samples.len(), "{context}: length");
+    for (r, s) in reference.iter().zip(&timeline.samples) {
+        let ctx = format!("{context} @ t={}", r.time);
+        assert_eq!(r.time.to_bits(), s.time.to_bits(), "{ctx}: time");
+        assert_eq!(r.victim_gbps.len(), s.victim_gbps.len(), "{ctx}: arity");
+        for (i, (a, b)) in r.victim_gbps.iter().zip(&s.victim_gbps).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{ctx}: victim {i} gbps {a} vs {b}"
+            );
+        }
+        assert_eq!(
+            r.attacker_pps.to_bits(),
+            s.attacker_pps.to_bits(),
+            "{ctx}: attacker pps"
+        );
+        assert_eq!(r.mask_count, s.mask_count, "{ctx}: masks");
+        assert_eq!(r.entry_count, s.entry_count, "{ctx}: entries");
+        assert_eq!(
+            r.victim_masks_scanned, s.victim_masks_scanned,
+            "{ctx}: victim masks scanned"
+        );
+        assert_eq!(r.shard_masks, s.shard_masks, "{ctx}: shard masks");
+        assert_eq!(r.shard_entries, s.shard_entries, "{ctx}: shard entries");
+        for (i, (a, b)) in r
+            .shard_attacker_pps
+            .iter()
+            .zip(&s.shard_attacker_pps)
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: shard {i} attacker pps");
+        }
+    }
+}
+
+/// The guard configuration used for the shim parity runs: thresholds low enough that
+/// the guard actually fires and evicts during every scenario's attack phase.
+fn parity_guard_config() -> GuardConfig {
+    GuardConfig {
+        interval: 10.0,
+        mask_threshold: 30,
+        ..GuardConfig::default()
+    }
+}
+
+#[test]
+fn with_guard_shim_matches_frozen_guarded_reference_for_every_scenario() {
+    for scenario in Scenario::ALL {
+        let (table, victims, attack) = scenario_fixture(scenario);
+        let offload = OffloadConfig::gro_off();
+
+        let mut ref_dp = ShardedDatapath::single(Datapath::new(table.clone()));
+        let reference = reference_guarded_run(
+            &mut ref_dp,
+            &victims,
+            &offload,
+            &attack,
+            Some(MfcGuard::new(parity_guard_config())),
+            90.0,
+        );
+
+        let mut runner = ExperimentRunner::new(Datapath::new(table), victims, offload)
+            .with_guard(MfcGuard::new(parity_guard_config()));
+        let timeline = runner.run(&attack, 90.0);
+        assert_guarded_bit_for_bit(&reference, &timeline, &format!("guarded/{scenario}"));
+    }
+}
+
+#[test]
+fn with_guard_shim_matches_frozen_guarded_reference_on_a_sharded_datapath() {
+    // The same parity on a real multi-PMD datapath: 4 RSS-steered shards, every
+    // scenario. The per-shard guards of the shim must fire at exactly the times the
+    // old shared gate did and sweep the shards in the same order.
+    for scenario in Scenario::ALL {
+        let (table, victims, attack) = scenario_fixture(scenario);
+        let offload = OffloadConfig::gro_off();
+
+        let mut ref_dp =
+            ShardedDatapath::from_builder(Datapath::builder(table.clone()), 4, Steering::Rss);
+        let reference = reference_guarded_run(
+            &mut ref_dp,
+            &victims,
+            &offload,
+            &attack,
+            Some(MfcGuard::new(parity_guard_config())),
+            90.0,
+        );
+
+        let sharded = ShardedDatapath::from_builder(Datapath::builder(table), 4, Steering::Rss);
+        let mut runner = ExperimentRunner::sharded(sharded, victims, offload)
+            .with_guard(MfcGuard::new(parity_guard_config()));
+        let timeline = runner.run(&attack, 90.0);
+        assert_eq!(timeline.shard_count, 4);
+        assert_guarded_bit_for_bit(
+            &reference,
+            &timeline,
+            &format!("guarded-sharded(4)/{scenario}"),
+        );
+    }
+}
+
+#[test]
+fn unguarded_reference_agrees_with_guardless_frozen_reference() {
+    // Internal consistency of the two frozen references: with no guard attached the
+    // guarded copy reduces to the original single-shard reference.
+    let (table, victims, attack) = scenario_fixture(Scenario::SipDp);
+    let offload = OffloadConfig::gro_off();
+    let mut a_dp = Datapath::new(table.clone());
+    let a = reference_run(&mut a_dp, &victims, &offload, &attack, 60.0);
+    let mut b_dp = ShardedDatapath::single(Datapath::new(table));
+    let b = reference_guarded_run(&mut b_dp, &victims, &offload, &attack, None, 60.0);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.time.to_bits(), y.time.to_bits());
+        for (u, v) in x.victim_gbps.iter().zip(&y.victim_gbps) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+        assert_eq!(x.mask_count, y.mask_count);
+        assert_eq!(x.entry_count, y.entry_count);
     }
 }
 
