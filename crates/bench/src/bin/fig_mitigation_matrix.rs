@@ -20,7 +20,9 @@
 //! ~10 % of baseline — and rotation costs nothing on the benign path, unlike the
 //! guard's suppression or the cap's collateral evictions.
 //!
-//! Run with `--duration <s>` (default 70) — CI smoke-runs it short.
+//! Run with `--duration <s>` (default 70) — CI smoke-runs it short — plus the shared
+//! sharded flags: `--shards <n>` (default 16) and `--parallel <threads>` to drive the
+//! per-shard fan-out from a thread pool (timelines are executor-independent).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,7 +40,6 @@ use tse_simnet::traffic::{VictimFlow, VictimSource};
 use tse_switch::datapath::Datapath;
 use tse_switch::pmd::{ShardedDatapath, Steering};
 
-const N_SHARDS: usize = 16;
 const ATTACK_START: f64 = 20.0;
 const ATTACK_PPS: f64 = 100.0;
 const STACKS: [&str; 5] = ["none", "guard", "rekey", "guard+rekey", "full"];
@@ -69,13 +70,18 @@ fn with_stack(runner: ExperimentRunner, spec: &str) -> ExperimentRunner {
 
 fn run(
     schema: &FieldSchema,
+    args: &tse_bench::FigArgs,
     victims: &[VictimFlow],
     keys: impl Iterator<Item = Key> + 'static,
     stack: &str,
-    duration: f64,
 ) -> Timeline {
+    let duration = args.duration;
     let table = Scenario::SipDp.flow_table(schema);
-    let sharded = ShardedDatapath::from_builder(Datapath::builder(table), N_SHARDS, Steering::Rss);
+    let sharded = ShardedDatapath::from_builder(
+        Datapath::builder(table).with_executor(args.executor()),
+        args.shards,
+        Steering::Rss,
+    );
     let mut runner = with_stack(
         ExperimentRunner::sharded(sharded, Vec::new(), OffloadConfig::gro_off()),
         stack,
@@ -148,29 +154,40 @@ fn action_summary(tl: &Timeline) -> String {
 }
 
 fn main() {
-    let duration = tse_bench::duration_arg(70.0);
+    let args = tse_bench::fig_args(70.0, 16);
+    let (duration, n_shards) = (args.duration, args.shards);
     let schema = FieldSchema::ovs_ipv4();
     let ip_dst = schema.field_index("ip_dst").unwrap();
+    // Victim B must live off the attacked shard 0 (shard 5 in the default 16-shard
+    // setup; clamped away from 0 for shard counts that would alias it).
+    assert!(
+        n_shards >= 2,
+        "the pinned/sprayed comparison needs --shards >= 2 (victim B must live off the attacked shard)"
+    );
+    let b_shard = (5 % n_shards).max(1);
     let victims = [
         VictimFlow::iperf_tcp("Victim A", 0x0a00_0005, 0x0a00_0063, 4.0).steered_to_shard(
             &schema,
             Steering::Rss,
-            N_SHARDS,
+            n_shards,
             0,
         ),
         VictimFlow::iperf_tcp("Victim B", 0x0a00_0006, 0x0a00_0063, 4.0).steered_to_shard(
             &schema,
             Steering::Rss,
-            N_SHARDS,
-            5,
+            n_shards,
+            b_shard,
         ),
     ];
     let during_start = (ATTACK_START + 10.0).min(duration - 2.0);
     let during_end = duration - 1.0;
     println!(
-        "== Mitigation matrix: {N_SHARDS} PMD shards (RSS), SipDp @ {ATTACK_PPS} pps from t={ATTACK_START} s, duration {duration} s =="
+        "== Mitigation matrix: {n_shards} PMD shards (RSS, {} executor), SipDp @ {ATTACK_PPS} pps from t={ATTACK_START} s, duration {duration} s ==",
+        args.executor_label()
     );
-    println!("Victim A on shard 0 (pinned target), Victim B on shard 5; 4 Gbps offered each.");
+    println!(
+        "Victim A on shard 0 (pinned target), Victim B on shard {b_shard}; 4 Gbps offered each."
+    );
     println!("During-attack window: t = {during_start}..{during_end} s.\n");
 
     let mut rekey_restored_a = 0.0;
@@ -182,17 +199,17 @@ fn main() {
             let tl = match attack {
                 "pinned" => run(
                     &schema,
+                    &args,
                     &victims,
-                    pin_to_shard(&schema, attack_keys(&schema).cycle(), ip_dst, N_SHARDS, 0),
+                    pin_to_shard(&schema, attack_keys(&schema).cycle(), ip_dst, n_shards, 0),
                     stack,
-                    duration,
                 ),
                 _ => run(
                     &schema,
+                    &args,
                     &victims,
-                    spray_shards(&schema, attack_keys(&schema).cycle(), ip_dst, N_SHARDS),
+                    spray_shards(&schema, attack_keys(&schema).cycle(), ip_dst, n_shards),
                     stack,
-                    duration,
                 ),
             };
             let a_before = victim_mean(&tl, 0, 5.0, ATTACK_START - 1.0);
@@ -242,10 +259,20 @@ fn main() {
         "acceptance: unmitigated pinned run collapses Victim A to {unmitigated_pinned_a:.2} Gbps \
          (baseline {baseline_a:.2}); RSS rekeying alone restores her to {rekey_restored_a:.2} Gbps"
     );
-    assert!(
-        unmitigated_pinned_a < baseline_a * 0.25,
-        "pinned attack must collapse the undefended victim"
-    );
+    // The collapse needs the attack to actually land inside the measurement window
+    // (it starts at ATTACK_START and takes a few intervals to fill the cache); an
+    // ultra-short smoke horizon measures only pre-attack seconds.
+    if duration >= ATTACK_START + 12.0 {
+        assert!(
+            unmitigated_pinned_a < baseline_a * 0.25,
+            "pinned attack must collapse the undefended victim"
+        );
+    } else {
+        println!(
+            "(horizon too short to assert the pinned collapse — run with --duration 70 \
+             for the acceptance measurement)"
+        );
+    }
     // The within-2x claim needs a window long enough to average over the rotation
     // transients (stranded masks linger up to one idle timeout after each rekey); a
     // short smoke horizon samples only the worst seconds right after a rotation.

@@ -20,7 +20,10 @@
 //! guard sweeps (under a tightened mask threshold), and Victim A recovers while the
 //! other shards' guards never touch their caches.
 //!
-//! Run with `--duration <s>` (default 70) — CI smoke-runs it short.
+//! Run with `--duration <s>` (default 70) — CI smoke-runs it short — plus the shared
+//! sharded flags: `--shards <n>` (default 4) sets the PMD count and `--parallel
+//! <threads>` drives the per-shard fan-out from a thread pool (CI exercises
+//! `--parallel 4`; the timelines are bit-for-bit identical to the sequential run's).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,18 +40,23 @@ use tse_simnet::traffic::{VictimFlow, VictimSource};
 use tse_switch::datapath::Datapath;
 use tse_switch::pmd::{ShardedDatapath, Steering};
 
-const N_SHARDS: usize = 4;
 const ATTACK_START: f64 = 20.0;
 const ATTACK_PPS: f64 = 100.0;
 
 /// A victim whose source port steers its 5-tuple to `shard`. The victims offer 4 Gbps
 /// each so the 10 Gbps NIC is never the bottleneck — what moves a victim's throughput
 /// is purely its own shard's CPU.
-fn victim_on_shard(name: &str, src_ip: u32, schema: &FieldSchema, shard: usize) -> VictimFlow {
+fn victim_on_shard(
+    name: &str,
+    src_ip: u32,
+    schema: &FieldSchema,
+    n_shards: usize,
+    shard: usize,
+) -> VictimFlow {
     VictimFlow::iperf_tcp(name, src_ip, 0x0a00_0063, 4.0).steered_to_shard(
         schema,
         Steering::Rss,
-        N_SHARDS,
+        n_shards,
         shard,
     )
 }
@@ -64,13 +72,18 @@ fn attack_keys(schema: &FieldSchema) -> BitInversionKeys {
 
 fn run(
     schema: &FieldSchema,
+    args: &tse_bench::FigArgs,
     victims: &[VictimFlow],
     keys: ShardSteeredKeys<std::iter::Cycle<BitInversionKeys>>,
     guard: Option<GuardMitigation>,
-    duration: f64,
 ) -> Timeline {
+    let duration = args.duration;
     let table = Scenario::SipDp.flow_table(schema);
-    let sharded = ShardedDatapath::from_builder(Datapath::builder(table), N_SHARDS, Steering::Rss);
+    let sharded = ShardedDatapath::from_builder(
+        Datapath::builder(table).with_executor(args.executor()),
+        args.shards,
+        Steering::Rss,
+    );
     let mut runner = ExperimentRunner::sharded(sharded, Vec::new(), OffloadConfig::gro_off());
     if let Some(guard) = guard {
         runner = runner.with_mitigation(guard);
@@ -144,32 +157,42 @@ fn summarize(label: &str, tl: &Timeline, duration: f64) {
 }
 
 fn main() {
-    let duration = tse_bench::duration_arg(70.0);
+    let args = tse_bench::fig_args(70.0, 4);
+    let (duration, n_shards) = (args.duration, args.shards);
     let schema = FieldSchema::ovs_ipv4();
     let ip_dst = schema.field_index("ip_dst").unwrap();
 
-    let victim_a = victim_on_shard("Victim A", 0x0a00_0005, &schema, 0);
-    let victim_b = victim_on_shard("Victim B", 0x0a00_0006, &schema, 2);
+    // Victim B sits "half a ring" away from the attacked shard 0 (shard 2 in the
+    // default 4-shard setup), so its shard is never the pinned target — which needs at
+    // least two shards to be possible at all.
+    assert!(
+        n_shards >= 2,
+        "the blast-radius comparison needs --shards >= 2 (victim B must live off the attacked shard)"
+    );
+    let b_shard = (n_shards / 2).max(1);
+    let victim_a = victim_on_shard("Victim A", 0x0a00_0005, &schema, n_shards, 0);
+    let victim_b = victim_on_shard("Victim B", 0x0a00_0006, &schema, n_shards, b_shard);
     let victims = [victim_a, victim_b];
     println!(
-        "== Shard blast radius: {N_SHARDS} PMD shards (RSS), SipDp @ {ATTACK_PPS} pps from t={ATTACK_START} s =="
+        "== Shard blast radius: {n_shards} PMD shards (RSS, {} executor), SipDp @ {ATTACK_PPS} pps from t={ATTACK_START} s ==",
+        args.executor_label()
     );
-    println!("Victim A pinned to shard 0 (attacked); Victim B pinned to shard 2.");
+    println!("Victim A pinned to shard 0 (attacked); Victim B pinned to shard {b_shard}.");
 
     // Shard-pinned explosion: every attack packet retagged onto Victim A's shard.
-    let pinned = pin_to_shard(&schema, attack_keys(&schema).cycle(), ip_dst, N_SHARDS, 0);
-    let tl = run(&schema, &victims, pinned, None, duration);
+    let pinned = pin_to_shard(&schema, attack_keys(&schema).cycle(), ip_dst, n_shards, 0);
+    let tl = run(&schema, &args, &victims, pinned, None);
     summarize("shard-pinned attack (shard 0)", &tl, duration);
 
     // Spray: the same stream spread round-robin over every shard.
-    let sprayed = spray_shards(&schema, attack_keys(&schema).cycle(), ip_dst, N_SHARDS);
-    let tl = run(&schema, &victims, sprayed, None, duration);
+    let sprayed = spray_shards(&schema, attack_keys(&schema).cycle(), ip_dst, n_shards);
+    let tl = run(&schema, &args, &victims, sprayed, None);
     summarize("sprayed attack (all shards)", &tl, duration);
 
     // Pinned again, defended: a per-shard-configured guard on the mitigation stack —
     // the attacked shard sweeps under a tightened threshold, every other shard's guard
     // is left at the default (and never fires: their caches stay tiny).
-    let pinned = pin_to_shard(&schema, attack_keys(&schema).cycle(), ip_dst, N_SHARDS, 0);
+    let pinned = pin_to_shard(&schema, attack_keys(&schema).cycle(), ip_dst, n_shards, 0);
     let guard = GuardMitigation::new(GuardConfig::default()).with_shard_config(
         0,
         GuardConfig {
@@ -177,6 +200,6 @@ fn main() {
             ..GuardConfig::default()
         },
     );
-    let tl = run(&schema, &victims, pinned, Some(guard), duration);
+    let tl = run(&schema, &args, &victims, pinned, Some(guard));
     summarize("shard-pinned attack + per-shard guard", &tl, duration);
 }

@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use tse_switch::exec::{SequentialExecutor, ShardExecutor, ThreadPoolExecutor};
+
 /// Parse an optional `--duration <seconds>` / `--duration=<seconds>` CLI flag,
 /// falling back to `default`. Any other argument is an error (panics), so a typo in a
 /// CI smoke invocation fails the job instead of silently running full-length.
@@ -22,25 +24,110 @@
 /// short horizon (e.g. `fig9_backend_matrix -- --duration 10`) without touching the
 /// full-length defaults used to regenerate the paper's figures.
 pub fn duration_arg(default: f64) -> f64 {
-    let parse = |v: &str| -> f64 {
+    let parsed = parse_args(
+        std::env::args().skip(1),
+        FigArgs {
+            duration: default,
+            shards: 0,
+            threads: 1,
+        },
+        false,
+    );
+    parsed.duration
+}
+
+/// Parsed command line of a sharded figure binary (see [`fig_args`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FigArgs {
+    /// Experiment horizon, seconds (`--duration`).
+    pub duration: f64,
+    /// Number of datapath shards / PMD threads to model (`--shards`).
+    pub shards: usize,
+    /// Worker threads driving the per-shard fan-out (`--parallel`; 1 = sequential).
+    pub threads: usize,
+}
+
+impl FigArgs {
+    /// The shard executor the flags select: a [`ThreadPoolExecutor`] when
+    /// `--parallel` asked for more than one thread, the default
+    /// [`SequentialExecutor`] otherwise. Timelines are identical either way; only
+    /// wall-clock time changes.
+    pub fn executor(&self) -> Box<dyn ShardExecutor> {
+        if self.threads > 1 {
+            Box::new(ThreadPoolExecutor::new(self.threads))
+        } else {
+            Box::new(SequentialExecutor)
+        }
+    }
+
+    /// `"sequential"` or `"thread-pool(N)"` — for experiment headers.
+    pub fn executor_label(&self) -> String {
+        if self.threads > 1 {
+            format!("thread-pool({})", self.threads)
+        } else {
+            "sequential".to_string()
+        }
+    }
+}
+
+/// Parse the shared CLI of the sharded figure binaries: `--duration <seconds>`,
+/// `--shards <n>` and `--parallel <threads>` (each also in `--flag=value` form),
+/// falling back to the given defaults (`--parallel` defaults to 1, i.e. the
+/// sequential executor). Unknown arguments panic, exactly like [`duration_arg`], so a
+/// typo'd CI smoke invocation fails loudly.
+pub fn fig_args(default_duration: f64, default_shards: usize) -> FigArgs {
+    parse_args(
+        std::env::args().skip(1),
+        FigArgs {
+            duration: default_duration,
+            shards: default_shards,
+            threads: 1,
+        },
+        true,
+    )
+}
+
+/// The parser behind [`duration_arg`] and [`fig_args`]; `sharded` additionally
+/// enables `--shards` / `--parallel`.
+fn parse_args(args: impl Iterator<Item = String>, defaults: FigArgs, sharded: bool) -> FigArgs {
+    fn value<T: std::str::FromStr>(flag: &str, v: &str) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
         v.parse()
-            .unwrap_or_else(|e| panic!("bad --duration {v:?}: {e}"))
-    };
-    let mut duration = default;
-    let mut args = std::env::args().skip(1);
+            .unwrap_or_else(|e| panic!("bad {flag} {v:?}: {e}"))
+    }
+    let mut out = defaults;
+    let mut args = args.into_iter();
     while let Some(a) = args.next() {
-        if a == "--duration" {
-            let v = args
-                .next()
-                .unwrap_or_else(|| panic!("--duration needs a value"));
-            duration = parse(&v);
-        } else if let Some(v) = a.strip_prefix("--duration=") {
-            duration = parse(v);
+        let mut take = |flag: &str| -> Option<String> {
+            if a == flag {
+                Some(
+                    args.next()
+                        .unwrap_or_else(|| panic!("{flag} needs a value")),
+                )
+            } else {
+                a.strip_prefix(&format!("{flag}=")).map(str::to_string)
+            }
+        };
+        if let Some(v) = take("--duration") {
+            out.duration = value("--duration", &v);
+        } else if let Some(v) = if sharded { take("--shards") } else { None } {
+            out.shards = value("--shards", &v);
+        } else if let Some(v) = if sharded { take("--parallel") } else { None } {
+            out.threads = value("--parallel", &v);
+        } else if sharded {
+            panic!(
+                "unknown argument {a:?}; supported flags: --duration <seconds>, \
+                 --shards <n>, --parallel <threads>"
+            );
         } else {
             panic!("unknown argument {a:?}; the only supported flag is --duration <seconds>");
         }
     }
-    duration
+    assert!(out.shards > 0 || !sharded, "--shards must be positive");
+    assert!(out.threads > 0, "--parallel must be positive");
+    out
 }
 
 /// Format a throughput value as `x.xx Gbps`.
@@ -107,5 +194,75 @@ mod tests {
     fn formatting_helpers() {
         assert!(gbps(1.5).contains("1.500 Gbps"));
         assert!(percent(5.0, 10.0).contains("50.00"));
+    }
+
+    fn parse(args: &[&str], sharded: bool) -> FigArgs {
+        parse_args(
+            args.iter().map(|s| s.to_string()),
+            FigArgs {
+                duration: 70.0,
+                shards: 4,
+                threads: 1,
+            },
+            sharded,
+        )
+    }
+
+    #[test]
+    fn fig_args_defaults_and_flags() {
+        assert_eq!(
+            parse(&[], true),
+            FigArgs {
+                duration: 70.0,
+                shards: 4,
+                threads: 1
+            }
+        );
+        assert_eq!(
+            parse(
+                &["--duration", "35", "--parallel", "8", "--shards", "16"],
+                true
+            ),
+            FigArgs {
+                duration: 35.0,
+                shards: 16,
+                threads: 8
+            }
+        );
+        assert_eq!(
+            parse(&["--parallel=2", "--duration=5.5"], true),
+            FigArgs {
+                duration: 5.5,
+                shards: 4,
+                threads: 2
+            }
+        );
+    }
+
+    #[test]
+    fn fig_args_selects_the_executor() {
+        assert_eq!(parse(&[], true).executor().name(), "sequential");
+        assert_eq!(parse(&[], true).executor_label(), "sequential");
+        let par = parse(&["--parallel", "4"], true);
+        assert_eq!(par.executor().name(), "thread-pool");
+        assert_eq!(par.executor_label(), "thread-pool(4)");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn duration_only_parser_rejects_parallel() {
+        parse(&["--parallel", "4"], false);
+    }
+
+    #[test]
+    #[should_panic(expected = "--parallel must be positive")]
+    fn zero_parallel_is_rejected() {
+        parse(&["--parallel", "0"], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "--shards needs a value")]
+    fn missing_value_is_rejected() {
+        parse(&["--shards"], true);
     }
 }

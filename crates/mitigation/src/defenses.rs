@@ -24,6 +24,9 @@ pub struct RssKeyRandomizer {
     period: f64,
     state: u64,
     last_rotate: f64,
+    /// The hash key in force when the run started ([`Mitigation::on_start`]), restored
+    /// by [`Mitigation::on_finish`] so the rotation does not outlive the run.
+    entry_key: Option<u64>,
 }
 
 impl RssKeyRandomizer {
@@ -38,6 +41,7 @@ impl RssKeyRandomizer {
             period,
             state: seed,
             last_rotate: 0.0,
+            entry_key: None,
         }
     }
 
@@ -63,6 +67,14 @@ impl<B: FastPathBackend> Mitigation<B> for RssKeyRandomizer {
         "rss-rekey"
     }
 
+    fn on_start(&mut self, ctx: &mut MitigationCtx<'_, B>) {
+        // Re-anchor the schedule at the new run's t = 0 (a reused runner's previous
+        // run would otherwise leave `last_rotate` past the whole horizon and the
+        // stage silently inert), and remember the entry key for restoration.
+        self.last_rotate = 0.0;
+        self.entry_key = Some(ctx.datapath.hash_key());
+    }
+
     fn on_sample(&mut self, ctx: &mut MitigationCtx<'_, B>) -> Vec<MitigationAction> {
         if ctx.now - self.last_rotate < self.period {
             return Vec::new();
@@ -76,6 +88,16 @@ impl<B: FastPathBackend> Mitigation<B> for RssKeyRandomizer {
             old_key,
             new_key,
         }]
+    }
+
+    fn on_finish(&mut self, ctx: &mut MitigationCtx<'_, B>) {
+        // Restore the entry key: steering must not outlive the run on a reused
+        // datapath (stranded cache entries still age out on their own, exactly like
+        // after any mid-run rotation). Driven without on_start, there is nothing to
+        // restore to and the rotated key stays — the pre-hook behaviour.
+        if let Some(key) = self.entry_key.take() {
+            ctx.datapath.rekey(key);
+        }
     }
 }
 
@@ -275,6 +297,49 @@ mod tests {
             shard_delivered_pps: zeros,
             shard_busy_seconds: zeros,
         }
+    }
+
+    #[test]
+    fn rekey_rearms_and_restores_across_runs() {
+        let (_, mut dp) = fixture(4, Steering::Rss);
+        let zeros = vec![0.0; 4];
+        let mut rekey = RssKeyRandomizer::new(10.0, 7);
+        // Run 1: arm, rotate at t = 10, disarm.
+        {
+            let mut c = ctx(&mut dp, 0.0, &zeros);
+            Mitigation::<TupleSpace>::on_start(&mut rekey, &mut c);
+        }
+        let actions = {
+            let mut c = ctx(&mut dp, 10.0, &zeros);
+            Mitigation::<TupleSpace>::on_sample(&mut rekey, &mut c)
+        };
+        assert_eq!(actions.len(), 1);
+        assert_ne!(dp.hash_key(), tse_packet::rss::DEFAULT_HASH_KEY);
+        {
+            let mut c = ctx(&mut dp, 60.0, &zeros);
+            Mitigation::<TupleSpace>::on_finish(&mut rekey, &mut c);
+        }
+        assert_eq!(
+            dp.hash_key(),
+            tse_packet::rss::DEFAULT_HASH_KEY,
+            "on_finish must restore the entry key — steering does not outlive the run"
+        );
+        // Run 2 with the same stage: the schedule re-anchors at the new t = 0 (without
+        // the on_start reset, last_rotate ≈ 10 from run 1 would gate the first
+        // rotations off); the stage keeps defending.
+        {
+            let mut c = ctx(&mut dp, 0.0, &zeros);
+            Mitigation::<TupleSpace>::on_start(&mut rekey, &mut c);
+        }
+        let actions = {
+            let mut c = ctx(&mut dp, 10.0, &zeros);
+            Mitigation::<TupleSpace>::on_sample(&mut rekey, &mut c)
+        };
+        assert_eq!(
+            actions.len(),
+            1,
+            "a reused stage must keep rotating in run 2"
+        );
     }
 
     #[test]

@@ -116,6 +116,14 @@ impl MfcGuard {
         self.maybe_run_on_shard(datapath, now, observed_attack_pps, 0)
     }
 
+    /// Reset the interval gate, as if the guard had never run: the next
+    /// `maybe_run*` call fires regardless of how recently the previous run's last
+    /// pass was. Stored reports are kept. Used when a guard is re-armed for a new
+    /// experiment whose clock restarts at zero.
+    pub fn reset_interval_gate(&mut self) {
+        self.last_run = None;
+    }
+
     /// The shared interval gate: true (and the clock is advanced) when a pass is due.
     fn interval_elapsed(&mut self, now: f64) -> bool {
         if let Some(last) = self.last_run {
@@ -330,22 +338,34 @@ impl<B: FastPathBackend> Mitigation<B> for GuardMitigation {
         "mfcguard"
     }
 
+    fn on_start(&mut self, ctx: &mut MitigationCtx<'_, B>) {
+        // A new run's clock restarts at zero: reset every per-shard guard's interval
+        // gate so a reused runner is defended from the first interval, not gated off
+        // by the previous run's final pass time. Reports accumulate across runs.
+        self.ensure_guards(ctx.shard_count());
+        for guard in &mut self.guards {
+            guard.reset_interval_gate();
+        }
+    }
+
     fn on_sample(&mut self, ctx: &mut MitigationCtx<'_, B>) -> Vec<MitigationAction> {
         let n = ctx.shard_count();
         assert_eq!(ctx.shard_attack_pps.len(), n);
         self.ensure_guards(n);
-        let mut actions = Vec::new();
-        for shard in 0..n {
-            if let Some(report) = self.guards[shard].maybe_run_on_shard(
-                ctx.datapath.shard_mut(shard),
-                ctx.now,
-                ctx.shard_attack_pps[shard],
-                shard,
-            ) {
-                actions.push(MitigationAction::GuardSweep(report));
-            }
-        }
-        actions
+        // Each shard's sweep pairs the shard with its own guard and runs through the
+        // datapath's ShardExecutor: with a thread-pool executor the per-shard passes
+        // proceed in parallel, and the reports still come back in shard order, so the
+        // action log is identical to the sequential walk's.
+        let now = ctx.now;
+        let pps = ctx.shard_attack_pps;
+        ctx.datapath
+            .for_each_shard_with(&mut self.guards, |shard, dp, guard| {
+                guard.maybe_run_on_shard(dp, now, pps[shard], shard)
+            })
+            .into_iter()
+            .flatten()
+            .map(MitigationAction::GuardSweep)
+            .collect()
     }
 }
 

@@ -15,6 +15,12 @@
 //! pass sees the cache state left by the stage before it), so two stacks with the same
 //! members in different orders legitimately produce different action logs. Everything
 //! is deterministic: the same experiment with the same stack yields the same actions.
+//! Stages run strictly in pipeline order, but *within* a stage per-shard work is free
+//! to fan out through the datapath's `ShardExecutor`
+//! (`ShardedDatapath::for_each_shard_with` — the per-shard guard sweeps do), so
+//! executor selection on the runner/datapath propagates into the defense pipeline
+//! without the stack needing its own threading knobs; action logs stay bit-for-bit
+//! executor-independent.
 //!
 //! # Cost-model assumptions
 //!
@@ -122,6 +128,10 @@ impl MitigationAction {
 /// when the interval needed no intervention). They must be deterministic: any
 /// randomness (e.g. the rekeying schedule) is derived from seeds fixed at
 /// construction, so a rerun of the same experiment reproduces the same action log.
+///
+/// Stages are stored as `Box<dyn Mitigation<B> + Send>`, so a stack — and the
+/// experiment runner holding one — can cross threads alongside the sharded datapath it
+/// defends (the compile-time audit in `tests/send_audit.rs` covers this).
 pub trait Mitigation<B: FastPathBackend> {
     /// Short human-readable name for reports and stack listings.
     fn name(&self) -> &str;
@@ -155,7 +165,7 @@ pub trait Mitigation<B: FastPathBackend> {
 /// stage order within the interval.
 #[derive(Default)]
 pub struct MitigationStack<B: FastPathBackend> {
-    stages: Vec<Box<dyn Mitigation<B>>>,
+    stages: Vec<Box<dyn Mitigation<B> + Send>>,
 }
 
 impl<B: FastPathBackend> MitigationStack<B> {
@@ -165,12 +175,12 @@ impl<B: FastPathBackend> MitigationStack<B> {
     }
 
     /// Append a mitigation to the end of the pipeline.
-    pub fn push(&mut self, mitigation: impl Mitigation<B> + 'static) {
+    pub fn push(&mut self, mitigation: impl Mitigation<B> + Send + 'static) {
         self.stages.push(Box::new(mitigation));
     }
 
     /// Builder form of [`MitigationStack::push`].
-    pub fn with(mut self, mitigation: impl Mitigation<B> + 'static) -> Self {
+    pub fn with(mut self, mitigation: impl Mitigation<B> + Send + 'static) -> Self {
         self.push(mitigation);
         self
     }

@@ -25,6 +25,7 @@ use tse_mitigation::guard::{GuardMitigation, MfcGuard};
 use tse_mitigation::stack::{Mitigation, MitigationAction, MitigationCtx, MitigationStack};
 use tse_packet::fields::Key;
 use tse_switch::datapath::Datapath;
+use tse_switch::exec::ShardExecutor;
 use tse_switch::pmd::ShardedDatapath;
 
 use crate::offload::OffloadConfig;
@@ -247,8 +248,18 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
 
     /// Append a mitigation to the runner's defense pipeline (builder form; stages run
     /// in the order they were added, once per sample interval).
-    pub fn with_mitigation(mut self, mitigation: impl Mitigation<B> + 'static) -> Self {
+    pub fn with_mitigation(mut self, mitigation: impl Mitigation<B> + Send + 'static) -> Self {
         self.mitigations.push(mitigation);
+        self
+    }
+
+    /// Select the shard-execution model of the datapath under test (builder form):
+    /// [`SequentialExecutor`](tse_switch::exec::SequentialExecutor) by default, or a
+    /// [`ThreadPoolExecutor`](tse_switch::exec::ThreadPoolExecutor) for true
+    /// thread-parallel shard execution. Timelines are bit-for-bit identical on every
+    /// executor (`tests/executor_parity.rs`); only wall-clock time changes.
+    pub fn with_executor(mut self, executor: impl ShardExecutor + 'static) -> Self {
+        self.datapath.set_executor(executor);
         self
     }
 
@@ -710,6 +721,62 @@ mod tests {
         let (mut plain, attack) = setup(Scenario::SipDp);
         let tl = plain.run(&attack, 20.0);
         assert!(tl.samples.iter().all(|s| s.mitigation_actions.is_empty()));
+    }
+
+    #[test]
+    fn reused_runner_stays_defended_and_restores_steering() {
+        use tse_mitigation::defenses::RssKeyRandomizer;
+        use tse_mitigation::guard::{GuardConfig, GuardMitigation};
+        use tse_mitigation::stack::MitigationAction;
+        let (runner, attack) = setup(Scenario::SipDp);
+        let mut runner = runner
+            .with_mitigation(GuardMitigation::new(GuardConfig {
+                interval: 10.0,
+                mask_threshold: 30,
+                // Suppression persists in the slow path by design (the observed OVS
+                // behaviour), which would leave run 2 with nothing to sweep; disable
+                // it so the second run re-explodes and must be re-defended.
+                suppress_reinstall: false,
+                ..GuardConfig::default()
+            }))
+            .with_mitigation(RssKeyRandomizer::new(15.0, 9));
+        let count = |tl: &Timeline| {
+            let mut sweeps = 0;
+            let mut rekeys = 0;
+            for s in &tl.samples {
+                for a in &s.mitigation_actions {
+                    match a {
+                        MitigationAction::GuardSweep(r) if r.entries_removed > 0 => sweeps += 1,
+                        MitigationAction::Rekeyed { .. } => rekeys += 1,
+                        _ => {}
+                    }
+                }
+            }
+            (sweeps, rekeys)
+        };
+        let tl1 = runner.run(&attack, 60.0);
+        let (sweeps1, rekeys1) = count(&tl1);
+        assert!(
+            sweeps1 > 0 && rekeys1 > 0,
+            "run 1 defends: {sweeps1}/{rekeys1}"
+        );
+        // The rotation must not outlive the run: steering is back on the entry key.
+        assert_eq!(
+            runner.datapath.hash_key(),
+            tse_packet::rss::DEFAULT_HASH_KEY
+        );
+        // Run 2 on the same runner: the stages re-arm (interval gates and the rekey
+        // schedule re-anchor at the new t = 0) instead of staying silently inert.
+        let tl2 = runner.run(&attack, 60.0);
+        let (sweeps2, rekeys2) = count(&tl2);
+        assert!(
+            sweeps2 > 0 && rekeys2 > 0,
+            "run 2 must stay defended: {sweeps2} sweeps, {rekeys2} rekeys"
+        );
+        assert_eq!(
+            rekeys2, rekeys1,
+            "same schedule, same horizon, same rotations"
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ use tse_packet::flowkey::{FlowKey, MicroflowKey};
 use tse_packet::Packet;
 
 use crate::cost::CostModel;
+use crate::exec::ShardExecutor;
 use crate::slowpath::SlowPath;
 use crate::stats::{DatapathStats, PathTaken};
 
@@ -139,6 +140,9 @@ pub struct DatapathBuilder<B: FastPathBackend = TupleSpace> {
     /// Whether an ordering was explicitly chosen (via `mask_ordering` or `config`);
     /// a backend instance supplied through `backend()` keeps its own policy otherwise.
     ordering_explicit: bool,
+    /// Shard-execution model a `ShardedDatapath::from_builder` picks up; a plain
+    /// `build()` has no shards and ignores it.
+    executor: Option<Box<dyn ShardExecutor>>,
 }
 
 impl DatapathBuilder<TupleSpace> {
@@ -150,6 +154,7 @@ impl DatapathBuilder<TupleSpace> {
             config: DatapathConfig::default(),
             backend: None,
             ordering_explicit: false,
+            executor: None,
         }
     }
 }
@@ -200,6 +205,21 @@ impl<B: FastPathBackend> DatapathBuilder<B> {
         self
     }
 
+    /// Shard-execution model for a `ShardedDatapath` built from this builder
+    /// (`ShardedDatapath::from_builder`): `SequentialExecutor` if never called. A
+    /// monolithic [`DatapathBuilder::build`] has no shards to fan out over and ignores
+    /// the choice.
+    pub fn with_executor(mut self, executor: impl ShardExecutor + 'static) -> Self {
+        self.executor = Some(Box::new(executor));
+        self
+    }
+
+    /// Detach the executor chosen via [`DatapathBuilder::with_executor`], if any
+    /// (consumed once by `ShardedDatapath::from_builder`).
+    pub(crate) fn take_executor(&mut self) -> Option<Box<dyn ShardExecutor>> {
+        self.executor.take()
+    }
+
     /// Use a concrete backend instance as the fast path. Its schema must match the
     /// table's (checked in [`DatapathBuilder::build`]). The instance keeps its own
     /// mask-ordering policy unless one was explicitly set on the builder; note that
@@ -212,6 +232,7 @@ impl<B: FastPathBackend> DatapathBuilder<B> {
             config: self.config,
             backend: Some(backend),
             ordering_explicit: self.ordering_explicit,
+            executor: self.executor,
         }
     }
 
@@ -224,6 +245,7 @@ impl<B: FastPathBackend> DatapathBuilder<B> {
             config: self.config,
             backend: None,
             ordering_explicit: self.ordering_explicit,
+            executor: self.executor,
         }
     }
 

@@ -1,0 +1,319 @@
+//! Pluggable shard-execution models for the multi-PMD datapath.
+//!
+//! In the paper's OVS-DPDK testbed every PMD runs on its own core: the per-shard work
+//! of a [`ShardedDatapath`](crate::pmd::ShardedDatapath) — batch classification, idle
+//! expiry, guard sweeps — is hardware-parallel by construction, because shards share
+//! nothing but the (read-only) flow table. [`ShardExecutor`] is the seam that decides
+//! how that per-shard fan-out actually executes:
+//!
+//! * [`SequentialExecutor`] walks the shards in order on the calling thread — the
+//!   default, and the reference behaviour every parallel run must reproduce
+//!   bit-for-bit;
+//! * [`ThreadPoolExecutor`] drives the same jobs from scoped worker threads
+//!   (`std::thread::scope`, no external dependencies), one PMD core per shard up to
+//!   the configured thread count.
+//!
+//! The trait's object-safe core is [`ShardExecutor::run`]: execute a type-erased job
+//! once per shard index, in any order, possibly concurrently. The typed entry point
+//! everything calls is [`ShardExecutorExt::for_each_shard`], which hands each job
+//! exclusive `&mut` access to its shard and collects the per-shard results **in shard
+//! order** — so executor choice can never reorder stats merges, timeline columns or
+//! mitigation actions. Determinism is asserted end to end by
+//! `tests/executor_parity.rs`.
+//!
+//! ```
+//! use tse_switch::exec::{SequentialExecutor, ShardExecutorExt, ThreadPoolExecutor};
+//!
+//! let mut counters = vec![0u64; 8];
+//! let seq = SequentialExecutor.for_each_shard(&mut counters, |i, c| {
+//!     *c += i as u64;
+//!     *c
+//! });
+//! let mut counters = vec![0u64; 8];
+//! let par = ThreadPoolExecutor::new(4).for_each_shard(&mut counters, |i, c| {
+//!     *c += i as u64;
+//!     *c
+//! });
+//! assert_eq!(seq, par, "results are collected in shard order on both executors");
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How the per-shard work of a sharded datapath is executed.
+///
+/// Implementations receive a job and a shard count and must invoke the job **exactly
+/// once** for every shard index in `0..n_shards`, in any order and from any thread;
+/// [`ShardExecutorExt::for_each_shard`] (the typed wrapper every call site uses)
+/// verifies the exactly-once contract at runtime and re-assembles the results in shard
+/// order regardless of execution order.
+///
+/// The trait is object-safe so the datapath can hold a `Box<dyn ShardExecutor>` and
+/// swap execution models at runtime (`with_executor(..)` on the builder, the sharded
+/// datapath and the experiment runner).
+pub trait ShardExecutor: std::fmt::Debug + Send + Sync {
+    /// Short human-readable name for reports and bench labels.
+    fn name(&self) -> &'static str;
+
+    /// Invoke `job(i)` exactly once for every `i` in `0..n_shards`, possibly
+    /// concurrently. Must not return until every job has finished; a panicking job
+    /// propagates the panic to the caller.
+    fn run(&self, n_shards: usize, job: &(dyn Fn(usize) + Sync));
+
+    /// Clone into a boxed trait object (what makes `Box<dyn ShardExecutor>` — and
+    /// therefore the datapaths holding one — `Clone`).
+    fn clone_box(&self) -> Box<dyn ShardExecutor>;
+}
+
+impl Clone for Box<dyn ShardExecutor> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+impl ShardExecutor for Box<dyn ShardExecutor> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn run(&self, n_shards: usize, job: &(dyn Fn(usize) + Sync)) {
+        (**self).run(n_shards, job);
+    }
+
+    fn clone_box(&self) -> Box<dyn ShardExecutor> {
+        (**self).clone_box()
+    }
+}
+
+/// One shard's hand-off cell: the exclusive `&mut` the job consumes and the result it
+/// leaves behind.
+type ShardSlot<'a, S, R> = (Option<&'a mut S>, Option<R>);
+
+/// The typed fan-out interface, blanket-implemented for every [`ShardExecutor`].
+///
+/// Separate from the base trait so [`ShardExecutor`] stays object-safe: `for_each_shard`
+/// is generic over the shard and result types, which a `dyn` method cannot be.
+pub trait ShardExecutorExt: ShardExecutor {
+    /// Run `f(i, &mut shards[i])` once per shard — possibly in parallel — and return
+    /// the results **in shard order**.
+    ///
+    /// Each job gets exclusive mutable access to its own shard (shards are
+    /// independent), so parallel execution cannot observe or produce anything a
+    /// sequential walk would not: for a deterministic `f` the result vector — and every
+    /// per-shard mutation — is identical on every executor.
+    ///
+    /// # Panics
+    /// Panics if the executor violates the exactly-once contract (a shard visited twice
+    /// or never), or propagates the panic of a failing job.
+    fn for_each_shard<S, R, F>(&self, shards: &mut [S], f: F) -> Vec<R>
+    where
+        S: Send,
+        R: Send,
+        F: Fn(usize, &mut S) -> R + Sync,
+    {
+        let slots: Vec<Mutex<ShardSlot<'_, S, R>>> = shards
+            .iter_mut()
+            .map(|shard| Mutex::new((Some(shard), None)))
+            .collect();
+        self.run(slots.len(), &|i| {
+            // Uncontended by contract (each index is visited once); the lock exists to
+            // hand the `&mut` across the thread boundary without unsafe code.
+            let mut slot = slots[i].lock().expect("a sibling shard job panicked");
+            let shard = slot
+                .0
+                .take()
+                .unwrap_or_else(|| panic!("executor ran shard {i} twice"));
+            slot.1 = Some(f(i, shard));
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let (_, result) = slot.into_inner().expect("a shard job panicked");
+                result.unwrap_or_else(|| panic!("executor never ran shard {i}"))
+            })
+            .collect()
+    }
+}
+
+impl<E: ShardExecutor + ?Sized> ShardExecutorExt for E {}
+
+/// Walk the shards in index order on the calling thread — the default execution model
+/// and the reference every parallel executor must match bit-for-bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SequentialExecutor;
+
+impl ShardExecutor for SequentialExecutor {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn run(&self, n_shards: usize, job: &(dyn Fn(usize) + Sync)) {
+        for i in 0..n_shards {
+            job(i);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ShardExecutor> {
+        Box::new(*self)
+    }
+}
+
+/// Execute shard jobs from scoped worker threads — the multi-PMD execution model.
+///
+/// Each call to [`ShardExecutor::run`] spawns up to `threads` workers inside a
+/// [`std::thread::scope`] (so borrowed shard state needs no `'static` lifetime and no
+/// external thread-pool dependency) which drain the shard indices from a shared atomic
+/// counter. Work-stealing order is nondeterministic, but every job owns its shard
+/// exclusively and results are re-assembled in shard order, so outputs are identical to
+/// [`SequentialExecutor`]'s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPoolExecutor {
+    threads: usize,
+}
+
+impl ThreadPoolExecutor {
+    /// An executor driving at most `threads` concurrent shard jobs.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        ThreadPoolExecutor { threads }
+    }
+
+    /// One thread per available core — the "one PMD per core" configuration of the
+    /// paper's testbed.
+    pub fn per_core() -> Self {
+        ThreadPoolExecutor::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured maximum number of concurrent shard jobs.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for ThreadPoolExecutor {
+    fn default() -> Self {
+        ThreadPoolExecutor::per_core()
+    }
+}
+
+impl ShardExecutor for ThreadPoolExecutor {
+    fn name(&self) -> &'static str {
+        "thread-pool"
+    }
+
+    fn run(&self, n_shards: usize, job: &(dyn Fn(usize) + Sync)) {
+        let workers = self.threads.min(n_shards);
+        if workers <= 1 {
+            // One worker (or one shard): the spawn would buy nothing.
+            for i in 0..n_shards {
+                job(i);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_shards {
+                        break;
+                    }
+                    job(i);
+                });
+            }
+            // The scope joins every worker before returning; a panicked job re-panics
+            // here, satisfying the propagation contract.
+        });
+    }
+
+    fn clone_box(&self) -> Box<dyn ShardExecutor> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_visits_every_shard_in_order() {
+        let log = Mutex::new(Vec::new());
+        SequentialExecutor.run(5, &|i| log.lock().unwrap().push(i));
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn thread_pool_visits_every_shard_exactly_once() {
+        let visits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        ThreadPoolExecutor::new(4).run(32, &|i| {
+            visits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, v) in visits.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), 1, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn for_each_shard_collects_results_in_shard_order() {
+        let mut data = vec![10u64, 20, 30, 40];
+        let results = ThreadPoolExecutor::new(3).for_each_shard(&mut data, |i, v| *v + i as u64);
+        assert_eq!(results, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn executors_agree_on_mutations_and_results() {
+        let work = |i: usize, v: &mut u64| {
+            // Deliberately uneven per-shard work.
+            for _ in 0..(i + 1) * 1000 {
+                *v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            *v
+        };
+        let mut a = vec![7u64; 9];
+        let ra = SequentialExecutor.for_each_shard(&mut a, work);
+        let mut b = vec![7u64; 9];
+        let rb = ThreadPoolExecutor::new(4).for_each_shard(&mut b, work);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn empty_shard_list_is_a_no_op() {
+        let mut empty: Vec<u64> = Vec::new();
+        let r: Vec<u64> = ThreadPoolExecutor::new(2).for_each_shard(&mut empty, |_, v| *v);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn boxed_executor_clones_and_delegates() {
+        let boxed: Box<dyn ShardExecutor> = Box::new(ThreadPoolExecutor::new(2));
+        let cloned = boxed.clone();
+        assert_eq!(cloned.name(), "thread-pool");
+        let mut data = vec![1u64, 2];
+        assert_eq!(cloned.for_each_shard(&mut data, |_, v| *v * 2), vec![2, 4]);
+        assert_eq!(SequentialExecutor.clone_box().name(), "sequential");
+    }
+
+    #[test]
+    fn per_core_has_at_least_one_thread() {
+        assert!(ThreadPoolExecutor::per_core().threads() >= 1);
+        assert_eq!(
+            ThreadPoolExecutor::default(),
+            ThreadPoolExecutor::per_core()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_threads_is_rejected() {
+        ThreadPoolExecutor::new(0);
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`pmd`] — the sharded multi-PMD form of the datapath: N per-shard caches behind an
 //!   RSS-style steering policy, modelling OVS-DPDK's one-megaflow-cache-per-PMD-thread
 //!   architecture and the shard-local blast radius of the attack;
+//! * [`exec`] — pluggable shard-execution models for that fan-out: the default
+//!   [`SequentialExecutor`] and the scoped-thread [`ThreadPoolExecutor`], bit-for-bit
+//!   interchangeable;
 //! * [`stats`] — per-path counters and busy-time accounting;
 //! * [`tenant`] — multi-tenant ACL composition: per-tenant ACLs merged into the single
 //!   flow table of the shared hypervisor switch, the abstraction Co-located TSE exploits.
@@ -24,6 +27,7 @@
 
 pub mod cost;
 pub mod datapath;
+pub mod exec;
 pub mod pmd;
 pub mod slowpath;
 pub mod stats;
@@ -33,6 +37,7 @@ pub use cost::CostModel;
 pub use datapath::{
     BatchReport, Datapath, DatapathBuilder, DatapathConfig, ProcessOutcome, DEFAULT_IDLE_TIMEOUT,
 };
+pub use exec::{SequentialExecutor, ShardExecutor, ShardExecutorExt, ThreadPoolExecutor};
 pub use pmd::{ShardedBatchReport, ShardedDatapath, Steering};
 pub use slowpath::{SlowPath, UpcallOutcome};
 pub use stats::{DatapathStats, PathTaken};

@@ -16,6 +16,13 @@
 //! `ShardedDatapath` is bit-for-bit identical to the plain [`Datapath`] (asserted by
 //! the golden-parity suite), so everything built on the monolithic switch carries
 //! over unchanged.
+//!
+//! *How* the per-shard fan-out executes is pluggable: every batched entry point runs
+//! through a [`ShardExecutor`] ([`SequentialExecutor`] by default; swap in a
+//! [`ThreadPoolExecutor`](crate::exec::ThreadPoolExecutor) via
+//! [`ShardedDatapath::with_executor`] for true thread-parallel shard execution).
+//! Results are always collected in shard order, so executor choice never changes a
+//! single bit of the outputs (`tests/executor_parity.rs`).
 
 use tse_classifier::backend::FastPathBackend;
 use tse_classifier::flowtable::FlowTable;
@@ -26,6 +33,7 @@ use tse_packet::rss;
 use tse_packet::Packet;
 
 use crate::datapath::{BatchReport, Datapath, DatapathBuilder, ProcessOutcome};
+use crate::exec::{SequentialExecutor, ShardExecutor, ShardExecutorExt};
 use crate::stats::DatapathStats;
 
 /// How packets are distributed over the shards — the model of the NIC's RX-queue
@@ -151,6 +159,8 @@ pub struct ShardedDatapath<B: FastPathBackend = TupleSpace> {
     /// family check in [`ShardedDatapath::process_packet`]).
     schema_is_v4: bool,
     schema_is_v6: bool,
+    /// The execution model driving the per-shard fan-out (sequential by default).
+    executor: Box<dyn ShardExecutor>,
 }
 
 impl<B: FastPathBackend> ShardedDatapath<B> {
@@ -167,6 +177,7 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
             schema_is_v4: schema.field_index("ip_src").is_some(),
             schema_is_v6: schema.field_index("ip6_src").is_some(),
             hash_key: rss::DEFAULT_HASH_KEY,
+            executor: Box::new(SequentialExecutor),
             shards,
             steering,
         }
@@ -177,7 +188,11 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
     ///
     /// # Panics
     /// Panics if `n_shards` is zero or a [`Steering::Pinned`] target is out of range.
-    pub fn from_builder(builder: DatapathBuilder<B>, n_shards: usize, steering: Steering) -> Self
+    pub fn from_builder(
+        mut builder: DatapathBuilder<B>,
+        n_shards: usize,
+        steering: Steering,
+    ) -> Self
     where
         DatapathBuilder<B>: Clone,
     {
@@ -185,8 +200,63 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
         if let Steering::Pinned(i) = steering {
             assert!(i < n_shards, "pinned shard {i} out of range 0..{n_shards}");
         }
+        let executor = builder.take_executor();
         let shards: Vec<Datapath<B>> = (0..n_shards).map(|_| builder.clone().build()).collect();
-        Self::from_shards(shards, steering)
+        let mut sharded = Self::from_shards(shards, steering);
+        if let Some(executor) = executor {
+            sharded.executor = executor;
+        }
+        sharded
+    }
+
+    /// Replace the shard-execution model (builder form). The default is
+    /// [`SequentialExecutor`]; a
+    /// [`ThreadPoolExecutor`](crate::exec::ThreadPoolExecutor) runs the per-shard
+    /// fan-out on scoped worker threads with bit-for-bit identical results.
+    pub fn with_executor(mut self, executor: impl ShardExecutor + 'static) -> Self {
+        self.set_executor(executor);
+        self
+    }
+
+    /// Replace the shard-execution model in place.
+    pub fn set_executor(&mut self, executor: impl ShardExecutor + 'static) {
+        self.executor = Box::new(executor);
+    }
+
+    /// The execution model currently driving the per-shard fan-out.
+    pub fn executor(&self) -> &dyn ShardExecutor {
+        &*self.executor
+    }
+
+    /// Run `f(i, &mut shard_i)` once per shard through the configured executor and
+    /// return the results in shard order — the fan-out primitive behind every batched
+    /// entry point, also available to external per-shard machinery (MFCGuard sweeps
+    /// run through it).
+    pub fn for_each_shard<R: Send>(
+        &mut self,
+        f: impl Fn(usize, &mut Datapath<B>) -> R + Sync,
+    ) -> Vec<R> {
+        self.executor.for_each_shard(&mut self.shards, f)
+    }
+
+    /// Like [`ShardedDatapath::for_each_shard`], but additionally hands each job
+    /// exclusive mutable access to its slot of `per_shard` — for callers that keep
+    /// per-shard state outside the datapath (e.g. one independently configured
+    /// MFCGuard per shard). `per_shard` must have exactly one element per shard.
+    pub fn for_each_shard_with<S: Send, R: Send>(
+        &mut self,
+        per_shard: &mut [S],
+        f: impl Fn(usize, &mut Datapath<B>, &mut S) -> R + Sync,
+    ) -> Vec<R> {
+        assert_eq!(
+            per_shard.len(),
+            self.shards.len(),
+            "one external state slot per shard"
+        );
+        let mut pairs: Vec<(&mut Datapath<B>, &mut S)> =
+            self.shards.iter_mut().zip(per_shard.iter_mut()).collect();
+        self.executor
+            .for_each_shard(&mut pairs, |i, (shard, state)| f(i, shard, state))
     }
 
     /// Number of shards (PMD threads).
@@ -251,10 +321,10 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
     }
 
     /// Replace the flow table on every shard (OVS revalidation semantics per shard).
+    /// Runs through the executor: table-built backends rebuild their structure once
+    /// per shard, which parallelises like any other per-shard work.
     pub fn install_table(&mut self, table: FlowTable) {
-        for shard in &mut self.shards {
-            shard.install_table(table.clone());
-        }
+        self.for_each_shard(|_, shard| shard.install_table(table.clone()));
     }
 
     /// Total megaflow masks across all shards.
@@ -300,11 +370,10 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
 
     /// Run the idle-expiry sweep on every shard if its revalidation interval elapsed.
     /// Idle shards expire on the same clock as busy ones — each PMD's revalidator runs
-    /// regardless of traffic.
+    /// regardless of traffic. Sweeps fan out through the executor (each shard's
+    /// revalidator is its own PMD's work).
     pub fn maybe_expire(&mut self, now: f64) {
-        for shard in &mut self.shards {
-            shard.maybe_expire(now);
-        }
+        self.for_each_shard(|_, shard| shard.maybe_expire(now));
     }
 
     /// Process one pre-extracted header key on the shard it is steered to.
@@ -335,6 +404,11 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
     /// queue would deliver them), and each shard's expiry/entry liveness evolves at the
     /// events' own timestamps. With one shard this is exactly the monolithic
     /// `process_timed_batch`.
+    ///
+    /// The per-shard sub-batches run through the configured [`ShardExecutor`]; each
+    /// shard's [`BatchReport`] is returned directly by its job (no re-derivation) and
+    /// collected in shard order, so the report — like every other output — is
+    /// executor-independent.
     pub fn process_timed_batch(&mut self, batch: &[(Key, usize, f64)]) -> ShardedBatchReport {
         if self.shards.len() == 1 {
             return ShardedBatchReport {
@@ -345,24 +419,21 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
         for (key, bytes, time) in batch {
             sub[self.shard_of_key(key)].push((key.clone(), *bytes, *time));
         }
-        let per_shard = self
-            .shards
-            .iter_mut()
-            .zip(&sub)
-            .map(|(shard, events)| {
-                if events.is_empty() {
-                    BatchReport::default()
-                } else {
-                    shard.process_timed_batch(events)
-                }
-            })
-            .collect();
+        let per_shard = self.for_each_shard(|i, shard| {
+            if sub[i].is_empty() {
+                BatchReport::default()
+            } else {
+                shard.process_timed_batch(&sub[i])
+            }
+        });
         ShardedBatchReport { per_shard }
     }
 
     /// Fan a single-timestamp batch out per shard (the [`Datapath::process_batch`]
     /// semantics — one expiry sweep per shard, consecutive identical headers within a
-    /// shard's sub-batch deduplicated).
+    /// shard's sub-batch deduplicated). Like [`ShardedDatapath::process_timed_batch`],
+    /// the sub-batches run through the configured executor and reports come back in
+    /// shard order.
     pub fn process_batch(&mut self, batch: &[(Key, usize)], now: f64) -> ShardedBatchReport {
         if self.shards.len() == 1 {
             return ShardedBatchReport {
@@ -373,18 +444,13 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
         for (key, bytes) in batch {
             sub[self.shard_of_key(key)].push((key.clone(), *bytes));
         }
-        let per_shard = self
-            .shards
-            .iter_mut()
-            .zip(&sub)
-            .map(|(shard, events)| {
-                if events.is_empty() {
-                    BatchReport::default()
-                } else {
-                    shard.process_batch(events, now)
-                }
-            })
-            .collect();
+        let per_shard = self.for_each_shard(|i, shard| {
+            if sub[i].is_empty() {
+                BatchReport::default()
+            } else {
+                shard.process_batch(&sub[i], now)
+            }
+        });
         ShardedBatchReport { per_shard }
     }
 }

@@ -119,6 +119,46 @@
 //! assert!(masks[1..].iter().all(|&m| m == 0), "other shards stay clean");
 //! ```
 //!
+//! ## Execution models
+//!
+//! The sharded datapath's per-shard fan-out runs through a pluggable
+//! [`prelude::ShardExecutor`]: the default [`prelude::SequentialExecutor`] walks the
+//! shards in order, while [`prelude::ThreadPoolExecutor`] drives them from scoped
+//! worker threads — one PMD core per shard, the paper's actual hardware model.
+//! Because shards share nothing and results are always collected in shard order,
+//! executor choice changes wall-clock time only: timelines, stats and mitigation
+//! action logs are bit-for-bit identical (asserted by `tests/executor_parity.rs`).
+//! Select the executor on the builder, the sharded datapath or the runner:
+//!
+//! ```
+//! use tse::prelude::*;
+//!
+//! let schema = FieldSchema::ovs_ipv4();
+//! let table = Scenario::SipDp.flow_table(&schema);
+//! let mut sequential = ShardedDatapath::from_builder(
+//!     Datapath::builder(table.clone()),
+//!     8,
+//!     Steering::Rss,
+//! );
+//! let mut threaded = ShardedDatapath::from_builder(
+//!     Datapath::builder(table).with_executor(ThreadPoolExecutor::new(8)),
+//!     8,
+//!     Steering::Rss,
+//! );
+//! let batch: Vec<(Key, usize, f64)> = Scenario::SipDp
+//!     .key_iter(&schema, &schema.zero_value())
+//!     .take(500)
+//!     .enumerate()
+//!     .map(|(i, k)| (k, 64, i as f64 * 1e-3))
+//!     .collect();
+//! // Same reports, same stats — the thread pool only buys wall-clock time.
+//! assert_eq!(
+//!     sequential.process_timed_batch(&batch),
+//!     threaded.process_timed_batch(&batch)
+//! );
+//! assert_eq!(sequential.stats(), threaded.stats());
+//! ```
+//!
 //! ## Composable mitigations
 //!
 //! Defenses plug into the runner as an ordered [`prelude::MitigationStack`] of
@@ -198,6 +238,9 @@ pub mod prelude {
     pub use tse_simnet::traffic::{VictimFlow, VictimSource};
     pub use tse_switch::cost::CostModel;
     pub use tse_switch::datapath::{BatchReport, Datapath, DatapathBuilder, DatapathConfig};
+    pub use tse_switch::exec::{
+        SequentialExecutor, ShardExecutor, ShardExecutorExt, ThreadPoolExecutor,
+    };
     pub use tse_switch::pmd::{ShardedBatchReport, ShardedDatapath, Steering};
     pub use tse_switch::tenant::{merge_tenant_acls, AclField, AllowClause, TenantAcl};
 }

@@ -1,0 +1,238 @@
+//! Executor parity: thread-parallel shard execution must be bit-for-bit identical to
+//! the sequential walk — same `Timeline`s (f64-bit compares), same `DatapathStats`,
+//! same `ShardedBatchReport`s, same mitigation action logs — for every scenario,
+//! shard count and defense stack. The executor may only change wall-clock time.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tse::prelude::*;
+use tse::switch::stats::DatapathStats;
+
+/// Run one full experiment — two victims, a lazy scenario attacker, the full
+/// mitigation stack (guard + rekey + upcall quota + mask cap) — on `n_shards` shards
+/// under the given executor.
+fn run_experiment(
+    scenario: Scenario,
+    n_shards: usize,
+    executor: impl ShardExecutor + 'static,
+) -> Timeline {
+    let schema = FieldSchema::ovs_ipv4();
+    let table = scenario.flow_table(&schema);
+    let sharded = ShardedDatapath::from_builder(Datapath::builder(table), n_shards, Steering::Rss)
+        .with_executor(executor);
+    let mut runner = ExperimentRunner::sharded(sharded, Vec::new(), OffloadConfig::gro_off())
+        .with_mitigation(GuardMitigation::new(GuardConfig {
+            mask_threshold: 30,
+            ..GuardConfig::default()
+        }))
+        .with_mitigation(RssKeyRandomizer::new(15.0, 0xC0FFEE))
+        .with_mitigation(UpcallLimiter::new(200))
+        .with_mitigation(MaskCap::new(400));
+    let mut mix = TrafficMix::new()
+        .with(VictimSource::new(
+            VictimFlow::iperf_tcp("Victim 1", 0x0a00_0005, 0x0a00_0063, 10.0),
+            &schema,
+            1.0,
+        ))
+        .with(VictimSource::new(
+            VictimFlow::iperf_tcp("Victim 2", 0x0a00_0007, 0x0a00_0064, 4.0),
+            &schema,
+            1.0,
+        ));
+    mix.push(Box::new(
+        AttackGenerator::new(
+            "Attacker",
+            &schema,
+            scenario.key_iter(&schema, &schema.zero_value()).cycle(),
+            StdRng::seed_from_u64(42),
+            100.0,
+            10.0,
+        )
+        .with_limit(2500),
+    ));
+    runner.run_mix(mix, 40.0)
+}
+
+/// Bitwise f64 slice equality (stricter than `==`: distinguishes -0.0 and would catch
+/// a NaN, which `PartialEq` lets slip).
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str, t: f64) {
+    assert_eq!(a.len(), b.len(), "{what} arity at t={t}");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}] diverged at t={t}: {x} vs {y}"
+        );
+    }
+}
+
+fn assert_timelines_identical(seq: &Timeline, par: &Timeline) {
+    assert_eq!(seq.victim_names, par.victim_names);
+    assert_eq!(seq.attacker_names, par.attacker_names);
+    assert_eq!(seq.shard_count, par.shard_count);
+    assert_eq!(seq.samples.len(), par.samples.len());
+    for (a, b) in seq.samples.iter().zip(&par.samples) {
+        // Structural equality first (covers counts and the mitigation action log)...
+        assert_eq!(a, b, "samples diverged at t={}", a.time);
+        // ...then the f64 series to the bit.
+        assert_bits_eq(&a.victim_gbps, &b.victim_gbps, "victim_gbps", a.time);
+        assert_bits_eq(
+            &a.attacker_pps_by_source,
+            &b.attacker_pps_by_source,
+            "attacker_pps_by_source",
+            a.time,
+        );
+        assert_bits_eq(
+            &a.shard_attacker_pps,
+            &b.shard_attacker_pps,
+            "shard_attacker_pps",
+            a.time,
+        );
+        assert_eq!(a.attacker_pps.to_bits(), b.attacker_pps.to_bits());
+    }
+}
+
+#[test]
+fn threaded_timelines_match_sequential_on_every_scenario_and_shard_count() {
+    for scenario in Scenario::ALL {
+        for n_shards in [1usize, 4, 16] {
+            let seq = run_experiment(scenario, n_shards, SequentialExecutor);
+            let par = run_experiment(scenario, n_shards, ThreadPoolExecutor::new(4));
+            assert_timelines_identical(&seq, &par);
+        }
+    }
+}
+
+#[test]
+fn threaded_runs_are_reproducible() {
+    // Two identical threaded runs agree with each other (no hidden scheduling
+    // dependence), not just with the sequential reference.
+    let a = run_experiment(Scenario::SipDp, 8, ThreadPoolExecutor::new(3));
+    let b = run_experiment(Scenario::SipDp, 8, ThreadPoolExecutor::new(5));
+    assert_timelines_identical(&a, &b);
+}
+
+/// The raw sharded batch entry points agree across executors, report for report.
+#[test]
+fn batch_reports_and_stats_match_across_executors() {
+    let schema = FieldSchema::ovs_ipv4();
+    let events: Vec<(Key, usize, f64)> = Scenario::SipDp
+        .key_iter(&schema, &schema.zero_value())
+        .take(2000)
+        .enumerate()
+        .map(|(i, k)| (k, 64usize, 0.01 + i as f64 * 1e-3))
+        .collect();
+    let table = Scenario::SipDp.flow_table(&schema);
+    let mut seq = ShardedDatapath::new(table.clone(), 6, Steering::Rss);
+    let mut par =
+        ShardedDatapath::new(table, 6, Steering::Rss).with_executor(ThreadPoolExecutor::new(4));
+    assert_eq!(par.executor().name(), "thread-pool");
+
+    let r_seq = seq.process_timed_batch(&events);
+    let r_par = par.process_timed_batch(&events);
+    assert_eq!(r_seq, r_par);
+    assert_eq!(seq.stats(), par.stats());
+    assert_eq!(
+        seq.stats().busy_seconds.to_bits(),
+        par.stats().busy_seconds.to_bits()
+    );
+    assert_eq!(seq.shard_mask_counts(), par.shard_mask_counts());
+    assert_eq!(seq.shard_entry_counts(), par.shard_entry_counts());
+
+    // The single-timestamp form and the expiry sweep too.
+    let flat: Vec<(Key, usize)> = events.iter().map(|(k, b, _)| (k.clone(), *b)).collect();
+    assert_eq!(seq.process_batch(&flat, 3.0), par.process_batch(&flat, 3.0));
+    seq.maybe_expire(60.0);
+    par.maybe_expire(60.0);
+    assert_eq!(seq.mask_count(), par.mask_count());
+    assert_eq!(seq.entry_count(), par.entry_count());
+}
+
+/// Satellite: the per-shard reports the executor returns must agree with what the
+/// shards themselves recorded — `per_shard[i]` against `shard_stats(i)` and the
+/// aggregate against the merged stats, counter for counter and cost bit for bit.
+#[test]
+fn sharded_batch_report_is_consistent_with_shard_stats() {
+    let schema = FieldSchema::ovs_ipv4();
+    let events: Vec<(Key, usize, f64)> = Scenario::SpDp
+        .key_iter(&schema, &schema.zero_value())
+        .take(1500)
+        .enumerate()
+        .map(|(i, k)| (k, 64usize, 0.01 + i as f64 * 1e-3))
+        .collect();
+    for executor in [
+        Box::new(SequentialExecutor) as Box<dyn ShardExecutor>,
+        Box::new(ThreadPoolExecutor::new(4)),
+    ] {
+        let mut dp = ShardedDatapath::new(Scenario::SpDp.flow_table(&schema), 4, Steering::Rss)
+            .with_executor(executor);
+        let report = dp.process_timed_batch(&events);
+        assert_eq!(report.per_shard.len(), 4);
+        for (i, r) in report.per_shard.iter().enumerate() {
+            let stats = dp.shard_stats(i);
+            assert_eq!(r.processed as u64, stats.packets(), "shard {i} processed");
+            assert_eq!(r.allowed, stats.allowed, "shard {i} allowed");
+            assert_eq!(r.denied, stats.denied, "shard {i} denied");
+            assert_eq!(r.upcalls, stats.upcalls, "shard {i} upcalls");
+            assert_eq!(
+                r.fastpath_hits, stats.megaflow_hits,
+                "shard {i} fastpath hits"
+            );
+            assert_eq!(
+                r.total_cost.to_bits(),
+                stats.busy_seconds.to_bits(),
+                "shard {i} cost"
+            );
+        }
+        let agg = report.aggregate();
+        let stats = dp.stats();
+        assert_eq!(agg.processed as u64, stats.packets());
+        assert_eq!(agg.allowed, stats.allowed);
+        assert_eq!(agg.denied, stats.denied);
+        assert_eq!(agg.upcalls, stats.upcalls);
+        assert_eq!(agg.total_cost.to_bits(), stats.busy_seconds.to_bits());
+        assert_eq!(agg.processed, events.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Executor choice never changes `DatapathStats`: arbitrary key batches over
+    /// arbitrary shard/thread counts produce identical per-shard and aggregate
+    /// counters (costs compared to the f64 bit).
+    #[test]
+    fn executor_choice_never_changes_datapath_stats(
+        values in proptest::collection::vec((0u128..1u128 << 32, 0u128..=u16::MAX as u128), 40..60),
+        n_shards in 1usize..9,
+        threads in 2usize..6,
+    ) {
+        let schema = FieldSchema::ovs_ipv4();
+        let ip_src = schema.field_index("ip_src").unwrap();
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        let batch: Vec<(Key, usize, f64)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, (src, port))| {
+                let mut k = schema.zero_value();
+                k.set(ip_src, *src);
+                k.set(tp_dst, *port);
+                (k, 64usize, i as f64 * 0.05)
+            })
+            .collect();
+        let table = Scenario::SpDp.flow_table(&schema);
+        let mut seq = ShardedDatapath::new(table.clone(), n_shards, Steering::Rss);
+        let mut par = ShardedDatapath::new(table, n_shards, Steering::Rss)
+            .with_executor(ThreadPoolExecutor::new(threads));
+        let r_seq = seq.process_timed_batch(&batch);
+        let r_par = par.process_timed_batch(&batch);
+        prop_assert_eq!(r_seq, r_par);
+        let (a, b): (DatapathStats, DatapathStats) = (seq.stats(), par.stats());
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.busy_seconds.to_bits(), b.busy_seconds.to_bits());
+        for i in 0..n_shards {
+            prop_assert_eq!(seq.shard_stats(i), par.shard_stats(i), "shard {}", i);
+        }
+    }
+}

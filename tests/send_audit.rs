@@ -1,0 +1,68 @@
+//! Compile-time `Send`/`Sync` audit for everything the `ShardExecutor` hands to
+//! worker threads.
+//!
+//! `ThreadPoolExecutor` moves each shard's `&mut Datapath<B>` — backend, slow path,
+//! caches, stats — across a thread boundary, and the experiment runner (datapath +
+//! mitigation stack) must be free to live on a worker thread too. These assertions
+//! pin that down at `cargo test` time: a future `Rc`/`RefCell`/raw-pointer regression
+//! in any backend or mitigation fails here, at the type level, instead of surfacing
+//! as an inscrutable executor-integration error (or not at all).
+
+use tse::prelude::*;
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn fast_path_backends_are_send() {
+    // All four backends; `FastPathBackend: Send` is a supertrait, so a non-Send
+    // implementation would already fail to compile — these make the guarantee
+    // explicit per concrete type.
+    assert_send::<TupleSpace>();
+    assert_send::<LinearSearchBackend>();
+    assert_send::<TrieBackend>();
+    assert_send::<HyperCutsBackend>();
+}
+
+#[test]
+fn datapaths_are_send_for_every_backend() {
+    assert_send::<Datapath<TupleSpace>>();
+    assert_send::<Datapath<LinearSearchBackend>>();
+    assert_send::<Datapath<TrieBackend>>();
+    assert_send::<Datapath<HyperCutsBackend>>();
+    assert_send::<ShardedDatapath<TupleSpace>>();
+    assert_send::<ShardedDatapath<LinearSearchBackend>>();
+    assert_send::<ShardedDatapath<TrieBackend>>();
+    assert_send::<ShardedDatapath<HyperCutsBackend>>();
+}
+
+#[test]
+fn mitigation_machinery_is_send() {
+    assert_send::<MitigationStack<TupleSpace>>();
+    assert_send::<MitigationStack<TrieBackend>>();
+    assert_send::<MfcGuard>();
+    assert_send::<GuardMitigation>();
+    assert_send::<RssKeyRandomizer>();
+    assert_send::<UpcallLimiter>();
+    assert_send::<MaskCap>();
+}
+
+#[test]
+fn runner_and_reports_are_send() {
+    assert_send::<ExperimentRunner<TupleSpace>>();
+    assert_send::<Timeline>();
+    assert_send::<TimelineSample>();
+    assert_send::<ShardedBatchReport>();
+    assert_send::<BatchReport>();
+}
+
+#[test]
+fn executors_are_send_and_sync() {
+    // Executors are shared by reference with every worker they spawn.
+    assert_send::<SequentialExecutor>();
+    assert_sync::<SequentialExecutor>();
+    assert_send::<ThreadPoolExecutor>();
+    assert_sync::<ThreadPoolExecutor>();
+    assert_send::<Box<dyn ShardExecutor>>();
+    assert_sync::<Box<dyn ShardExecutor>>();
+}
