@@ -1,0 +1,121 @@
+//! Fold criterion-stub measurements into a benchmark report file.
+//!
+//! ```text
+//! TSE_BENCH_OUT=/tmp/crit.jsonl cargo bench -p tse-bench
+//! bench_ingest /tmp/crit.jsonl BENCH_classifier.json [--group <prefix>]...
+//! ```
+//!
+//! The vendored criterion stub appends one JSON line per finished benchmark to the
+//! file `TSE_BENCH_OUT` names (`{"id": "group/bench/param", "median_s": ...,
+//! "min_s": ..., "max_s": ...}`). This binary groups those lines by their criterion
+//! group (the first `/`-separated component of the id) and upserts one
+//! `criterion/<group>` report per group into the target report file, carrying the
+//! median of each benchmark as a wall-clock metric (`seconds_wall`, lower is
+//! better). With `--group` filters, only the named groups are ingested — that is how
+//! the per-area split across `BENCH_classifier.json` / `BENCH_sharding.json` is
+//! made from a single bench run.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use tse_bench::report::{append_report, json, BenchReport, Json, Metric};
+
+const USAGE: &str =
+    "usage: bench_ingest <measurements.jsonl> <BENCH_area.json> [--group <prefix>]...";
+
+fn main() {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut groups: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let group = if a == "--group" {
+            Some(args.next().unwrap_or_else(|| {
+                eprintln!("error: --group needs a value\n{USAGE}");
+                exit(2);
+            }))
+        } else {
+            a.strip_prefix("--group=").map(str::to_string)
+        };
+        if let Some(g) = group {
+            groups.push(g);
+        } else if a.starts_with("--") {
+            eprintln!("error: unknown argument {a:?}\n{USAGE}");
+            exit(2);
+        } else {
+            paths.push(PathBuf::from(a));
+        }
+    }
+    let [in_path, out_path] = paths.as_slice() else {
+        eprintln!("{USAGE}");
+        exit(2);
+    };
+
+    let text = std::fs::read_to_string(in_path).unwrap_or_else(|e| {
+        eprintln!("error: {}: {e}", in_path.display());
+        exit(2);
+    });
+
+    // group name -> (bench id within the group -> median seconds); last line wins,
+    // matching the stub's append-only log where re-runs append fresh lines.
+    let mut by_group: Vec<(String, Vec<(String, f64)>)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).unwrap_or_else(|e| {
+            eprintln!("error: {} line {}: {e}", in_path.display(), lineno + 1);
+            exit(2);
+        });
+        let (Some(id), Some(median)) = (
+            v.get("id").and_then(Json::as_str),
+            v.get("median_s").and_then(Json::as_num),
+        ) else {
+            eprintln!(
+                "error: {} line {}: expected an object with \"id\" and \"median_s\"",
+                in_path.display(),
+                lineno + 1
+            );
+            exit(2);
+        };
+        let (group, bench) = id.split_once('/').unwrap_or((id, "default"));
+        if !groups.is_empty() && !groups.iter().any(|g| g == group) {
+            continue;
+        }
+        let slot = match by_group.iter_mut().find(|(g, _)| g == group) {
+            Some((_, benches)) => benches,
+            None => {
+                by_group.push((group.to_string(), Vec::new()));
+                &mut by_group.last_mut().expect("just pushed").1
+            }
+        };
+        match slot.iter_mut().find(|(b, _)| b == bench) {
+            Some((_, m)) => *m = median,
+            None => slot.push((bench.to_string(), median)),
+        }
+    }
+
+    if by_group.is_empty() {
+        eprintln!(
+            "error: no measurements matched in {} (filters: {:?})",
+            in_path.display(),
+            groups
+        );
+        exit(2);
+    }
+
+    for (group, benches) in by_group {
+        let mut report = BenchReport::new(&format!("criterion/{group}"), "default");
+        for (bench, median) in &benches {
+            report.push(Metric::wall(bench, "seconds_wall", *median));
+        }
+        if let Err(e) = append_report(out_path, report) {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+        println!(
+            "[report] criterion/{group} ({} bench(es)) appended to {}",
+            benches.len(),
+            out_path.display()
+        );
+    }
+}

@@ -14,7 +14,8 @@ use tse_simnet::traffic::VictimFlow;
 use tse_switch::datapath::Datapath;
 
 fn main() {
-    let duration = tse_bench::duration_arg(90.0);
+    let args = tse_bench::fig_args_duration(90.0);
+    let duration = args.duration;
     let schema = FieldSchema::ovs_ipv4();
     let table = Scenario::SipDp.flow_table(&schema);
     let victims = vec![
@@ -28,14 +29,46 @@ fn main() {
     let attack = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 30.0, 3000);
 
     let mut runner = ExperimentRunner::new(Datapath::new(table), victims, OffloadConfig::gro_off());
+    let wall = std::time::Instant::now();
     let timeline = runner.run(&attack, duration);
+    let wall = wall.elapsed().as_secs_f64();
     println!("== Fig. 8a: synthetic timeline, 3 TCP victims, SipDp attack @100 pps, t1=30 s t2=60 s ==\n");
     println!("{}", timeline.render_table());
+    let before = timeline.mean_total_between(5.0, 29.0);
+    let during = timeline.mean_total_between(40.0, 59.0);
+    let after = timeline.mean_total_between(75.0, 89.0);
     println!(
-        "aggregate victim rate: before attack {:.2} Gbps | under attack {:.2} Gbps | after recovery {:.2} Gbps",
-        timeline.mean_total_between(5.0, 29.0),
-        timeline.mean_total_between(40.0, 59.0),
-        timeline.mean_total_between(75.0, 89.0),
+        "aggregate victim rate: before attack {before:.2} Gbps | under attack {during:.2} Gbps | after recovery {after:.2} Gbps",
     );
     println!("paper: 9.7 Gbps aggregate drops below 0.5 Gbps during the attack; recovery lags t2 by ~10 s");
+
+    use tse_bench::report::Metric;
+    let peak_masks = timeline
+        .samples
+        .iter()
+        .map(|s| s.mask_count)
+        .max()
+        .unwrap_or(0);
+    let peak_entries = timeline
+        .samples
+        .iter()
+        .map(|s| s.entry_count)
+        .max()
+        .unwrap_or(0);
+    args.emit(
+        env!("CARGO_BIN_NAME"),
+        vec![
+            Metric::deterministic("victim_gbps_before", "gbps", before).higher_is_better(),
+            Metric::deterministic("victim_gbps_under_attack", "gbps", during).higher_is_better(),
+            Metric::deterministic("victim_gbps_recovered", "gbps", after).higher_is_better(),
+            Metric::deterministic("peak_masks", "masks", peak_masks as f64),
+            Metric::deterministic("peak_entries", "entries", peak_entries as f64),
+            Metric::deterministic(
+                "total_cost_seconds",
+                "cost_seconds",
+                runner.datapath.busy_seconds(),
+            ),
+            Metric::wall("wall_seconds", "seconds_wall", wall),
+        ],
+    );
 }

@@ -16,6 +16,7 @@ use tse_switch::cost::CostModel;
 use tse_switch::datapath::Datapath;
 
 fn main() {
+    let args = tse_bench::fig_args_static();
     let platform = CloudPlatform::Kubernetes;
     let schema = FieldSchema::ovs_ipv4();
     let scenario = platform.clamp_scenario(Scenario::SipSpDp);
@@ -43,6 +44,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(3);
 
     // Phase 1: t=0..50 s, benign ACL, attacker on from t=20 s at 1 000 pps.
+    let wall = std::time::Instant::now();
     let mut runner = ExperimentRunner::new(Datapath::new(benign_table), victims.clone(), offload);
     let attack1 = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 1000.0, 20.0, 30_000);
     let phase1 = runner.run(&attack1, 50.0);
@@ -70,11 +72,34 @@ fn main() {
             );
         }
     }
+    let wall = wall.elapsed().as_secs_f64();
+    let benign = phase1.mean_total_between(25.0, 49.0);
+    let injected = phase2.mean_total_between(10.0, 49.0);
+    let doubled = phase3.mean_total_between(10.0, 49.0);
     println!(
-        "\nvictim mean: before ACL injection {:.3} Gbps | after injection (1 kpps) {:.3} Gbps | at 2 kpps {:.3} Gbps",
-        phase1.mean_total_between(25.0, 49.0),
-        phase2.mean_total_between(10.0, 49.0),
-        phase3.mean_total_between(10.0, 49.0),
+        "\nvictim mean: before ACL injection {benign:.3} Gbps | after injection (1 kpps) {injected:.3} Gbps | at 2 kpps {doubled:.3} Gbps",
     );
     println!("paper: ~1 Gbps baseline, ~80 % drop once the ACL lands, near-zero at 2 000 pps.");
+
+    use tse_bench::report::Metric;
+    let peak_masks = [&phase1, &phase2, &phase3]
+        .iter()
+        .flat_map(|p| p.samples.iter().map(|s| s.mask_count))
+        .max()
+        .unwrap_or(0);
+    args.emit(
+        env!("CARGO_BIN_NAME"),
+        vec![
+            Metric::deterministic("victim_gbps_benign_acl", "gbps", benign).higher_is_better(),
+            Metric::deterministic("victim_gbps_acl_injected", "gbps", injected).higher_is_better(),
+            Metric::deterministic("victim_gbps_2kpps", "gbps", doubled).higher_is_better(),
+            Metric::deterministic("peak_masks", "masks", peak_masks as f64),
+            Metric::deterministic(
+                "total_cost_seconds",
+                "cost_seconds",
+                runner.datapath.busy_seconds(),
+            ),
+            Metric::wall("wall_seconds", "seconds_wall", wall),
+        ],
+    );
 }

@@ -55,8 +55,9 @@ fn run_case<B: FastPathBackend>(mut dp: Datapath<B>, scenario: Scenario, victim:
     }
 }
 
-fn backend_matrix() {
+fn backend_matrix() -> Vec<(Scenario, Vec<CaseRow>)> {
     let schema = FieldSchema::ovs_ipv4();
+    let mut out = Vec::new();
     println!("== Fig. 9 through the datapath: victim cost per backend, per use case ==\n");
     for scenario in [
         Scenario::Dp,
@@ -120,10 +121,12 @@ fn backend_matrix() {
                 &table_rows
             )
         );
+        out.push((scenario, rows));
     }
+    out
 }
 
-fn timelines(duration: f64) {
+fn timelines(duration: f64) -> Vec<(&'static str, f64, f64)> {
     let schema = FieldSchema::ovs_ipv4();
     let scenario = Scenario::SipDp;
     let table = scenario.flow_table(&schema);
@@ -160,16 +163,57 @@ fn timelines(duration: f64) {
     println!("-- hypercuts --");
     println!("{}", hc_tl.render_table());
 
+    let mut summary = Vec::new();
     for (name, tl) in [("trie", &trie_tl), ("hypercuts", &hc_tl)] {
-        println!(
-            "{name}: mean victim Gbps before attack {:.2}, during attack {:.2}",
-            tl.mean_total_between(5.0, 19.0),
-            tl.mean_total_between(30.0, 49.0)
-        );
+        let before = tl.mean_total_between(5.0, 19.0);
+        let during = tl.mean_total_between(30.0, 49.0);
+        println!("{name}: mean victim Gbps before attack {before:.2}, during attack {during:.2}");
+        summary.push((name, before, during));
     }
+    summary
 }
 
 fn main() {
-    backend_matrix();
-    timelines(tse_bench::duration_arg(70.0));
+    let args = tse_bench::fig_args_duration(70.0);
+    let wall = std::time::Instant::now();
+    let cases = backend_matrix();
+    let timeline_summary = timelines(args.duration);
+    let wall = wall.elapsed().as_secs_f64();
+
+    use tse_bench::report::Metric;
+    let mut metrics = Vec::new();
+    for (scenario, rows) in &cases {
+        for r in rows {
+            metrics.push(Metric::deterministic(
+                &format!("{}/{}/attacked_us", scenario.name(), r.backend),
+                "us_per_packet",
+                r.attacked_us,
+            ));
+            metrics.push(Metric::deterministic(
+                &format!("{}/{}/masks", scenario.name(), r.backend),
+                "masks",
+                r.masks as f64,
+            ));
+        }
+    }
+    for (name, before, during) in &timeline_summary {
+        metrics.push(
+            Metric::deterministic(
+                &format!("timeline/{name}/victim_gbps_under_attack"),
+                "gbps",
+                *during,
+            )
+            .higher_is_better(),
+        );
+        metrics.push(
+            Metric::deterministic(
+                &format!("timeline/{name}/victim_gbps_before"),
+                "gbps",
+                *before,
+            )
+            .higher_is_better(),
+        );
+    }
+    metrics.push(Metric::wall("wall_seconds", "seconds_wall", wall));
+    args.emit(env!("CARGO_BIN_NAME"), metrics);
 }

@@ -30,6 +30,7 @@ fn measured_masks(scenario: Scenario) -> usize {
 }
 
 fn main() {
+    let args = tse_bench::fig_args_static();
     let configs = OffloadConfig::fig9a_set();
 
     println!("== Fig. 9a: victim throughput vs. number of MFC masks ==\n");
@@ -73,4 +74,24 @@ fn main() {
     }
     println!("{}", render_table(&header, &rows));
     println!("\npaper anchors (GRO ON / FHO / GRO OFF): Dp 97/88/53 %, SpDp 95/43/10 %, SipDp 76/29/4.7 %, SipSpDp 3.9/2.1/0.2 %");
+
+    use tse_bench::report::Metric;
+    let gro_off = OffloadConfig::gro_off();
+    let mut metrics = Vec::new();
+    for (scenario, masks) in &per_case {
+        metrics.push(Metric::deterministic(
+            &format!("{}/masks", scenario.name()),
+            "masks",
+            *masks as f64,
+        ));
+        metrics.push(
+            Metric::deterministic(
+                &format!("{}/victim_gbps_gro_off", scenario.name()),
+                "gbps",
+                gro_off.victim_gbps(*masks),
+            )
+            .higher_is_better(),
+        );
+    }
+    args.emit(env!("CARGO_BIN_NAME"), metrics);
 }

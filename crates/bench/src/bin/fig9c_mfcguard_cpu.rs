@@ -29,9 +29,12 @@ use tse_switch::datapath::Datapath;
 const ATTACK_START: f64 = 10.0;
 
 fn main() {
-    let duration = tse_bench::duration_arg(60.0);
+    let args = tse_bench::fig_args_duration(60.0);
+    let duration = args.duration;
     let schema = FieldSchema::ovs_ipv4();
     let scenario = Scenario::SipDp;
+    let wall = std::time::Instant::now();
+    let mut metrics = Vec::new();
 
     println!("== Fig. 9c: slow-path CPU usage vs. attack rate (MFCGuard active) ==\n");
     println!("-- guarded timelines (MitigationStack: one GuardMitigation stage) --");
@@ -82,6 +85,25 @@ fn main() {
             format!("{swept_entries}"),
             format!("{peak_cpu:6.1} %"),
         ]);
+        use tse_bench::report::Metric;
+        metrics.push(
+            Metric::deterministic(
+                &format!("guarded/{rate:.0}pps/victim_gbps"),
+                "gbps",
+                victim_during,
+            )
+            .higher_is_better(),
+        );
+        metrics.push(Metric::deterministic(
+            &format!("guarded/{rate:.0}pps/swept_entries"),
+            "entries",
+            swept_entries as f64,
+        ));
+        metrics.push(Metric::deterministic(
+            &format!("guarded/{rate:.0}pps/peak_slow_path_cpu"),
+            "percent",
+            peak_cpu,
+        ));
     }
     println!(
         "{}",
@@ -115,4 +137,19 @@ fn main() {
         render_table(&["attack rate [pps]", "ovs-vswitchd CPU"], &rows)
     );
     println!("\npaper anchors: ~15 % at 1 000 pps, ~80 % at 10 000 pps, saturating ~250 % towards 50 000 pps");
+
+    use tse_bench::report::Metric;
+    for rate in [1_000.0f64, 10_000.0, 50_000.0] {
+        metrics.push(Metric::deterministic(
+            &format!("cpu_model/{rate:.0}pps"),
+            "percent",
+            model.utilization_percent(rate),
+        ));
+    }
+    metrics.push(Metric::wall(
+        "wall_seconds",
+        "seconds_wall",
+        wall.elapsed().as_secs_f64(),
+    ));
+    args.emit(env!("CARGO_BIN_NAME"), metrics);
 }

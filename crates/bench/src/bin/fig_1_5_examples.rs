@@ -29,6 +29,7 @@ fn populate(
 }
 
 fn main() {
+    let args = tse_bench::fig_args_static();
     let hyp = FieldSchema::hyp();
 
     println!("== Fig. 1: sample flow table (3-bit HYP) ==");
@@ -80,5 +81,16 @@ fn main() {
         "-> {} entries, {} masks (paper: 3*4 + 1 = 13 masks)",
         fig5.entry_count(),
         fig5.mask_count()
+    );
+
+    use tse_bench::report::Metric;
+    args.emit(
+        env!("CARGO_BIN_NAME"),
+        vec![
+            Metric::deterministic("fig2/exact_entries", "entries", exact.entry_count() as f64),
+            Metric::deterministic("fig3/wildcard_masks", "masks", wild.mask_count() as f64),
+            Metric::deterministic("fig5/masks", "masks", fig5.mask_count() as f64),
+            Metric::deterministic("fig5/entries", "entries", fig5.entry_count() as f64),
+        ],
     );
 }

@@ -74,12 +74,12 @@ fn run(
     victims: &[VictimFlow],
     keys: impl Iterator<Item = Key> + 'static,
     stack: &str,
-) -> Timeline {
+) -> (Timeline, f64) {
     let duration = args.duration;
     let table = Scenario::SipDp.flow_table(schema);
     let sharded = ShardedDatapath::from_builder(
         Datapath::builder(table).with_executor(args.executor()),
-        args.shards,
+        args.shard_count(),
         Steering::Rss,
     );
     let mut runner = with_stack(
@@ -106,7 +106,9 @@ fn run(
         )
         .with_limit(packets),
     ));
-    runner.run_mix(mix, duration)
+    let timeline = runner.run_mix(mix, duration);
+    let busy = runner.datapath.busy_seconds();
+    (timeline, busy)
 }
 
 fn victim_mean(tl: &Timeline, idx: usize, start: f64, stop: f64) -> f64 {
@@ -155,7 +157,7 @@ fn action_summary(tl: &Timeline) -> String {
 
 fn main() {
     let args = tse_bench::fig_args(70.0, 16);
-    let (duration, n_shards) = (args.duration, args.shards);
+    let (duration, n_shards) = (args.duration, args.shard_count());
     let schema = FieldSchema::ovs_ipv4();
     let ip_dst = schema.field_index("ip_dst").unwrap();
     // Victim B must live off the attacked shard 0 (shard 5 in the default 16-shard
@@ -193,10 +195,13 @@ fn main() {
     let mut rekey_restored_a = 0.0;
     let mut unmitigated_pinned_a = 0.0;
     let mut baseline_a = 0.0;
+    let mut metrics = Vec::new();
+    let mut total_cost = 0.0;
+    let wall = std::time::Instant::now();
     for attack in ["pinned", "sprayed"] {
         let mut rows = Vec::new();
         for stack in STACKS {
-            let tl = match attack {
+            let (tl, busy) = match attack {
                 "pinned" => run(
                     &schema,
                     &args,
@@ -229,6 +234,21 @@ fn main() {
             if attack == "pinned" && stack == "rekey" {
                 rekey_restored_a = a_during;
             }
+            total_cost += busy;
+            use tse_bench::report::Metric;
+            metrics.push(
+                Metric::deterministic(&format!("{attack}/{stack}/victim_a_gbps"), "gbps", a_during)
+                    .higher_is_better(),
+            );
+            metrics.push(
+                Metric::deterministic(&format!("{attack}/{stack}/victim_b_gbps"), "gbps", b_during)
+                    .higher_is_better(),
+            );
+            metrics.push(Metric::deterministic(
+                &format!("{attack}/{stack}/peak_shard_masks"),
+                "masks",
+                peak_masks as f64,
+            ));
             rows.push(vec![
                 stack.to_string(),
                 format!("{a_during:6.2}"),
@@ -287,4 +307,20 @@ fn main() {
              --duration 70 for the acceptance measurement)"
         );
     }
+
+    use tse_bench::report::Metric;
+    metrics.push(
+        Metric::deterministic("pinned/none/baseline_a_gbps", "gbps", baseline_a).higher_is_better(),
+    );
+    metrics.push(Metric::deterministic(
+        "total_cost_seconds",
+        "cost_seconds",
+        total_cost,
+    ));
+    metrics.push(Metric::wall(
+        "wall_seconds",
+        "seconds_wall",
+        wall.elapsed().as_secs_f64(),
+    ));
+    args.emit(env!("CARGO_BIN_NAME"), metrics);
 }

@@ -76,12 +76,12 @@ fn run(
     victims: &[VictimFlow],
     keys: ShardSteeredKeys<std::iter::Cycle<BitInversionKeys>>,
     guard: Option<GuardMitigation>,
-) -> Timeline {
+) -> (Timeline, f64) {
     let duration = args.duration;
     let table = Scenario::SipDp.flow_table(schema);
     let sharded = ShardedDatapath::from_builder(
         Datapath::builder(table).with_executor(args.executor()),
-        args.shards,
+        args.shard_count(),
         Steering::Rss,
     );
     let mut runner = ExperimentRunner::sharded(sharded, Vec::new(), OffloadConfig::gro_off());
@@ -108,15 +108,19 @@ fn run(
         )
         .with_limit(packets),
     ));
-    runner.run_mix(mix, duration)
+    let timeline = runner.run_mix(mix, duration);
+    let busy = runner.datapath.busy_seconds();
+    (timeline, busy)
 }
 
-fn summarize(label: &str, tl: &Timeline, duration: f64) {
+/// Per-victim (before, during) Gbps means plus the peak per-shard mask count.
+fn summarize(label: &str, tl: &Timeline, duration: f64) -> (Vec<(f64, f64)>, usize) {
     let before_end = ATTACK_START - 1.0;
     let during_start = ATTACK_START + 10.0;
     let during_end = duration.min(during_start + 30.0);
     println!("\n-- {label} --");
     println!("{}", tl.render_table());
+    let mut victim_means = Vec::new();
     for (i, name) in tl.victim_names.iter().enumerate() {
         let mean = |start: f64, stop: f64| {
             let vals: Vec<f64> = tl
@@ -127,11 +131,9 @@ fn summarize(label: &str, tl: &Timeline, duration: f64) {
                 .collect();
             vals.iter().sum::<f64>() / vals.len().max(1) as f64
         };
-        println!(
-            "{label}: {name} mean Gbps before {:.2}, during attack {:.2}",
-            mean(5.0, before_end),
-            mean(during_start, during_end),
-        );
+        let (before, during) = (mean(5.0, before_end), mean(during_start, during_end));
+        println!("{label}: {name} mean Gbps before {before:.2}, during attack {during:.2}",);
+        victim_means.push((before, during));
     }
     let peak: Vec<usize> = (0..tl.shard_count)
         .map(|s| {
@@ -154,11 +156,72 @@ fn summarize(label: &str, tl: &Timeline, duration: f64) {
     if swept_per_shard.iter().any(|&n| n > 0) {
         println!("{label}: guard-swept entries per shard {swept_per_shard:?}");
     }
+    (victim_means, peak.iter().copied().max().unwrap_or(0))
+}
+
+/// Wall-clock microbenchmark of the batched datapath entry point: one pre-generated
+/// attack+victim event batch through [`ShardedDatapath::process_timed_batch`],
+/// reported as packets/s and megaflow installs (upcalls)/s of real time. The batch
+/// outcome itself (upcalls, simulated cost) is deterministic; only the rates are
+/// machine-dependent.
+fn batch_microbench(
+    schema: &FieldSchema,
+    args: &tse_bench::FigArgs,
+) -> Vec<tse_bench::report::Metric> {
+    use tse_bench::report::Metric;
+    let n_shards = args.shard_count();
+    let table = Scenario::SipDp.flow_table(schema);
+    let mut sharded = ShardedDatapath::from_builder(
+        Datapath::builder(table).with_executor(args.executor()),
+        n_shards,
+        Steering::Rss,
+    );
+    let ip_dst = schema.field_index("ip_dst").unwrap();
+    let victim = victim_on_shard("bench victim", 0x0a00_0005, schema, n_shards, 0);
+    let victim_key = victim.key(schema);
+    let mut batch: Vec<(tse_packet::fields::Key, usize, f64)> = Vec::new();
+    let mut attack = spray_shards(schema, attack_keys(schema).cycle(), ip_dst, n_shards);
+    for i in 0..50_000usize {
+        let t = i as f64 * 1e-5;
+        if i % 10 == 0 {
+            if let Some(key) = attack.next() {
+                batch.push((key, 64, t));
+            }
+        } else {
+            batch.push((victim_key.clone(), 1500, t));
+        }
+    }
+    let wall = std::time::Instant::now();
+    let report = sharded.process_timed_batch(&batch).aggregate();
+    let wall = wall.elapsed().as_secs_f64().max(1e-9);
+    println!(
+        "\n-- batch microbench: {} events through process_timed_batch in {:.3} s ({:.2} Mpps, {} upcalls) --",
+        report.processed,
+        wall,
+        report.processed as f64 / wall / 1e6,
+        report.upcalls,
+    );
+    vec![
+        Metric::deterministic("batch/upcalls", "packets", report.upcalls as f64),
+        Metric::deterministic("batch/cost_seconds", "cost_seconds", report.total_cost),
+        Metric::wall(
+            "batch/mpps",
+            "mpps_wall",
+            report.processed as f64 / wall / 1e6,
+        )
+        .higher_is_better(),
+        Metric::wall(
+            "batch/installs_per_sec",
+            "installs_per_sec_wall",
+            report.upcalls as f64 / wall,
+        )
+        .higher_is_better(),
+    ]
 }
 
 fn main() {
     let args = tse_bench::fig_args(70.0, 4);
-    let (duration, n_shards) = (args.duration, args.shards);
+    let (duration, n_shards) = (args.duration, args.shard_count());
     let schema = FieldSchema::ovs_ipv4();
     let ip_dst = schema.field_index("ip_dst").unwrap();
 
@@ -179,15 +242,44 @@ fn main() {
     );
     println!("Victim A pinned to shard 0 (attacked); Victim B pinned to shard {b_shard}.");
 
+    use tse_bench::report::Metric;
+    let mut metrics = Vec::new();
+    let mut total_cost = 0.0;
+    let wall = std::time::Instant::now();
+    let mut record = |tag: &str, means: &[(f64, f64)], peak_masks: usize, busy: f64| {
+        total_cost += busy;
+        for ((before, during), victim) in means.iter().zip(["victim_a", "victim_b"]) {
+            metrics.push(
+                Metric::deterministic(&format!("{tag}/{victim}_gbps_before"), "gbps", *before)
+                    .higher_is_better(),
+            );
+            metrics.push(
+                Metric::deterministic(
+                    &format!("{tag}/{victim}_gbps_under_attack"),
+                    "gbps",
+                    *during,
+                )
+                .higher_is_better(),
+            );
+        }
+        metrics.push(Metric::deterministic(
+            &format!("{tag}/peak_shard_masks"),
+            "masks",
+            peak_masks as f64,
+        ));
+    };
+
     // Shard-pinned explosion: every attack packet retagged onto Victim A's shard.
     let pinned = pin_to_shard(&schema, attack_keys(&schema).cycle(), ip_dst, n_shards, 0);
-    let tl = run(&schema, &args, &victims, pinned, None);
-    summarize("shard-pinned attack (shard 0)", &tl, duration);
+    let (tl, busy) = run(&schema, &args, &victims, pinned, None);
+    let (means, peak) = summarize("shard-pinned attack (shard 0)", &tl, duration);
+    record("pinned", &means, peak, busy);
 
     // Spray: the same stream spread round-robin over every shard.
     let sprayed = spray_shards(&schema, attack_keys(&schema).cycle(), ip_dst, n_shards);
-    let tl = run(&schema, &args, &victims, sprayed, None);
-    summarize("sprayed attack (all shards)", &tl, duration);
+    let (tl, busy) = run(&schema, &args, &victims, sprayed, None);
+    let (means, peak) = summarize("sprayed attack (all shards)", &tl, duration);
+    record("sprayed", &means, peak, busy);
 
     // Pinned again, defended: a per-shard-configured guard on the mitigation stack —
     // the attacked shard sweeps under a tightened threshold, every other shard's guard
@@ -200,6 +292,20 @@ fn main() {
             ..GuardConfig::default()
         },
     );
-    let tl = run(&schema, &args, &victims, pinned, Some(guard));
-    summarize("shard-pinned attack + per-shard guard", &tl, duration);
+    let (tl, busy) = run(&schema, &args, &victims, pinned, Some(guard));
+    let (means, peak) = summarize("shard-pinned attack + per-shard guard", &tl, duration);
+    record("pinned+guard", &means, peak, busy);
+
+    metrics.push(Metric::deterministic(
+        "total_cost_seconds",
+        "cost_seconds",
+        total_cost,
+    ));
+    metrics.push(Metric::wall(
+        "wall_seconds",
+        "seconds_wall",
+        wall.elapsed().as_secs_f64(),
+    ));
+    metrics.extend(batch_microbench(&schema, &args));
+    args.emit(env!("CARGO_BIN_NAME"), metrics);
 }

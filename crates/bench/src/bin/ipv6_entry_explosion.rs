@@ -10,6 +10,7 @@ use tse_packet::fields::FieldSchema;
 use tse_switch::datapath::Datapath;
 
 fn main() {
+    let args = tse_bench::fig_args_static();
     let schema = FieldSchema::ovs_ipv6();
     let tp_dst = schema.field_index("tp_dst").unwrap();
     let ip6_src = schema.field_index("ip6_src").unwrap();
@@ -23,14 +24,17 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (label, strategy) in [
+    let mut metrics = Vec::new();
+    for (label, strategy, tag) in [
         (
             "bit-level wildcarding (IPv4-style)",
             MegaflowStrategy::wildcarding(&schema),
+            "wildcarding",
         ),
         (
             "OVS IPv6 behaviour (exact-match addresses)",
             MegaflowStrategy::ovs_ipv6_anomaly(&schema),
+            "ipv6_anomaly",
         ),
     ] {
         let mut dp = Datapath::builder(table.clone()).strategy(strategy).build();
@@ -50,6 +54,17 @@ fn main() {
             format!("{}", dp.mask_count()),
             format!("{}", dp.entry_count()),
         ]);
+        use tse_bench::report::Metric;
+        metrics.push(Metric::deterministic(
+            &format!("{tag}/masks"),
+            "masks",
+            dp.mask_count() as f64,
+        ));
+        metrics.push(Metric::deterministic(
+            &format!("{tag}/entries"),
+            "entries",
+            dp.entry_count() as f64,
+        ));
     }
     println!("== §5.4 IPv6 anomaly: 20 000 random SipDp-over-IPv6 attack packets ==\n");
     println!(
@@ -60,4 +75,5 @@ fn main() {
         )
     );
     println!("\npaper: 'a handful of masks but hundreds of thousands of MFC entries' -> memory/CPU exhaustion instead of lookup slowdown");
+    args.emit(env!("CARGO_BIN_NAME"), metrics);
 }

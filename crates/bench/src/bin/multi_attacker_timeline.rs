@@ -18,7 +18,8 @@ use tse_simnet::traffic::{VictimFlow, VictimSource};
 use tse_switch::datapath::Datapath;
 
 fn main() {
-    let duration = tse_bench::duration_arg(140.0);
+    let args = tse_bench::fig_args_duration(140.0);
+    let duration = args.duration;
     let schema = FieldSchema::ovs_ipv4();
     let base = schema.zero_value();
     let table = Scenario::SipSpDp.flow_table(&schema);
@@ -71,16 +72,50 @@ fn main() {
             .with_limit(20_000),
         );
 
+    let wall = std::time::Instant::now();
     let timeline = runner.run_mix(mix, duration);
+    let wall = wall.elapsed().as_secs_f64();
     println!(
         "== Multi-attacker staggered onset: Dp@20s + SipDp@50s + General-TSE@80s, 2 victims ==\n"
     );
     println!("{}", timeline.render_table());
+    let clean = timeline.mean_total_between(5.0, 19.0);
+    let dp_only = timeline.mean_total_between(30.0, 49.0);
+    let plus_sipdp = timeline.mean_total_between(60.0, 79.0);
+    let plus_general = timeline.mean_total_between(90.0, 119.0);
     println!(
-        "victim sum: clean {:.2} Gbps | Dp only {:.2} | +SipDp {:.2} | +General {:.2}",
-        timeline.mean_total_between(5.0, 19.0),
-        timeline.mean_total_between(30.0, 49.0),
-        timeline.mean_total_between(60.0, 79.0),
-        timeline.mean_total_between(90.0, 119.0),
+        "victim sum: clean {clean:.2} Gbps | Dp only {dp_only:.2} | +SipDp {plus_sipdp:.2} | +General {plus_general:.2}",
+    );
+
+    use tse_bench::report::Metric;
+    let peak_masks = timeline
+        .samples
+        .iter()
+        .map(|s| s.mask_count)
+        .max()
+        .unwrap_or(0);
+    let peak_entries = timeline
+        .samples
+        .iter()
+        .map(|s| s.entry_count)
+        .max()
+        .unwrap_or(0);
+    args.emit(
+        env!("CARGO_BIN_NAME"),
+        vec![
+            Metric::deterministic("victim_gbps_clean", "gbps", clean).higher_is_better(),
+            Metric::deterministic("victim_gbps_dp_only", "gbps", dp_only).higher_is_better(),
+            Metric::deterministic("victim_gbps_plus_sipdp", "gbps", plus_sipdp).higher_is_better(),
+            Metric::deterministic("victim_gbps_plus_general", "gbps", plus_general)
+                .higher_is_better(),
+            Metric::deterministic("peak_masks", "masks", peak_masks as f64),
+            Metric::deterministic("peak_entries", "entries", peak_entries as f64),
+            Metric::deterministic(
+                "total_cost_seconds",
+                "cost_seconds",
+                runner.datapath.busy_seconds(),
+            ),
+            Metric::wall("wall_seconds", "seconds_wall", wall),
+        ],
     );
 }

@@ -7,6 +7,7 @@ use tse_simnet::cloud::CloudPlatform;
 use tse_simnet::offload::OffloadConfig;
 
 fn main() {
+    let args = tse_bench::fig_args_static();
     println!("== Table 1 substitute: simulator calibration ==\n");
     let rows: Vec<Vec<String>> = OffloadConfig::fig9a_set()
         .iter()
@@ -61,4 +62,18 @@ fn main() {
             &rows
         )
     );
+
+    use tse_bench::report::Metric;
+    let mut metrics = Vec::new();
+    for c in OffloadConfig::fig9a_set() {
+        metrics.push(
+            Metric::deterministic(
+                &format!("{}/baseline_gbps", c.name),
+                "gbps",
+                c.baseline_gbps(),
+            )
+            .higher_is_better(),
+        );
+    }
+    args.emit(env!("CARGO_BIN_NAME"), metrics);
 }

@@ -9,6 +9,7 @@ use tse_classifier::tss::TupleSpace;
 use tse_packet::fields::{FieldDef, FieldSchema, Key};
 
 fn main() {
+    let args = tse_bench::fig_args_static();
     println!("== Theorem 4.1: single 16-bit field (e.g. a TCP port) ==\n");
     let rows: Vec<Vec<String>> = single_field_curve(16)
         .iter()
@@ -43,6 +44,7 @@ fn main() {
     let schema = FieldSchema::new(vec![FieldDef::new("f", width)]);
     let table = FlowTable::whitelist_default_deny(&schema, &[(0, 0xABC)]);
     let mut rows = Vec::new();
+    let mut metrics = Vec::new();
     for chunk in [1u32, 2, 3, 4, 6, 12] {
         let strategy = MegaflowStrategy::chunked(&schema, chunk);
         let mut cache = TupleSpace::new(schema.clone());
@@ -61,6 +63,17 @@ fn main() {
             format!("{}", cache.mask_count()),
             format!("{}", cache.entry_count()),
         ]);
+        use tse_bench::report::Metric;
+        metrics.push(Metric::deterministic(
+            &format!("chunk{chunk}/masks"),
+            "masks",
+            cache.mask_count() as f64,
+        ));
+        metrics.push(Metric::deterministic(
+            &format!("chunk{chunk}/entries"),
+            "entries",
+            cache.entry_count() as f64,
+        ));
     }
     println!(
         "{}",
@@ -74,4 +87,5 @@ fn main() {
             &rows
         )
     );
+    args.emit(env!("CARGO_BIN_NAME"), metrics);
 }

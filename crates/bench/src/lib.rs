@@ -1,53 +1,68 @@
 //! # tse-bench
 //!
-//! The benchmark harness of the reproduction. It has two halves:
+//! The benchmark harness of the reproduction. It has three halves:
 //!
 //! * **figure binaries** (`src/bin/`): one binary per table/figure of the paper's
 //!   evaluation, each printing the same rows/series the paper reports (see DESIGN.md §5
 //!   for the experiment index and EXPERIMENTS.md for recorded outputs);
 //! * **criterion micro-benchmarks** (`benches/`): wall-clock measurements of the TSS
-//!   lookup as the mask count grows, the megaflow-generation strategies, and the
-//!   baseline classifiers.
+//!   lookup as the mask count grows, the megaflow-generation strategies, the baseline
+//!   classifiers, and the sharded-datapath scaling curve;
+//! * **the [`report`] subsystem**: the machine-readable `BENCH_<area>.json` files at
+//!   the repo root that both halves emit their headline numbers into — figure binaries
+//!   through the shared `--json <path>` flag ([`FigArgs::emit`]), criterion groups
+//!   through the stub's `TSE_BENCH_OUT` hook folded in by the `bench_ingest` binary —
+//!   and the `bench_diff` regression gate that compares two such files (strict
+//!   equality for deterministic cost-model metrics, a tolerance band for wall-clock).
+//!   See the README's "Benchmark reports & regression gate" section.
 //!
-//! This library crate only hosts small shared helpers for the binaries.
+//! This library crate hosts the report model and small shared helpers for the
+//! binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
+use std::path::PathBuf;
+
 use tse_switch::exec::{SequentialExecutor, ShardExecutor, ThreadPoolExecutor};
 
+use report::{BenchReport, Metric};
+
 /// Parse an optional `--duration <seconds>` / `--duration=<seconds>` CLI flag,
-/// falling back to `default`. Any other argument is an error (panics), so a typo in a
-/// CI smoke invocation fails the job instead of silently running full-length.
-///
-/// Every timeline figure binary accepts this flag so CI can smoke-run them with a
-/// short horizon (e.g. `fig9_backend_matrix -- --duration 10`) without touching the
-/// full-length defaults used to regenerate the paper's figures.
+/// falling back to `default`. Shorthand over [`fig_args_duration`] for call sites
+/// that only need the horizon; binaries that also emit reports use the full
+/// [`FigArgs`] form.
 pub fn duration_arg(default: f64) -> f64 {
-    let parsed = parse_args(
-        std::env::args().skip(1),
-        FigArgs {
-            duration: default,
-            shards: 0,
-            threads: 1,
-        },
-        false,
-    );
-    parsed.duration
+    fig_args_duration(default).duration
 }
 
-/// Parsed command line of a sharded figure binary (see [`fig_args`]).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Parsed command line of a figure binary (see [`fig_args`], [`fig_args_duration`]
+/// and [`fig_args_static`]).
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FigArgs {
-    /// Experiment horizon, seconds (`--duration`).
+    /// Experiment horizon, seconds (`--duration`); `0.0` for binaries with no time
+    /// axis ([`fig_args_static`]).
     pub duration: f64,
-    /// Number of datapath shards / PMD threads to model (`--shards`).
-    pub shards: usize,
+    /// Number of datapath shards / PMD threads to model (`--shards`), or `None` for
+    /// binaries without a sharded datapath — there is no sentinel shard count.
+    pub shards: Option<usize>,
     /// Worker threads driving the per-shard fan-out (`--parallel`; 1 = sequential).
     pub threads: usize,
+    /// Where to append this run's benchmark report (`--json <path>`), typically one
+    /// of the repo-root `BENCH_<area>.json` files; `None` disables emission.
+    pub json: Option<PathBuf>,
 }
 
 impl FigArgs {
+    /// The shard count of a sharded figure binary. Panics if the binary was not
+    /// parsed with [`fig_args`] — a non-sharded binary has no shard count to ask for.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+            .expect("this binary has no --shards flag; use fig_args(..) to enable it")
+    }
+
     /// The shard executor the flags select: a [`ThreadPoolExecutor`] when
     /// `--parallel` asked for more than one thread, the default
     /// [`SequentialExecutor`] otherwise. Timelines are identical either way; only
@@ -68,66 +83,198 @@ impl FigArgs {
             "sequential".to_string()
         }
     }
+
+    /// Canonical parameter string identifying this run's configuration inside a
+    /// report file: `"duration=35,shards=4,parallel=2"`, with absent axes omitted and
+    /// `"default"` when the binary has no parameters at all. Reports from different
+    /// configurations (a CI smoke run vs. a full-length baseline run) coexist in the
+    /// same file under distinct identities.
+    pub fn params(&self) -> String {
+        let mut parts = Vec::new();
+        if self.duration > 0.0 {
+            parts.push(format!("duration={}", self.duration));
+        }
+        if let Some(shards) = self.shards {
+            parts.push(format!("shards={shards}"));
+            parts.push(format!("parallel={}", self.threads));
+        }
+        if parts.is_empty() {
+            "default".to_string()
+        } else {
+            parts.join(",")
+        }
+    }
+
+    /// Append a report carrying `metrics` under this binary's `name` to the file the
+    /// `--json` flag named (no-op without the flag). Exits with an error message if
+    /// the target file exists but cannot be parsed — a corrupt committed baseline
+    /// must be fixed, not overwritten.
+    pub fn emit(&self, name: &str, metrics: Vec<Metric>) {
+        let Some(path) = &self.json else { return };
+        let mut report = BenchReport::new(name, &self.params());
+        for m in metrics {
+            report.push(m);
+        }
+        if let Err(e) = report::append_report(path, report) {
+            eprintln!("error: failed to write benchmark report: {e}");
+            std::process::exit(2);
+        }
+        println!("[report] {name} appended to {}", path.display());
+    }
+}
+
+/// Which flags a binary's parser accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct FlagSet {
+    duration: bool,
+    sharded: bool,
+}
+
+impl FlagSet {
+    fn supported(&self) -> String {
+        let mut flags = Vec::new();
+        if self.duration {
+            flags.push("--duration <seconds>");
+        }
+        if self.sharded {
+            flags.push("--shards <n>");
+            flags.push("--parallel <threads>");
+        }
+        flags.push("--json <path>");
+        flags.join(", ")
+    }
 }
 
 /// Parse the shared CLI of the sharded figure binaries: `--duration <seconds>`,
-/// `--shards <n>` and `--parallel <threads>` (each also in `--flag=value` form),
-/// falling back to the given defaults (`--parallel` defaults to 1, i.e. the
-/// sequential executor). Unknown arguments panic, exactly like [`duration_arg`], so a
-/// typo'd CI smoke invocation fails loudly.
+/// `--shards <n>`, `--parallel <threads>` and `--json <path>` (each also in
+/// `--flag=value` form), falling back to the given defaults (`--parallel` defaults
+/// to 1, i.e. the sequential executor). An unknown flag prints the offending
+/// argument plus the supported flag set to stderr and exits with status 2, so a
+/// typo'd CI smoke invocation fails loudly instead of silently running full-length.
 pub fn fig_args(default_duration: f64, default_shards: usize) -> FigArgs {
-    parse_args(
+    parse_or_exit(
         std::env::args().skip(1),
         FigArgs {
             duration: default_duration,
-            shards: default_shards,
+            shards: Some(default_shards),
             threads: 1,
+            json: None,
         },
-        true,
+        FlagSet {
+            duration: true,
+            sharded: true,
+        },
     )
 }
 
-/// The parser behind [`duration_arg`] and [`fig_args`]; `sharded` additionally
-/// enables `--shards` / `--parallel`.
-fn parse_args(args: impl Iterator<Item = String>, defaults: FigArgs, sharded: bool) -> FigArgs {
-    fn value<T: std::str::FromStr>(flag: &str, v: &str) -> T
+/// Parse the CLI of a non-sharded timeline binary: `--duration <seconds>` and
+/// `--json <path>` only. Same error behaviour as [`fig_args`].
+pub fn fig_args_duration(default_duration: f64) -> FigArgs {
+    parse_or_exit(
+        std::env::args().skip(1),
+        FigArgs {
+            duration: default_duration,
+            shards: None,
+            threads: 1,
+            json: None,
+        },
+        FlagSet {
+            duration: true,
+            sharded: false,
+        },
+    )
+}
+
+/// Parse the CLI of a parameterless figure binary: `--json <path>` only. Same error
+/// behaviour as [`fig_args`].
+pub fn fig_args_static() -> FigArgs {
+    parse_or_exit(
+        std::env::args().skip(1),
+        FigArgs {
+            duration: 0.0,
+            shards: None,
+            threads: 1,
+            json: None,
+        },
+        FlagSet {
+            duration: false,
+            sharded: false,
+        },
+    )
+}
+
+fn parse_or_exit(args: impl Iterator<Item = String>, defaults: FigArgs, flags: FlagSet) -> FigArgs {
+    parse_args(args, defaults, flags).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// The parser behind the `fig_args*` entry points.
+fn parse_args(
+    args: impl Iterator<Item = String>,
+    defaults: FigArgs,
+    flags: FlagSet,
+) -> Result<FigArgs, String> {
+    fn value<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String>
     where
         T::Err: std::fmt::Display,
     {
-        v.parse()
-            .unwrap_or_else(|e| panic!("bad {flag} {v:?}: {e}"))
+        v.parse().map_err(|e| format!("bad {flag} {v:?}: {e}"))
     }
     let mut out = defaults;
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
-        let mut take = |flag: &str| -> Option<String> {
+        let mut take = |flag: &str| -> Result<Option<String>, String> {
             if a == flag {
-                Some(
-                    args.next()
-                        .unwrap_or_else(|| panic!("{flag} needs a value")),
-                )
+                match args.next() {
+                    Some(v) => Ok(Some(v)),
+                    None => Err(format!("{flag} needs a value")),
+                }
             } else {
-                a.strip_prefix(&format!("{flag}=")).map(str::to_string)
+                Ok(a.strip_prefix(&format!("{flag}=")).map(str::to_string))
             }
         };
-        if let Some(v) = take("--duration") {
-            out.duration = value("--duration", &v);
-        } else if let Some(v) = if sharded { take("--shards") } else { None } {
-            out.shards = value("--shards", &v);
-        } else if let Some(v) = if sharded { take("--parallel") } else { None } {
-            out.threads = value("--parallel", &v);
-        } else if sharded {
-            panic!(
-                "unknown argument {a:?}; supported flags: --duration <seconds>, \
-                 --shards <n>, --parallel <threads>"
-            );
+        if let Some(v) = if flags.duration {
+            take("--duration")?
         } else {
-            panic!("unknown argument {a:?}; the only supported flag is --duration <seconds>");
+            None
+        } {
+            out.duration = value("--duration", &v)?;
+        } else if let Some(v) = if flags.sharded {
+            take("--shards")?
+        } else {
+            None
+        } {
+            out.shards = Some(value("--shards", &v)?);
+        } else if let Some(v) = if flags.sharded {
+            take("--parallel")?
+        } else {
+            None
+        } {
+            out.threads = value("--parallel", &v)?;
+        } else if let Some(v) = take("--json")? {
+            if v.is_empty() {
+                return Err("--json needs a non-empty path".into());
+            }
+            out.json = Some(PathBuf::from(v));
+        } else {
+            return Err(format!(
+                "unknown argument {a:?}; supported flags: {}",
+                flags.supported()
+            ));
         }
     }
-    assert!(out.shards > 0 || !sharded, "--shards must be positive");
-    assert!(out.threads > 0, "--parallel must be positive");
-    out
+    if out.shards == Some(0) {
+        return Err("--shards must be positive".into());
+    }
+    if out.threads == 0 {
+        return Err("--parallel must be positive".into());
+    }
+    if flags.duration && out.duration <= 0.0 {
+        return Err("--duration must be positive".into());
+    }
+    Ok(out)
 }
 
 /// Format a throughput value as `x.xx Gbps`.
@@ -196,73 +343,165 @@ mod tests {
         assert!(percent(5.0, 10.0).contains("50.00"));
     }
 
-    fn parse(args: &[&str], sharded: bool) -> FigArgs {
+    const SHARDED: FlagSet = FlagSet {
+        duration: true,
+        sharded: true,
+    };
+    const DURATION_ONLY: FlagSet = FlagSet {
+        duration: true,
+        sharded: false,
+    };
+    const STATIC: FlagSet = FlagSet {
+        duration: false,
+        sharded: false,
+    };
+
+    fn parse(args: &[&str], flags: FlagSet) -> Result<FigArgs, String> {
         parse_args(
             args.iter().map(|s| s.to_string()),
             FigArgs {
-                duration: 70.0,
-                shards: 4,
+                duration: if flags.duration { 70.0 } else { 0.0 },
+                shards: flags.sharded.then_some(4),
                 threads: 1,
+                json: None,
             },
-            sharded,
+            flags,
         )
     }
 
     #[test]
     fn fig_args_defaults_and_flags() {
         assert_eq!(
-            parse(&[], true),
+            parse(&[], SHARDED).unwrap(),
             FigArgs {
                 duration: 70.0,
-                shards: 4,
-                threads: 1
+                shards: Some(4),
+                threads: 1,
+                json: None,
             }
         );
         assert_eq!(
             parse(
                 &["--duration", "35", "--parallel", "8", "--shards", "16"],
-                true
-            ),
+                SHARDED
+            )
+            .unwrap(),
             FigArgs {
                 duration: 35.0,
-                shards: 16,
-                threads: 8
+                shards: Some(16),
+                threads: 8,
+                json: None,
             }
         );
         assert_eq!(
-            parse(&["--parallel=2", "--duration=5.5"], true),
+            parse(&["--parallel=2", "--duration=5.5"], SHARDED).unwrap(),
             FigArgs {
                 duration: 5.5,
-                shards: 4,
-                threads: 2
+                shards: Some(4),
+                threads: 2,
+                json: None,
             }
         );
     }
 
     #[test]
+    fn json_flag_is_accepted_everywhere() {
+        for flags in [SHARDED, DURATION_ONLY, STATIC] {
+            let parsed = parse(&["--json", "BENCH_x.json"], flags).unwrap();
+            assert_eq!(
+                parsed.json.as_deref(),
+                Some(std::path::Path::new("BENCH_x.json"))
+            );
+        }
+        let parsed = parse(&["--json=out/b.json"], STATIC).unwrap();
+        assert_eq!(
+            parsed.json.as_deref(),
+            Some(std::path::Path::new("out/b.json"))
+        );
+        assert!(parse(&["--json", ""], STATIC).is_err());
+    }
+
+    #[test]
     fn fig_args_selects_the_executor() {
-        assert_eq!(parse(&[], true).executor().name(), "sequential");
-        assert_eq!(parse(&[], true).executor_label(), "sequential");
-        let par = parse(&["--parallel", "4"], true);
+        assert_eq!(parse(&[], SHARDED).unwrap().executor().name(), "sequential");
+        assert_eq!(parse(&[], SHARDED).unwrap().executor_label(), "sequential");
+        let par = parse(&["--parallel", "4"], SHARDED).unwrap();
         assert_eq!(par.executor().name(), "thread-pool");
         assert_eq!(par.executor_label(), "thread-pool(4)");
     }
 
     #[test]
-    #[should_panic(expected = "unknown argument")]
-    fn duration_only_parser_rejects_parallel() {
-        parse(&["--parallel", "4"], false);
+    fn unknown_flags_report_the_flag_and_the_supported_set() {
+        let e = parse(&["--parallel", "4"], DURATION_ONLY).unwrap_err();
+        assert!(
+            e.contains("--parallel"),
+            "must name the offending flag: {e}"
+        );
+        assert!(e.contains("--duration <seconds>"), "must list the set: {e}");
+        assert!(e.contains("--json <path>"), "must list the set: {e}");
+        assert!(
+            !e.contains("--shards <n>"),
+            "must not claim unsupported flags: {e}"
+        );
+
+        let e = parse(&["--duration", "5"], STATIC).unwrap_err();
+        assert!(e.contains("--duration"));
+        assert_eq!(
+            parse(&["--frobnicate"], SHARDED).unwrap_err(),
+            "unknown argument \"--frobnicate\"; supported flags: --duration <seconds>, \
+             --shards <n>, --parallel <threads>, --json <path>"
+        );
     }
 
     #[test]
-    #[should_panic(expected = "--parallel must be positive")]
-    fn zero_parallel_is_rejected() {
-        parse(&["--parallel", "0"], true);
+    fn invalid_values_are_errors_not_panics() {
+        assert!(parse(&["--parallel", "0"], SHARDED)
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--shards", "0"], SHARDED)
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--shards"], SHARDED)
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse(&["--duration", "nope"], SHARDED)
+            .unwrap_err()
+            .contains("bad --duration"));
+        assert!(parse(&["--duration", "-3"], SHARDED)
+            .unwrap_err()
+            .contains("positive"));
     }
 
     #[test]
-    #[should_panic(expected = "--shards needs a value")]
-    fn missing_value_is_rejected() {
-        parse(&["--shards"], true);
+    fn shard_count_accessor() {
+        assert_eq!(
+            parse(&["--shards", "16"], SHARDED).unwrap().shard_count(),
+            16
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no --shards flag")]
+    fn shard_count_panics_without_sharding() {
+        parse(&[], DURATION_ONLY).unwrap().shard_count();
+    }
+
+    #[test]
+    fn params_canonicalization() {
+        assert_eq!(
+            parse(&[], SHARDED).unwrap().params(),
+            "duration=70,shards=4,parallel=1"
+        );
+        assert_eq!(
+            parse(&["--duration=35", "--parallel=2"], SHARDED)
+                .unwrap()
+                .params(),
+            "duration=35,shards=4,parallel=2"
+        );
+        assert_eq!(
+            parse(&["--duration=5.5"], DURATION_ONLY).unwrap().params(),
+            "duration=5.5"
+        );
+        assert_eq!(parse(&[], STATIC).unwrap().params(), "default");
     }
 }

@@ -1,0 +1,650 @@
+//! A minimal, dependency-free JSON value model with a deterministic writer and a
+//! strict parser.
+//!
+//! crates.io is unreachable in the build environment, so `serde`/`serde_json` are not
+//! an option — the report files are written and read by this module instead. Two
+//! properties matter more here than raw generality:
+//!
+//! * **byte determinism** — [`write()`] renders a given [`Json`] value to exactly one
+//!   byte sequence (objects keep insertion order, numbers use Rust's shortest
+//!   round-trip formatting, indentation is fixed), so re-emitting an unchanged report
+//!   reproduces the committed file byte for byte;
+//! * **f64 round-tripping** — every finite `f64` survives `write` → [`parse`]
+//!   bit-exactly (Rust's `Display` prints the shortest decimal that reparses to the
+//!   same bits), which is what lets `bench_diff` demand *strict equality* for
+//!   deterministic cost-model metrics. Non-finite numbers (NaN/±inf) have no JSON
+//!   representation and are rejected at write time.
+
+use std::fmt;
+
+/// A JSON value. Object members keep their insertion order (a `Vec`, not a map), so
+/// writing is deterministic and files diff cleanly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number. Always carried as `f64`; integers are exact up to 2^53, far beyond
+    /// any mask/entry/packet count the reports record.
+    Num(f64),
+    /// A string (arbitrary Rust string; escaped on write).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as an ordered list of `(key, value)` members.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a member of an object by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// An error from [`write()`] or [`parse`], with a byte offset for parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input where the problem was found (0 for write errors).
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(message: impl Into<String>, offset: usize) -> Result<T, JsonError> {
+    Err(JsonError {
+        message: message.into(),
+        offset,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Render `value` as deterministic pretty-printed JSON (2-space indent, `\n` line
+/// ends, trailing newline). Containers whose children are all scalars are inlined on
+/// one line — a metric record stays a single greppable line. Fails on non-finite
+/// numbers, which JSON cannot represent.
+pub fn write(value: &Json) -> Result<String, JsonError> {
+    let mut out = String::new();
+    write_value(value, 0, &mut out)?;
+    out.push('\n');
+    Ok(out)
+}
+
+fn is_scalar(v: &Json) -> bool {
+    matches!(v, Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_))
+}
+
+fn write_inline(v: &Json) -> bool {
+    match v {
+        Json::Arr(items) => items.iter().all(is_scalar),
+        Json::Obj(members) => members.iter().all(|(_, v)| is_scalar(v)),
+        _ => true,
+    }
+}
+
+fn write_value(value: &Json, indent: usize, out: &mut String) -> Result<(), JsonError> {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => {
+            if !n.is_finite() {
+                return err(format!("cannot write non-finite number {n}"), 0);
+            }
+            out.push_str(&format_number(*n));
+        }
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+            } else if write_inline(value) {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_value(item, indent, out)?;
+                }
+                out.push(']');
+            } else {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(indent + 1, out);
+                    write_value(item, indent + 1, out)?;
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                pad(indent, out);
+                out.push(']');
+            }
+        }
+        Json::Obj(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+            } else if write_inline(value) {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_string(k, out);
+                    out.push_str(": ");
+                    write_value(v, indent, out)?;
+                }
+                out.push('}');
+            } else {
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    pad(indent + 1, out);
+                    write_string(k, out);
+                    out.push_str(": ");
+                    write_value(v, indent + 1, out)?;
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                pad(indent, out);
+                out.push('}');
+            }
+        }
+    }
+    Ok(())
+}
+
+fn pad(indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Format a finite `f64` as its shortest round-tripping decimal. Rust's `Display`
+/// guarantees `format!("{}", x).parse::<f64>() == x` bit for bit for finite values;
+/// `-0.0` renders as `-0` and reparses to `-0.0`.
+fn format_number(n: f64) -> String {
+    format!("{n}")
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            // Non-ASCII is written as raw UTF-8 (valid JSON), so no surrogate-pair
+            // encoding is needed on the write side.
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Nesting ceiling for the recursive-descent parser — the report format is 4 levels
+/// deep, so 128 is pure DoS headroom, not a functional limit.
+const MAX_DEPTH: usize = 128;
+
+/// Parse a JSON document. Strict: exactly one value, standard JSON grammar (no
+/// comments, no trailing commas, no NaN/Infinity literals).
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return err("trailing characters after JSON value", p.pos);
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!("expected {:?}", b as char), self.pos)
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            err(format!("invalid literal, expected {word:?}"), self.pos)
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return err("maximum nesting depth exceeded", self.pos);
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => err(format!("unexpected character {:?}", c as char), self.pos),
+            None => err("unexpected end of input", self.pos),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return err("expected ',' or ']' in array", self.pos),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return err("expected ',' or '}' in object", self.pos),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return err("unterminated string", start),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low surrogate must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return err("unpaired surrogate", start);
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return err("unpaired surrogate", start);
+                                }
+                                self.pos += 1;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return err("invalid low surrogate", start);
+                                }
+                                let cp = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(cp)
+                                    .ok_or(())
+                                    .or_else(|_| err("invalid surrogate pair", start))?
+                            } else if (0xDC00..0xE000).contains(&unit) {
+                                return err("unpaired low surrogate", start);
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or(())
+                                    .or_else(|_| err("invalid \\u escape", start))?
+                            };
+                            out.push(c);
+                            continue; // hex4 already advanced past the digits
+                        }
+                        _ => return err("invalid escape sequence", self.pos),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => return err("unescaped control character in string", start),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so boundaries are
+                    // valid by construction).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| JsonError {
+                            message: "invalid UTF-8".into(),
+                            offset: self.pos,
+                        })?;
+                    let c = rest.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let start = self.pos;
+        if self.bytes.len() < start + 4 {
+            return err("truncated \\u escape", start);
+        }
+        let hex = std::str::from_utf8(&self.bytes[start..start + 4])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok());
+        match hex {
+            Some(v) => {
+                self.pos += 4;
+                Ok(v)
+            }
+            None => err("invalid \\u escape digits", start),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one or more digits, no leading zeros before another digit.
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return err("expected digits in number", self.pos);
+        }
+        if self.bytes[int_start] == b'0' && self.pos > int_start + 1 {
+            return err("leading zero in number", int_start);
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return err("expected digits after decimal point", self.pos);
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return err("expected digits in exponent", self.pos);
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            // Overflowing literals parse to ±inf; JSON has no representation for the
+            // reports to round-trip, so reject rather than silently saturate.
+            Ok(_) => err("number out of f64 range", start),
+            Err(e) => err(format!("invalid number: {e}"), start),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) -> Json {
+        parse(&write(v).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Num(0.0),
+            Json::Num(-0.0),
+            Json::Num(1.17e-6),
+            Json::Num(f64::MAX),
+            Json::Num(f64::MIN_POSITIVE),
+            Json::Str(String::new()),
+            Json::Str("hello \"world\"\n\t\\ \u{1F980} \u{7}".into()),
+        ] {
+            assert_eq!(roundtrip(&v), v, "roundtrip failed for {v:?}");
+        }
+        // -0.0 must keep its sign bit through the trip.
+        let Json::Num(n) = roundtrip(&Json::Num(-0.0)) else {
+            panic!()
+        };
+        assert_eq!(n.to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = Json::Obj(vec![
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+            (
+                "nested".into(),
+                Json::Arr(vec![
+                    Json::Obj(vec![("k".into(), Json::Num(1.5))]),
+                    Json::Arr(vec![Json::Null, Json::Bool(false)]),
+                ]),
+            ),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn object_member_order_is_preserved() {
+        let v = Json::Obj(vec![
+            ("z".into(), Json::Num(1.0)),
+            ("a".into(), Json::Num(2.0)),
+        ]);
+        let text = write(&v).unwrap();
+        assert!(text.find("\"z\"").unwrap() < text.find("\"a\"").unwrap());
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn write_is_deterministic() {
+        let v = Json::Obj(vec![(
+            "metrics".into(),
+            Json::Arr(vec![Json::Obj(vec![
+                ("name".into(), Json::Str("x".into())),
+                ("value".into(), Json::Num(0.1 + 0.2)),
+            ])]),
+        )]);
+        assert_eq!(write(&v).unwrap(), write(&v).unwrap());
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected_on_write() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(write(&Json::Num(bad)).is_err(), "{bad} must not serialize");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_nan_literals_and_overflow() {
+        assert!(parse("NaN").is_err());
+        assert!(parse("Infinity").is_err());
+        assert!(parse("1e999").is_err());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            ".5",
+            "1e",
+            "\"\\x\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"unterminated",
+            "tru",
+            "[1] []",
+            "\"a\" extra",
+            "{\"a\": 1,}",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parser_accepts_unicode_escapes_and_surrogate_pairs() {
+        assert_eq!(
+            parse("\"\\u00e9\\uD83E\\uDD80\"").unwrap(),
+            Json::Str("é\u{1F980}".into())
+        );
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(1000) + &"]".repeat(1000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn f64_bit_exactness_over_interesting_values() {
+        for bits in [
+            0x0000_0000_0000_0001u64, // smallest subnormal
+            0x000F_FFFF_FFFF_FFFF,    // largest subnormal
+            0x3FB9_9999_9999_999A,    // 0.1
+            0x400921FB54442D18,       // pi
+            0x7FEF_FFFF_FFFF_FFFF,    // f64::MAX
+        ] {
+            let v = f64::from_bits(bits);
+            let Json::Num(back) = roundtrip(&Json::Num(v)) else {
+                panic!()
+            };
+            assert_eq!(back.to_bits(), bits, "{v} did not round-trip");
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse("{\"a\": 1, \"b\": \"s\", \"c\": true, \"d\": [2]}").unwrap();
+        assert_eq!(v.get("a").and_then(Json::as_num), Some(1.0));
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("s"));
+        assert_eq!(v.get("c").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("d").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(1)
+        );
+        assert!(v.get("missing").is_none());
+        assert!(v.get("a").unwrap().get("x").is_none());
+    }
+}

@@ -1,0 +1,245 @@
+//! Integration tests of the benchmark-report subsystem: JSON-layer round-trips
+//! (including property tests over arbitrary strings and raw f64 bit patterns), the
+//! non-finite rejection rules, and the `bench_diff` / `bench_ingest` binaries driven
+//! end-to-end as child processes.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use tse_bench::report::{json, BenchReport, Json, Metric, ReportFile};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tse_report_it_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn every_documented_unit_roundtrips() {
+    let units = [
+        ("gbps", true, true),
+        ("pps", true, true),
+        ("masks", true, false),
+        ("entries", true, false),
+        ("packets", true, false),
+        ("percent", true, false),
+        ("cost_seconds", true, false),
+        ("seconds_wall", false, false),
+        ("mpps_wall", false, true),
+        ("installs_per_sec_wall", false, true),
+    ];
+    let mut report = BenchReport::new("units", "default");
+    for (i, (unit, deterministic, higher)) in units.iter().enumerate() {
+        let value = 1.5 + i as f64 * 0.25;
+        let mut m = if *deterministic {
+            Metric::deterministic(&format!("m_{unit}"), unit, value)
+        } else {
+            Metric::wall(&format!("m_{unit}"), unit, value)
+        };
+        if *higher {
+            m = m.higher_is_better();
+        }
+        report.push(m);
+    }
+    let mut file = ReportFile::new("units");
+    file.upsert(report);
+    let back = ReportFile::from_json_text(&file.to_json_text()).unwrap();
+    let r = back.report("units", "default").unwrap();
+    for (i, (unit, deterministic, higher)) in units.iter().enumerate() {
+        let m = r.metric(&format!("m_{unit}")).unwrap();
+        assert_eq!(m.unit, *unit);
+        assert_eq!(m.value, 1.5 + i as f64 * 0.25);
+        assert_eq!(m.deterministic, *deterministic);
+        assert_eq!(m.higher_is_better, *higher);
+    }
+}
+
+#[test]
+fn non_finite_values_are_unrepresentable() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        assert!(json::write(&Json::Num(bad)).is_err());
+    }
+    // Non-finite literals and overflow-to-infinity must not parse either.
+    for text in [
+        "NaN",
+        "Infinity",
+        "-Infinity",
+        "nan",
+        "inf",
+        "1e999",
+        "-2e308",
+    ] {
+        assert!(json::parse(text).is_err(), "{text:?} must be rejected");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any Unicode string — escapes, control characters, astral-plane codepoints —
+    /// survives a write/parse round trip exactly.
+    #[test]
+    fn arbitrary_strings_roundtrip(cps in collection::vec(0u32..0x110000, 0..48)) {
+        let s: String = cps
+            .iter()
+            .filter_map(|&cp| char::from_u32(cp)) // skips the surrogate range
+            .collect();
+        let written = json::write(&Json::Str(s.clone())).unwrap();
+        let back = json::parse(&written).unwrap();
+        prop_assert_eq!(back.as_str(), Some(s.as_str()));
+    }
+
+    /// Strings embedded as object keys round-trip too (keys take a different code
+    /// path than values in the parser).
+    #[test]
+    fn arbitrary_object_keys_roundtrip(cps in collection::vec(0u32..0x110000, 1..24)) {
+        let key: String = cps.iter().filter_map(|&cp| char::from_u32(cp)).collect();
+        let obj = Json::Obj(vec![(key.clone(), Json::Num(1.0))]);
+        let back = json::parse(&json::write(&obj).unwrap()).unwrap();
+        prop_assert_eq!(back.get(&key).and_then(Json::as_num), Some(1.0));
+    }
+
+    /// Every finite f64 bit pattern — subnormals, -0.0, f64::MAX — round-trips
+    /// bit-exactly. This is what the strict deterministic diff relies on.
+    #[test]
+    fn arbitrary_f64_bits_roundtrip(bits in 0u64..=u64::MAX) {
+        let n = f64::from_bits(bits);
+        if n.is_finite() {
+            let written = json::write(&Json::Arr(vec![Json::Num(n)])).unwrap();
+            let back = json::parse(&written).unwrap();
+            let reparsed = back.as_arr().unwrap()[0].as_num().unwrap();
+            prop_assert_eq!(reparsed.to_bits(), n.to_bits(), "{} -> {}", n, reparsed);
+        } else {
+            prop_assert!(json::write(&Json::Num(n)).is_err());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bench_diff / bench_ingest binaries, end to end.
+// ---------------------------------------------------------------------------
+
+fn write_file(path: &Path, metric_value: f64, deterministic: bool, wall_value: f64) {
+    let mut report = BenchReport::new("fig_x", "duration=10");
+    report.push(if deterministic {
+        Metric::deterministic("cost", "cost_seconds", metric_value)
+    } else {
+        Metric::wall("cost", "seconds_wall", metric_value)
+    });
+    report.push(Metric::wall("wall_seconds", "seconds_wall", wall_value));
+    let mut file = ReportFile::new("it");
+    file.upsert(report);
+    file.save(path).unwrap();
+}
+
+fn bench_diff(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args(args)
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn bench_diff_passes_identical_files() {
+    let dir = temp_dir("diff_identical");
+    let (old, new) = (dir.join("old.json"), dir.join("new.json"));
+    write_file(&old, 1.5e-3, true, 1.0);
+    write_file(&new, 1.5e-3, true, 1.0);
+    let out = bench_diff(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 failure(s)"), "{stdout}");
+}
+
+#[test]
+fn bench_diff_fails_on_deterministic_drift() {
+    let dir = temp_dir("diff_drift");
+    let (old, new) = (dir.join("old.json"), dir.join("new.json"));
+    write_file(&old, 1.5e-3, true, 1.0);
+    // One ULP of drift on a deterministic metric is a regression; the 100x wall
+    // slowdown alongside it must stay advisory.
+    write_file(&new, f64::from_bits(1.5e-3f64.to_bits() + 1), true, 100.0);
+    let out = bench_diff(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("regenerate the baseline"), "{stdout}");
+}
+
+#[test]
+fn bench_diff_wall_drift_warns_but_passes() {
+    let dir = temp_dir("diff_wall");
+    let (old, new) = (dir.join("old.json"), dir.join("new.json"));
+    write_file(&old, 1.0, false, 1.0);
+    write_file(&new, 2.0, false, 2.0); // 100 % slower on both wall metrics
+    let out = bench_diff(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 warning(s)"), "{stdout}");
+    // A generous tolerance silences the warnings.
+    let out = bench_diff(&[
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--wall-tolerance",
+        "150",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 warning(s)"), "{stdout}");
+}
+
+#[test]
+fn bench_diff_usage_errors_exit_2() {
+    let dir = temp_dir("diff_usage");
+    let present = dir.join("present.json");
+    write_file(&present, 1.0, true, 1.0);
+    let missing = dir.join("does_not_exist.json");
+    let out = bench_diff(&[present.to_str().unwrap(), missing.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = bench_diff(&[present.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = bench_diff(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--frobnicate"));
+}
+
+#[test]
+fn bench_ingest_folds_criterion_lines_into_reports() {
+    let dir = temp_dir("ingest");
+    let jsonl = dir.join("crit.jsonl");
+    let out_path = dir.join("BENCH_it.json");
+    std::fs::write(
+        &jsonl,
+        concat!(
+            "{\"id\": \"sharded_scaling/shards/4\", \"median_s\": 0.25, \"min_s\": 0.2, \"max_s\": 0.3}\n",
+            "{\"id\": \"sharded_scaling/shards/8\", \"median_s\": 0.125, \"min_s\": 0.1, \"max_s\": 0.15}\n",
+            "{\"id\": \"tss_conflict/lookup\", \"median_s\": 1e-6, \"min_s\": 1e-6, \"max_s\": 2e-6}\n",
+            // A re-run appends a fresh line for an id seen before: last one wins.
+            "{\"id\": \"sharded_scaling/shards/4\", \"median_s\": 0.5, \"min_s\": 0.4, \"max_s\": 0.6}\n",
+        ),
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_ingest"))
+        .args([
+            jsonl.to_str().unwrap(),
+            out_path.to_str().unwrap(),
+            "--group",
+            "sharded_scaling",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let file = ReportFile::load(&out_path).unwrap();
+    assert_eq!(file.area, "it");
+    let report = file.report("criterion/sharded_scaling", "default").unwrap();
+    assert_eq!(report.metrics.len(), 2);
+    assert_eq!(report.metric("shards/4").unwrap().value, 0.5);
+    assert_eq!(report.metric("shards/8").unwrap().value, 0.125);
+    assert!(!report.metric("shards/4").unwrap().deterministic);
+    // The filtered-out group must not have been ingested.
+    assert!(file.report("criterion/tss_conflict", "default").is_none());
+}

@@ -242,6 +242,42 @@ fn run_bench(
         iters,
         times.len()
     );
+    export_measurement(name, median, min, max);
+}
+
+/// When `TSE_BENCH_OUT` names a file, append one JSON line per finished benchmark:
+/// `{"id": "<group>/<bench>", "median_s": ..., "min_s": ..., "max_s": ...}`. The
+/// `bench_ingest` binary of `tse-bench` folds these lines into the repo's
+/// `BENCH_<area>.json` report files; this crate cannot depend on `tse-bench` itself
+/// (the dependency points the other way), so the line format is kept trivial enough
+/// to hand-write here.
+fn export_measurement(name: &str, median: f64, min: f64, max: f64) {
+    let Ok(path) = std::env::var("TSE_BENCH_OUT") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\": \"{escaped}\", \"median_s\": {median}, \"min_s\": {min}, \"max_s\": {max}}}\n"
+    );
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+    if let Err(e) = result {
+        eprintln!("warning: TSE_BENCH_OUT={path}: {e}; measurement not exported");
+    }
 }
 
 fn fmt_time(seconds: f64) -> String {
@@ -298,6 +334,36 @@ mod tests {
         });
         group.finish();
         assert!(count > 0);
+    }
+
+    #[test]
+    fn tse_bench_out_exports_jsonl() {
+        let path = std::env::temp_dir().join("tse_criterion_export_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("TSE_BENCH_OUT", &path);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("export_smoke");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(2));
+        group.bench_function("noop \"quoted\"", |b| {
+            b.iter(|| std::hint::black_box(1 + 1))
+        });
+        group.finish();
+        std::env::remove_var("TSE_BENCH_OUT");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let line = text
+            .lines()
+            .find(|l| l.contains("export_smoke"))
+            .expect("the finished bench must have been exported");
+        assert!(
+            line.contains("\"id\": \"export_smoke/noop \\\"quoted\\\"\""),
+            "{line}"
+        );
+        assert!(line.contains("\"median_s\": "), "{line}");
+        assert!(line.contains("\"min_s\": "), "{line}");
+        assert!(line.contains("\"max_s\": "), "{line}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

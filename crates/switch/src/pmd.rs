@@ -361,6 +361,13 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
         total
     }
 
+    /// Total simulated busy time across all shards, in cost-model seconds — the
+    /// deterministic per-run cost metric the benchmark reports gate on (same commit,
+    /// same flags → same bits, regardless of machine or executor).
+    pub fn busy_seconds(&self) -> f64 {
+        self.stats().busy_seconds
+    }
+
     /// Reset the statistics of every shard.
     pub fn reset_stats(&mut self) {
         for shard in &mut self.shards {
