@@ -57,6 +57,11 @@ pub enum SourceRole {
     /// A victim flow: events are periodic probes, and the source is attributed a
     /// delivered-throughput series in the timeline.
     Victim,
+    /// Benign background load (e.g. tenant flow churn): every event is replayed
+    /// through the datapath and consumes CPU exactly like attacker traffic, but the
+    /// packets are not attributed to any attacker series — consumers account them
+    /// separately (the runner's aggregate `background_pps`).
+    Background,
 }
 
 /// A pull-based stream of timestamped classification events.
@@ -223,12 +228,42 @@ where
     }
 }
 
+/// Min-heap ordering key for the merge: earliest timestamp first, ties broken by
+/// source insertion order. Timestamps are normalised (`-0.0` → `+0.0`) before they
+/// enter the heap so `total_cmp` agrees with numeric comparison on every value a
+/// well-behaved source can emit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MergeKey {
+    time: f64,
+    index: usize,
+}
+
+impl Eq for MergeKey {}
+
+impl Ord for MergeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.index.cmp(&other.index))
+    }
+}
+
+impl PartialOrd for MergeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 /// A timestamp-ordered k-way merge over any number of [`TrafficSource`]s.
 ///
 /// Events are pulled lazily; ties are broken by source insertion order, so e.g. victim
 /// probes sharing a timestamp are delivered in the order the victims were added. A
 /// source whose stream regresses in time is clamped to its own previous timestamp, so
 /// the merged stream is always nondecreasing.
+///
+/// The merge is heap-based: `next()` and `peek_time()` are O(log S) in the source
+/// count S, so a tenant fleet with thousands of victim sources does not pay a linear
+/// scan per event.
 #[derive(Default)]
 pub struct TrafficMix<'a> {
     sources: Vec<Box<dyn TrafficSource + 'a>>,
@@ -236,6 +271,8 @@ pub struct TrafficMix<'a> {
     heads: Vec<Option<TrafficEvent>>,
     /// Last timestamp emitted by each source (for the monotonicity clamp).
     last_times: Vec<f64>,
+    /// One entry per source with a buffered head, keyed by (time, insertion index).
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<MergeKey>>,
     primed: bool,
 }
 
@@ -255,6 +292,7 @@ impl<'a> TrafficMix<'a> {
             sources: Vec::new(),
             heads: Vec::new(),
             last_times: Vec::new(),
+            heap: std::collections::BinaryHeap::new(),
             primed: false,
         }
     }
@@ -304,6 +342,12 @@ impl<'a> TrafficMix<'a> {
             if e.time < self.last_times[i] {
                 e.time = self.last_times[i];
             }
+            // `+ 0.0` collapses -0.0 to +0.0 so the heap's total order matches the
+            // numeric order the linear scan used.
+            self.heap.push(std::cmp::Reverse(MergeKey {
+                time: e.time + 0.0,
+                index: i,
+            }));
         }
         self.heads[i] = ev;
     }
@@ -320,28 +364,17 @@ impl<'a> TrafficMix<'a> {
     /// Timestamp of the next event without consuming it.
     pub fn peek_time(&mut self) -> Option<f64> {
         self.prime();
-        self.heads
-            .iter()
-            .flatten()
-            .map(|e| e.time)
-            .fold(None, |acc, t| Some(acc.map_or(t, |a: f64| a.min(t))))
+        self.heap.peek().map(|r| r.0.time)
     }
 
     /// The next event in merged timestamp order, tagged with its source index.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<(usize, TrafficEvent)> {
         self.prime();
-        let mut best: Option<usize> = None;
-        for (i, head) in self.heads.iter().enumerate() {
-            if let Some(ev) = head {
-                match best {
-                    Some(b) if self.heads[b].as_ref().map(|e| e.time) <= Some(ev.time) => {}
-                    _ => best = Some(i),
-                }
-            }
-        }
-        let i = best?;
-        let ev = self.heads[i].take().expect("best head present");
+        let i = self.heap.pop()?.0.index;
+        let ev = self.heads[i]
+            .take()
+            .expect("heap entry has a buffered head");
         self.last_times[i] = ev.time;
         self.refill(i);
         Some((i, ev))
@@ -430,6 +463,54 @@ mod tests {
         assert!(mix.next_before(1.0).is_none());
         assert_eq!(mix.next_before(2.0).unwrap().1.time, 1.5);
         assert!(mix.next_before(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn negative_zero_ties_keep_insertion_order() {
+        // -0.0 and +0.0 are the same instant: the heap must not let total ordering of
+        // the bit patterns override insertion-order tie-breaking.
+        let mut mix = TrafficMix::new()
+            .with(Scripted::new("a", vec![0.0]))
+            .with(Scripted::new("b", vec![-0.0]));
+        let got: Vec<usize> = std::iter::from_fn(|| mix.next()).map(|(i, _)| i).collect();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn many_source_merge_is_stable_and_ordered() {
+        // Deterministic pseudo-random times across 17 sources: the merged stream is
+        // nondecreasing and equal timestamps come out in insertion order.
+        let mut state = 0x9E37u64;
+        let mut step = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 8) as f64 * 0.25
+        };
+        let mut mix = TrafficMix::new();
+        for s in 0..17 {
+            let mut t = 0.0;
+            let times: Vec<f64> = (0..20)
+                .map(|_| {
+                    t += step();
+                    t
+                })
+                .collect();
+            mix.push(Box::new(Scripted::new(&format!("s{s}"), times)));
+        }
+        let mut prev = (f64::NEG_INFINITY, 0usize);
+        let mut n = 0;
+        while let Some((i, ev)) = mix.next() {
+            assert!(
+                ev.time > prev.0 || (ev.time == prev.0 && i >= prev.1),
+                "order violated at event {n}: {:?} then ({i}, {})",
+                prev,
+                ev.time
+            );
+            prev = (ev.time, i);
+            n += 1;
+        }
+        assert_eq!(n, 17 * 20);
     }
 
     #[test]

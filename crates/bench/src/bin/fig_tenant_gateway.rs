@@ -1,0 +1,276 @@
+//! E-TENANT: the hour-long multi-tenant gateway scenario — per-tenant SLOs under
+//! mid-run Co-located TSE attacks, at a scale (1k+ tenants, hour horizons) the
+//! unbounded timeline could not hold.
+//!
+//! A [`TenantFleet`] of `--tenants` tenants shares one sharded hypervisor switch
+//! behind per-tenant RX steering. Every benign tenant runs an iperf-like flow against
+//! its own service; Poisson background churn keeps the megaflow cache realistically
+//! busy. Three tenants turn hostile at staggered onsets (20 % / 50 % / 80 % of the
+//! horizon): a scheduled ACL update arms their SpDp attack pattern, then each replays
+//! the bit-inversion outer product from a single client address — the whole mask
+//! explosion pinned to its own RX queue, starving exactly the tenants steered there.
+//!
+//! The run is recorded through the two-tier [`TelemetryStore`] with a 120-sample hot
+//! ring: whole-run per-tenant SLO trackers (violations, time-to-detect,
+//! time-to-recover, delivered p50/p99) stream in O(1) memory, and the binary
+//! *asserts* `footprint_units() <= footprint_ceiling(..)` — the bounded-memory claim,
+//! checked on every run, at every horizon.
+//!
+//! Two variants: **open** (no defense) and **defended** (pressure-gated
+//! [`AdaptiveRekey`] — rotates the RSS key only while the telemetry window shows a
+//! shard under sustained attack — plus a per-shard [`GuardMitigation`] sweep).
+//!
+//! Flags: `--duration <s>` (default 3600), `--tenants <n>` (default 1000),
+//! `--slo-gbps <g>` (default 0.005 — half the 0.01 Gbps per-tenant offered load),
+//! plus the shared `--shards`, `--parallel` and `--json`. CI smoke-runs
+//! `--duration 35 --tenants 64`.
+
+use tse_bench::report::Metric;
+use tse_mitigation::guard::{GuardConfig, GuardMitigation};
+use tse_mitigation::AdaptiveRekey;
+use tse_packet::fields::FieldSchema;
+use tse_simnet::fleet::{ChurnConfig, FleetConfig, TenantFleet};
+use tse_simnet::offload::OffloadConfig;
+use tse_simnet::runner::ExperimentRunner;
+use tse_simnet::telemetry::{TelemetryConfig, TelemetryStore};
+use tse_switch::datapath::Datapath;
+use tse_switch::pmd::{ShardedDatapath, Steering};
+
+const OFFERED_GBPS: f64 = 0.01;
+const ATTACK_PPS: f64 = 1200.0;
+const HOT_CAPACITY: usize = 120;
+
+struct VariantSummary {
+    tag: &'static str,
+    tenants_violated: u64,
+    violation_seconds: f64,
+    worst_recovery_seconds: f64,
+    detect_seconds: f64,
+    hit_p50_gbps: f64,
+    best_p50_gbps: f64,
+    background_pps: f64,
+    footprint_units: u64,
+    rekeys: u64,
+}
+
+fn run_variant(
+    tag: &'static str,
+    args: &tse_bench::FigArgs,
+    fleet: &TenantFleet,
+    slo_gbps: f64,
+    defended: bool,
+) -> VariantSummary {
+    let sharded = ShardedDatapath::from_builder(
+        Datapath::builder(fleet.table()).with_executor(args.executor()),
+        args.shard_count(),
+        Steering::PerTenant,
+    );
+    let mut runner = ExperimentRunner::sharded(sharded, Vec::new(), OffloadConfig::gro_off())
+        .with_telemetry(TelemetryConfig::with_hot_capacity(HOT_CAPACITY).with_slo_floor(slo_gbps))
+        .with_table_updates(fleet.table_updates());
+    if defended {
+        runner = runner
+            .with_mitigation(AdaptiveRekey::new(30.0, ATTACK_PPS * 0.25, 7))
+            .with_mitigation(GuardMitigation::new(GuardConfig {
+                interval: 10.0,
+                mask_threshold: 100,
+                ..GuardConfig::default()
+            }));
+    }
+    let sample_interval = runner.sample_interval;
+    let timeline = runner.run_mix(fleet.mix(sample_interval), args.duration);
+    let store = runner.take_telemetry().expect("run_mix records telemetry");
+
+    // The bounded-memory claim, asserted on the real run: the retained footprint
+    // never exceeds the config-determined ceiling, whatever the horizon. The guard
+    // logs at most one sweep per shard per interval, the rekey at most one action.
+    let max_actions = args.shard_count() + 1;
+    assert!(
+        store.footprint_units() <= store.footprint_ceiling(max_actions),
+        "telemetry footprint {} exceeds ceiling {}",
+        store.footprint_units(),
+        store.footprint_ceiling(max_actions)
+    );
+
+    let rekeys = timeline
+        .samples
+        .iter()
+        .flat_map(|s| s.mitigation_actions.iter())
+        .filter(|a| matches!(a, tse_mitigation::MitigationAction::Rekeyed { .. }))
+        .count() as u64;
+
+    summarize(tag, fleet, &store, rekeys)
+}
+
+fn summarize(
+    tag: &'static str,
+    fleet: &TenantFleet,
+    store: &TelemetryStore,
+    rekeys: u64,
+) -> VariantSummary {
+    let trackers = store.slo_trackers();
+    let violated: Vec<_> = trackers.iter().filter(|t| t.episode_count() > 0).collect();
+    let tenants_violated = violated.len() as u64;
+    let violation_seconds: f64 = trackers.iter().map(|t| t.total_violation_seconds()).sum();
+    let worst_recovery_seconds = trackers
+        .iter()
+        .map(|t| t.longest_episode_seconds())
+        .fold(0.0f64, f64::max);
+    // Tenant-visible time-to-detect: the first violation episode opening at or after
+    // the first attack onset, across the fleet. (`first_violation` won't do here —
+    // table-update revalidation storms can trip tenants before any attack starts.)
+    let onset = fleet.attack_onset(0);
+    let detect_seconds = trackers
+        .iter()
+        .flat_map(|t| t.episodes().iter())
+        .filter(|(start, _)| *start >= onset)
+        .map(|(start, _)| start - onset)
+        .fold(f64::INFINITY, f64::min);
+    let detect_seconds = if detect_seconds.is_finite() {
+        detect_seconds
+    } else {
+        -1.0
+    };
+    // Delivered p50 of the worst-hit tenant vs. the best-off tenant in the fleet.
+    let hit_p50_gbps = violated
+        .iter()
+        .max_by(|a, b| {
+            a.total_violation_seconds()
+                .total_cmp(&b.total_violation_seconds())
+        })
+        .map(|t| t.p50_gbps())
+        .unwrap_or(0.0);
+    let best_p50_gbps = trackers.iter().map(|t| t.p50_gbps()).fold(0.0f64, f64::max);
+
+    println!("\n-- {tag} --");
+    println!(
+        "samples recorded {} (hot {}, aged out {}), telemetry footprint {} scalar slots",
+        store.samples_recorded(),
+        store.hot_len(),
+        store.aged_out(),
+        store.footprint_units()
+    );
+    println!(
+        "tenants violating SLO: {tenants_violated}, total violation time {violation_seconds:.0} s, \
+         worst recovery {worst_recovery_seconds:.0} s, first detection {detect_seconds:.0} s after onset"
+    );
+    println!(
+        "delivered p50: worst-hit tenant {hit_p50_gbps:.4} Gbps vs best tenant {best_p50_gbps:.4} Gbps"
+    );
+    println!(
+        "background churn mean {:.0} pps, total attack mean {:.0} pps, rekeys {rekeys}",
+        store.background_series().mean(),
+        store.total_attacker_series().mean()
+    );
+    for t in violated.iter().take(4) {
+        println!(
+            "  {}: {} episodes, {:.0} s below floor, p50 {:.4} / p99-low {:.4} Gbps",
+            t.name(),
+            t.episode_count(),
+            t.total_violation_seconds(),
+            t.p50_gbps(),
+            t.p99_gbps()
+        );
+    }
+
+    VariantSummary {
+        tag,
+        tenants_violated,
+        violation_seconds,
+        worst_recovery_seconds,
+        detect_seconds,
+        hit_p50_gbps,
+        best_p50_gbps,
+        background_pps: store.background_series().mean(),
+        footprint_units: store.footprint_units(),
+        rekeys,
+    }
+}
+
+fn metrics_of(v: &VariantSummary) -> Vec<Metric> {
+    let t = v.tag;
+    vec![
+        Metric::deterministic(
+            &format!("{t}/tenants_violated"),
+            "tenants",
+            v.tenants_violated as f64,
+        ),
+        Metric::deterministic(
+            &format!("{t}/violation_seconds"),
+            "seconds",
+            v.violation_seconds,
+        ),
+        Metric::deterministic(
+            &format!("{t}/worst_recovery_seconds"),
+            "seconds",
+            v.worst_recovery_seconds,
+        ),
+        Metric::deterministic(&format!("{t}/detect_seconds"), "seconds", v.detect_seconds),
+        Metric::deterministic(&format!("{t}/hit_p50_gbps"), "gbps", v.hit_p50_gbps)
+            .higher_is_better(),
+        Metric::deterministic(&format!("{t}/best_p50_gbps"), "gbps", v.best_p50_gbps)
+            .higher_is_better(),
+        Metric::deterministic(&format!("{t}/background_pps"), "pps", v.background_pps),
+        Metric::deterministic(
+            &format!("{t}/telemetry_footprint_units"),
+            "scalar_slots",
+            v.footprint_units as f64,
+        ),
+        Metric::deterministic(&format!("{t}/rekeys"), "rotations", v.rekeys as f64),
+    ]
+}
+
+fn main() {
+    let args = tse_bench::fig_args_fleet(3600.0, 4, 1000, 0.005);
+    let tenants = args.tenants.expect("fleet binary always has --tenants");
+    let slo_gbps = args.slo_gbps.expect("fleet binary always has --slo-gbps");
+    let schema = FieldSchema::ovs_ipv4();
+    let attackers = 3.min(tenants - 1);
+    let fleet = TenantFleet::new(
+        &schema,
+        FleetConfig {
+            tenants,
+            attackers,
+            offered_gbps: OFFERED_GBPS,
+            attack_rate_pps: ATTACK_PPS,
+            duration: args.duration,
+            churn: Some(ChurnConfig::default()),
+            seed: 2026,
+        },
+    );
+    println!(
+        "== Tenant gateway: {tenants} tenants ({attackers} hostile), {} shards \
+         (per-tenant steering, {} executor), {} s horizon, SLO floor {slo_gbps} Gbps ==",
+        args.shard_count(),
+        args.executor_label(),
+        args.duration
+    );
+    for j in 0..attackers {
+        println!(
+            "  attacker {j} armed at {:.0} s (ACL update at {:.0} s), {ATTACK_PPS} pps SpDp",
+            fleet.attack_onset(j),
+            (fleet.attack_onset(j) - 2.0).max(0.0)
+        );
+    }
+
+    let wall = std::time::Instant::now();
+    let open = run_variant("open", &args, &fleet, slo_gbps, false);
+    let defended = run_variant("defended", &args, &fleet, slo_gbps, true);
+
+    println!(
+        "\n== defense effect: violation time {:.0} s -> {:.0} s, worst recovery {:.0} s -> {:.0} s ==",
+        open.violation_seconds,
+        defended.violation_seconds,
+        open.worst_recovery_seconds,
+        defended.worst_recovery_seconds
+    );
+
+    let mut metrics = metrics_of(&open);
+    metrics.extend(metrics_of(&defended));
+    metrics.push(Metric::wall(
+        "wall_seconds",
+        "seconds_wall",
+        wall.elapsed().as_secs_f64(),
+    ));
+    args.emit(env!("CARGO_BIN_NAME"), metrics);
+}

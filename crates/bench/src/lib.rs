@@ -53,6 +53,12 @@ pub struct FigArgs {
     /// Where to append this run's benchmark report (`--json <path>`), typically one
     /// of the repo-root `BENCH_<area>.json` files; `None` disables emission.
     pub json: Option<PathBuf>,
+    /// Tenant count of a fleet-scale binary (`--tenants`), or `None` for binaries
+    /// without a tenant axis.
+    pub tenants: Option<usize>,
+    /// Per-tenant SLO floor in Gbps (`--slo-gbps`), or `None` for binaries without
+    /// SLO tracking.
+    pub slo_gbps: Option<f64>,
 }
 
 impl FigArgs {
@@ -98,6 +104,12 @@ impl FigArgs {
             parts.push(format!("shards={shards}"));
             parts.push(format!("parallel={}", self.threads));
         }
+        if let Some(tenants) = self.tenants {
+            parts.push(format!("tenants={tenants}"));
+        }
+        if let Some(slo) = self.slo_gbps {
+            parts.push(format!("slo={slo}"));
+        }
         if parts.is_empty() {
             "default".to_string()
         } else {
@@ -128,6 +140,7 @@ impl FigArgs {
 struct FlagSet {
     duration: bool,
     sharded: bool,
+    fleet: bool,
 }
 
 impl FlagSet {
@@ -139,6 +152,10 @@ impl FlagSet {
         if self.sharded {
             flags.push("--shards <n>");
             flags.push("--parallel <threads>");
+        }
+        if self.fleet {
+            flags.push("--tenants <n>");
+            flags.push("--slo-gbps <gbps>");
         }
         flags.push("--json <path>");
         flags.join(", ")
@@ -159,10 +176,40 @@ pub fn fig_args(default_duration: f64, default_shards: usize) -> FigArgs {
             shards: Some(default_shards),
             threads: 1,
             json: None,
+            tenants: None,
+            slo_gbps: None,
         },
         FlagSet {
             duration: true,
             sharded: true,
+            fleet: false,
+        },
+    )
+}
+
+/// Parse the CLI of a tenant-fleet binary: everything [`fig_args`] accepts plus
+/// `--tenants <n>` (fleet size) and `--slo-gbps <gbps>` (per-tenant delivered-rate
+/// floor), each also in `--flag=value` form. Same error behaviour as [`fig_args`].
+pub fn fig_args_fleet(
+    default_duration: f64,
+    default_shards: usize,
+    default_tenants: usize,
+    default_slo_gbps: f64,
+) -> FigArgs {
+    parse_or_exit(
+        std::env::args().skip(1),
+        FigArgs {
+            duration: default_duration,
+            shards: Some(default_shards),
+            threads: 1,
+            json: None,
+            tenants: Some(default_tenants),
+            slo_gbps: Some(default_slo_gbps),
+        },
+        FlagSet {
+            duration: true,
+            sharded: true,
+            fleet: true,
         },
     )
 }
@@ -177,10 +224,13 @@ pub fn fig_args_duration(default_duration: f64) -> FigArgs {
             shards: None,
             threads: 1,
             json: None,
+            tenants: None,
+            slo_gbps: None,
         },
         FlagSet {
             duration: true,
             sharded: false,
+            fleet: false,
         },
     )
 }
@@ -195,10 +245,13 @@ pub fn fig_args_static() -> FigArgs {
             shards: None,
             threads: 1,
             json: None,
+            tenants: None,
+            slo_gbps: None,
         },
         FlagSet {
             duration: false,
             sharded: false,
+            fleet: false,
         },
     )
 }
@@ -253,6 +306,18 @@ fn parse_args(
             None
         } {
             out.threads = value("--parallel", &v)?;
+        } else if let Some(v) = if flags.fleet {
+            take("--tenants")?
+        } else {
+            None
+        } {
+            out.tenants = Some(value("--tenants", &v)?);
+        } else if let Some(v) = if flags.fleet {
+            take("--slo-gbps")?
+        } else {
+            None
+        } {
+            out.slo_gbps = Some(value("--slo-gbps", &v)?);
         } else if let Some(v) = take("--json")? {
             if v.is_empty() {
                 return Err("--json needs a non-empty path".into());
@@ -273,6 +338,16 @@ fn parse_args(
     }
     if flags.duration && out.duration <= 0.0 {
         return Err("--duration must be positive".into());
+    }
+    if let Some(t) = out.tenants {
+        if t < 2 {
+            return Err("--tenants must be at least 2 (one tenant has nobody to attack)".into());
+        }
+    }
+    if let Some(slo) = out.slo_gbps {
+        if slo <= 0.0 {
+            return Err("--slo-gbps must be positive".into());
+        }
     }
     Ok(out)
 }
@@ -346,14 +421,22 @@ mod tests {
     const SHARDED: FlagSet = FlagSet {
         duration: true,
         sharded: true,
+        fleet: false,
     };
     const DURATION_ONLY: FlagSet = FlagSet {
         duration: true,
         sharded: false,
+        fleet: false,
     };
     const STATIC: FlagSet = FlagSet {
         duration: false,
         sharded: false,
+        fleet: false,
+    };
+    const FLEET: FlagSet = FlagSet {
+        duration: true,
+        sharded: true,
+        fleet: true,
     };
 
     fn parse(args: &[&str], flags: FlagSet) -> Result<FigArgs, String> {
@@ -364,6 +447,8 @@ mod tests {
                 shards: flags.sharded.then_some(4),
                 threads: 1,
                 json: None,
+                tenants: flags.fleet.then_some(1000),
+                slo_gbps: flags.fleet.then_some(0.005),
             },
             flags,
         )
@@ -378,6 +463,8 @@ mod tests {
                 shards: Some(4),
                 threads: 1,
                 json: None,
+                tenants: None,
+                slo_gbps: None,
             }
         );
         assert_eq!(
@@ -391,6 +478,8 @@ mod tests {
                 shards: Some(16),
                 threads: 8,
                 json: None,
+                tenants: None,
+                slo_gbps: None,
             }
         );
         assert_eq!(
@@ -400,7 +489,44 @@ mod tests {
                 shards: Some(4),
                 threads: 2,
                 json: None,
+                tenants: None,
+                slo_gbps: None,
             }
+        );
+    }
+
+    #[test]
+    fn fleet_flags_parse_validate_and_stay_scoped() {
+        let parsed = parse(&["--tenants", "64", "--slo-gbps=0.002"], FLEET).unwrap();
+        assert_eq!(parsed.tenants, Some(64));
+        assert_eq!(parsed.slo_gbps, Some(0.002));
+        // Defaults survive when unset.
+        let parsed = parse(&[], FLEET).unwrap();
+        assert_eq!((parsed.tenants, parsed.slo_gbps), (Some(1000), Some(0.005)));
+        // Validation mirrors --shards/--parallel: loud errors, no panics.
+        assert!(parse(&["--tenants", "1"], FLEET)
+            .unwrap_err()
+            .contains("at least 2"));
+        assert!(parse(&["--slo-gbps", "0"], FLEET)
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--tenants", "many"], FLEET)
+            .unwrap_err()
+            .contains("bad --tenants"));
+        assert!(parse(&["--tenants"], FLEET)
+            .unwrap_err()
+            .contains("needs a value"));
+        // Non-fleet binaries reject the flags and list the fleet set only when on.
+        let e = parse(&["--tenants", "64"], SHARDED).unwrap_err();
+        assert!(e.contains("--tenants") && !e.contains("--slo-gbps <gbps>"));
+        let e = parse(&["--frobnicate"], FLEET).unwrap_err();
+        assert!(e.contains("--tenants <n>") && e.contains("--slo-gbps <gbps>"));
+        // Params identity includes the fleet axes.
+        assert_eq!(
+            parse(&["--duration=35", "--tenants=64"], FLEET)
+                .unwrap()
+                .params(),
+            "duration=35,shards=4,parallel=1,tenants=64,slo=0.005"
         );
     }
 

@@ -6,6 +6,103 @@ use tse_classifier::backend::FastPathBackend;
 
 use crate::stack::{Mitigation, MitigationAction, MitigationCtx};
 
+/// Pressure-gated RSS hash-key rotation: rotates like [`RssKeyRandomizer`], but only
+/// while the telemetry window ([`MitigationCtx::pressure`]) shows a shard under
+/// sustained attack — the benign path never pays the re-homing upcalls a blind
+/// periodic rotation charges every flow.
+///
+/// The trigger is the hottest shard's windowed-mean attack rate
+/// ([`crate::stack::PressureWindow::hottest_shard_mean`]) crossing `threshold_pps`.
+/// When triggered, the stage rotates at most once per `period` seconds (the first
+/// rotation fires in the first triggered interval at least `period` after the last
+/// rotation, so a fresh attack is answered within one sample). Keys come from the same
+/// deterministic SplitMix64 sequence as [`RssKeyRandomizer`]; driven through a
+/// detached/empty pressure window the stage is provably inert.
+#[derive(Debug, Clone)]
+pub struct AdaptiveRekey {
+    period: f64,
+    threshold_pps: f64,
+    state: u64,
+    last_rotate: f64,
+    entry_key: Option<u64>,
+}
+
+impl AdaptiveRekey {
+    /// Rotate at most every `period` seconds while the hottest shard's windowed mean
+    /// attack rate is at least `threshold_pps`, drawing keys from a deterministic
+    /// sequence seeded by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `period` or `threshold_pps` is not positive.
+    pub fn new(period: f64, threshold_pps: f64, seed: u64) -> Self {
+        assert!(period > 0.0, "rekey period must be positive");
+        assert!(threshold_pps > 0.0, "pressure threshold must be positive");
+        AdaptiveRekey {
+            period,
+            threshold_pps,
+            state: seed,
+            last_rotate: 0.0,
+            entry_key: None,
+        }
+    }
+
+    /// The minimum spacing between rotations, seconds.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// The windowed-mean attack rate (pps, hottest shard) that arms the rotation.
+    pub fn threshold_pps(&self) -> f64 {
+        self.threshold_pps
+    }
+
+    /// Next key in the SplitMix64 sequence, skipping the reserved default key.
+    fn next_key(&mut self) -> u64 {
+        loop {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let key = tse_packet::rss::splitmix64_mix(self.state);
+            if key != tse_packet::rss::DEFAULT_HASH_KEY {
+                return key;
+            }
+        }
+    }
+}
+
+impl<B: FastPathBackend> Mitigation<B> for AdaptiveRekey {
+    fn name(&self) -> &str {
+        "adaptive-rekey"
+    }
+
+    fn on_start(&mut self, ctx: &mut MitigationCtx<'_, B>) {
+        // Same re-anchor/restore contract as RssKeyRandomizer (see its on_start).
+        self.last_rotate = 0.0;
+        self.entry_key = Some(ctx.datapath.hash_key());
+    }
+
+    fn on_sample(&mut self, ctx: &mut MitigationCtx<'_, B>) -> Vec<MitigationAction> {
+        if ctx.pressure.hottest_shard_mean() < self.threshold_pps
+            || ctx.now - self.last_rotate < self.period
+        {
+            return Vec::new();
+        }
+        self.last_rotate = ctx.now;
+        let old_key = ctx.datapath.hash_key();
+        let new_key = self.next_key();
+        ctx.datapath.rekey(new_key);
+        vec![MitigationAction::Rekeyed {
+            time: ctx.now,
+            old_key,
+            new_key,
+        }]
+    }
+
+    fn on_finish(&mut self, ctx: &mut MitigationCtx<'_, B>) {
+        if let Some(key) = self.entry_key.take() {
+            ctx.datapath.rekey(key);
+        }
+    }
+}
+
 /// Periodically rotates the datapath's RSS hash key
 /// ([`ShardedDatapath::rekey`](tse_switch::pmd::ShardedDatapath::rekey)), defeating
 /// *shard-pinned* explosions: an attacker who retagged her 5-tuples to land on a
@@ -284,6 +381,8 @@ mod tests {
         (schema, dp)
     }
 
+    static DETACHED: crate::stack::PressureWindow = crate::stack::PressureWindow::detached();
+
     fn ctx<'a>(
         datapath: &'a mut ShardedDatapath,
         now: f64,
@@ -296,6 +395,7 @@ mod tests {
             shard_attack_pps: zeros,
             shard_delivered_pps: zeros,
             shard_busy_seconds: zeros,
+            pressure: &DETACHED,
         }
     }
 
@@ -383,6 +483,70 @@ mod tests {
             prev = *new_key;
         }
         assert_eq!(dp1.hash_key(), prev);
+    }
+
+    #[test]
+    fn adaptive_rekey_rotates_only_under_pressure() {
+        use crate::stack::PressureWindow;
+        let (_, mut dp) = fixture(4, Steering::Rss);
+        let zeros = vec![0.0; 4];
+        let mut rekey = AdaptiveRekey::new(10.0, 500.0, 7);
+        let mut pressure = PressureWindow::new(4, 3);
+        {
+            let mut c = ctx(&mut dp, 0.0, &zeros);
+            Mitigation::<TupleSpace>::on_start(&mut rekey, &mut c);
+        }
+        let sample = |dp: &mut ShardedDatapath,
+                      rekey: &mut AdaptiveRekey,
+                      pressure: &PressureWindow,
+                      now: f64,
+                      zeros: &[f64]| {
+            let mut c = MitigationCtx {
+                datapath: dp,
+                now,
+                dt: 1.0,
+                shard_attack_pps: zeros,
+                shard_delivered_pps: zeros,
+                shard_busy_seconds: zeros,
+                pressure,
+            };
+            Mitigation::<TupleSpace>::on_sample(rekey, &mut c)
+        };
+        // Quiet window: no rotation, no matter how much time passes.
+        pressure.push(&[0.0; 4]);
+        for t in 1..=30 {
+            assert!(
+                sample(&mut dp, &mut rekey, &pressure, t as f64, &zeros).is_empty(),
+                "must stay inert without pressure"
+            );
+        }
+        assert_eq!(dp.hash_key(), tse_packet::rss::DEFAULT_HASH_KEY);
+        // Pressure crosses the threshold on shard 2: the first triggered sample
+        // rotates immediately (last rotation was 31 s ago, period is 10 s) …
+        pressure.push(&[0.0, 0.0, 2000.0, 0.0]);
+        pressure.push(&[0.0, 0.0, 2000.0, 0.0]);
+        pressure.push(&[0.0, 0.0, 2000.0, 0.0]);
+        let actions = sample(&mut dp, &mut rekey, &pressure, 31.0, &zeros);
+        assert_eq!(actions.len(), 1, "first pressured sample rotates");
+        assert_ne!(dp.hash_key(), tse_packet::rss::DEFAULT_HASH_KEY);
+        // … then paces at the period while pressure persists.
+        assert!(sample(&mut dp, &mut rekey, &pressure, 32.0, &zeros).is_empty());
+        assert_eq!(
+            sample(&mut dp, &mut rekey, &pressure, 41.0, &zeros).len(),
+            1,
+            "rotates again one period later under sustained pressure"
+        );
+        // Pressure subsides (windowed mean decays below threshold): inert again.
+        pressure.push(&[0.0; 4]);
+        pressure.push(&[0.0; 4]);
+        pressure.push(&[0.0; 4]);
+        assert!(sample(&mut dp, &mut rekey, &pressure, 60.0, &zeros).is_empty());
+        // on_finish restores the entry key.
+        {
+            let mut c = ctx(&mut dp, 61.0, &zeros);
+            Mitigation::<TupleSpace>::on_finish(&mut rekey, &mut c);
+        }
+        assert_eq!(dp.hash_key(), tse_packet::rss::DEFAULT_HASH_KEY);
     }
 
     #[test]

@@ -547,6 +547,7 @@ mod tests {
         );
         let pps = [100.0, 100.0];
         let zeros = [0.0, 0.0];
+        let pressure = crate::stack::PressureWindow::detached();
         let mut ctx = MitigationCtx {
             datapath: &mut sharded,
             now: 1.0,
@@ -554,6 +555,7 @@ mod tests {
             shard_attack_pps: &pps,
             shard_delivered_pps: &pps,
             shard_busy_seconds: &zeros,
+            pressure: &pressure,
         };
         let actions =
             Mitigation::<tse_classifier::tss::TupleSpace>::on_sample(&mut mitigation, &mut ctx);

@@ -12,8 +12,10 @@
 //!   entry eviction bounded by a slow-path CPU budget; [`GuardMitigation`] runs one
 //!   independently configured guard per shard;
 //! * [`defenses`] — [`RssKeyRandomizer`] (hash-key rotation against shard-pinned
-//!   explosions), [`UpcallLimiter`] (per-shard megaflow-install quotas) and
-//!   [`MaskCap`] (per-shard mask ceilings, coldest-first eviction);
+//!   explosions), [`AdaptiveRekey`] (the pressure-gated form: rotates only while the
+//!   telemetry window shows a shard under sustained attack), [`UpcallLimiter`]
+//!   (per-shard megaflow-install quotas) and [`MaskCap`] (per-shard mask ceilings,
+//!   coldest-first eviction);
 //! * [`pattern`] — the TSE-entry detector (deny megaflows that test bits of a
 //!   whitelisted field);
 //! * [`cpu_model`] — the `ovs-vswitchd` CPU model calibrated against Fig. 9c, used both
@@ -29,7 +31,7 @@ pub mod pattern;
 pub mod stack;
 
 pub use cpu_model::SlowPathCpuModel;
-pub use defenses::{MaskCap, RssKeyRandomizer, UpcallLimiter};
+pub use defenses::{AdaptiveRekey, MaskCap, RssKeyRandomizer, UpcallLimiter};
 pub use guard::{GuardConfig, GuardMitigation, GuardReport, MfcGuard};
 pub use pattern::{allow_exact_fields, is_tse_pattern};
-pub use stack::{Mitigation, MitigationAction, MitigationCtx, MitigationStack};
+pub use stack::{Mitigation, MitigationAction, MitigationCtx, MitigationStack, PressureWindow};

@@ -33,10 +33,122 @@
 //! suppressed), and a rekey strands cached entries on their old shard until the idle
 //! timeout collects them.
 
+use std::collections::VecDeque;
+
 use tse_classifier::backend::FastPathBackend;
 use tse_switch::pmd::ShardedDatapath;
 
 use crate::guard::GuardReport;
+
+/// A bounded ring of the last few intervals' per-shard attack rates — the "recent
+/// window" adaptive mitigations read to decide whether the switch is under pressure.
+///
+/// The telemetry layer (the runner's `TelemetryStore`) pushes one row per sample
+/// interval, keeping at most `depth` rows; a detached window (depth 0, never pushed)
+/// reads as "no pressure anywhere", so stages that gate on pressure are inert when
+/// driven by a consumer that does not track it. Everything is plain streaming
+/// arithmetic over the retained rows: deterministic, allocation-bounded, executor-
+/// independent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PressureWindow {
+    depth: usize,
+    shard_count: usize,
+    rows: VecDeque<Vec<f64>>,
+}
+
+impl PressureWindow {
+    /// A window retaining the last `depth` intervals for `shard_count` shards.
+    pub fn new(shard_count: usize, depth: usize) -> Self {
+        PressureWindow {
+            depth,
+            shard_count,
+            rows: VecDeque::new(),
+        }
+    }
+
+    /// A depth-0 window that never reports pressure — the default for consumers that
+    /// do not track telemetry (e.g. driving a stack by hand in tests).
+    pub const fn detached() -> Self {
+        PressureWindow {
+            depth: 0,
+            shard_count: 0,
+            rows: VecDeque::new(),
+        }
+    }
+
+    /// Record one interval's per-shard attack packets-per-second row. Slices shorter
+    /// or longer than the window's shard count are truncated/zero-padded defensively.
+    /// A depth-0 window discards the row.
+    pub fn push(&mut self, shard_attack_pps: &[f64]) {
+        if self.depth == 0 {
+            return;
+        }
+        let mut row = vec![0.0; self.shard_count];
+        for (slot, v) in row.iter_mut().zip(shard_attack_pps) {
+            *slot = *v;
+        }
+        if self.rows.len() == self.depth {
+            self.rows.pop_front();
+        }
+        self.rows.push_back(row);
+    }
+
+    /// Number of intervals currently retained (0 ≤ len ≤ depth).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no intervals have been recorded (always true for a detached window).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Maximum number of intervals the window retains.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of shards each row covers.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Mean attack pps on `shard` over the retained intervals (0.0 when empty or out
+    /// of range).
+    pub fn shard_mean(&self, shard: usize) -> f64 {
+        if self.rows.is_empty() || shard >= self.shard_count {
+            return 0.0;
+        }
+        let sum: f64 = self.rows.iter().map(|r| r[shard]).sum();
+        sum / self.rows.len() as f64
+    }
+
+    /// Peak attack pps on `shard` over the retained intervals (0.0 when empty or out
+    /// of range).
+    pub fn shard_peak(&self, shard: usize) -> f64 {
+        if shard >= self.shard_count {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r[shard]).fold(0.0, f64::max)
+    }
+
+    /// The largest per-shard windowed mean — "how hard is the hottest shard being
+    /// pushed, smoothed over the window". The usual trigger for adaptive stages.
+    pub fn hottest_shard_mean(&self) -> f64 {
+        (0..self.shard_count)
+            .map(|s| self.shard_mean(s))
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean switch-wide attack pps (summed over shards) over the retained intervals.
+    pub fn total_mean(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.rows.iter().map(|r| r.iter().sum::<f64>()).sum();
+        sum / self.rows.len() as f64
+    }
+}
 
 /// One sample interval's view of the experiment, handed to every mitigation in the
 /// stack. All slices have one element per datapath shard.
@@ -58,6 +170,11 @@ pub struct MitigationCtx<'a, B: FastPathBackend> {
     /// CPU seconds each shard spent on attack processing during the interval (out of
     /// its `dt`-second budget; the remainder went to victim traffic).
     pub shard_busy_seconds: &'a [f64],
+    /// Smoothed attack pressure over the last few intervals, maintained by the
+    /// telemetry store. Adaptive stages gate on this instead of the single-interval
+    /// slices above; it reads as zero pressure when the consumer does not track it
+    /// ([`PressureWindow::detached`]).
+    pub pressure: &'a PressureWindow,
 }
 
 impl<B: FastPathBackend> MitigationCtx<'_, B> {
@@ -273,6 +390,7 @@ mod tests {
         assert_eq!(stack.names(), vec!["tattle", "tattle"]);
         assert_eq!(stack.len(), 2);
         let zeros = [0.0, 0.0];
+        let pressure = PressureWindow::detached();
         let mut ctx = MitigationCtx {
             datapath: &mut datapath,
             now: 1.0,
@@ -280,6 +398,7 @@ mod tests {
             shard_attack_pps: &zeros,
             shard_delivered_pps: &zeros,
             shard_busy_seconds: &zeros,
+            pressure: &pressure,
         };
         assert_eq!(ctx.shard_count(), 2);
         let actions = stack.on_sample(&mut ctx);
@@ -306,6 +425,7 @@ mod tests {
         let mut stack: MitigationStack<tse_classifier::tss::TupleSpace> = MitigationStack::new();
         assert!(stack.is_empty());
         let zeros = [0.0, 0.0];
+        let pressure = PressureWindow::detached();
         let mut ctx = MitigationCtx {
             datapath: &mut datapath,
             now: 1.0,
@@ -313,9 +433,39 @@ mod tests {
             shard_attack_pps: &zeros,
             shard_delivered_pps: &zeros,
             shard_busy_seconds: &zeros,
+            pressure: &pressure,
         };
         stack.on_start(&mut ctx);
         assert!(stack.on_sample(&mut ctx).is_empty());
+    }
+
+    #[test]
+    fn pressure_window_is_bounded_and_streaming() {
+        let mut w = PressureWindow::new(2, 3);
+        assert!(w.is_empty());
+        assert_eq!(w.hottest_shard_mean(), 0.0);
+        w.push(&[10.0, 0.0]);
+        w.push(&[20.0, 2.0]);
+        w.push(&[30.0, 4.0]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.shard_mean(0), 20.0);
+        assert_eq!(w.shard_mean(1), 2.0);
+        assert_eq!(w.shard_peak(0), 30.0);
+        assert_eq!(w.hottest_shard_mean(), 20.0);
+        assert_eq!(w.total_mean(), 22.0);
+        // A fourth push ages out the first row: the window stays depth-bounded.
+        w.push(&[40.0, 6.0]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.shard_mean(0), 30.0);
+        // Out-of-range shard and short rows are defensive, not panics.
+        assert_eq!(w.shard_mean(7), 0.0);
+        w.push(&[1.0]);
+        assert_eq!(w.len(), 3);
+        // Detached windows never retain anything.
+        let mut d = PressureWindow::detached();
+        d.push(&[100.0, 100.0]);
+        assert!(d.is_empty());
+        assert_eq!(d.hottest_shard_mean(), 0.0);
     }
 
     #[test]

@@ -12,7 +12,13 @@
 //!   datapath, victim throughput derived from the measured per-invocation cost and the
 //!   CPU left over, attributed per source;
 //! * [`cloud`] — the platform models (synthetic, OpenStack/OVN, Kubernetes/OVN) with
-//!   their ACL expressiveness limits and link rates (§5.5, §5.6, §7).
+//!   their ACL expressiveness limits and link rates (§5.5, §5.6, §7);
+//! * [`telemetry`] — the two-tier hot/cold telemetry store: a bounded ring of recent
+//!   samples plus streaming whole-run aggregates and per-tenant SLO trackers, so
+//!   hour-long tenant-scale runs hold constant memory;
+//! * [`fleet`] — tenant-scale workload builders: [`fleet::TenantFleet`] (hundreds to
+//!   thousands of tenants behind one gateway, a few of them hostile) and
+//!   [`fleet::ChurnSource`] (Poisson benign flow churn as background traffic).
 //!
 //! The traffic-source abstraction itself ([`TrafficSource`], [`TrafficMix`], the
 //! attack-side sources) lives in `tse-attack`'s `source` module and is re-exported
@@ -22,13 +28,19 @@
 #![warn(missing_docs)]
 
 pub mod cloud;
+pub mod fleet;
 pub mod offload;
 pub mod runner;
+pub mod telemetry;
 pub mod traffic;
 
 pub use cloud::{section7_mask_ceiling, CloudPlatform};
+pub use fleet::{ChurnConfig, ChurnSource, FleetConfig, TenantFleet};
 pub use offload::OffloadConfig;
 pub use runner::{ExperimentRunner, Timeline, TimelineSample};
+pub use telemetry::{
+    LogHistogram, SeriesAgg, SloConfig, SloTracker, TelemetryConfig, TelemetryStore,
+};
 pub use traffic::{VictimFlow, VictimSource};
 pub use tse_attack::source::{
     AttackGenerator, EventPayload, SourceRole, TraceSource, TrafficEvent, TrafficMix, TrafficSource,

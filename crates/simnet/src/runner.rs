@@ -20,6 +20,7 @@
 use tse_attack::source::{EventPayload, SourceRole, TrafficEvent, TrafficMix};
 use tse_attack::trace::AttackTrace;
 use tse_classifier::backend::FastPathBackend;
+use tse_classifier::flowtable::FlowTable;
 use tse_classifier::tss::TupleSpace;
 use tse_mitigation::guard::{GuardMitigation, MfcGuard};
 use tse_mitigation::stack::{Mitigation, MitigationAction, MitigationCtx, MitigationStack};
@@ -29,6 +30,7 @@ use tse_switch::exec::ShardExecutor;
 use tse_switch::pmd::ShardedDatapath;
 
 use crate::offload::OffloadConfig;
+use crate::telemetry::{TelemetryConfig, TelemetryStore};
 use crate::traffic::{VictimFlow, VictimSource};
 
 /// One per-interval sample of the experiment timeline.
@@ -44,6 +46,11 @@ pub struct TimelineSample {
     /// Attack packets per second delivered by each attacker source during this
     /// interval, in the order of [`Timeline::attacker_names`].
     pub attacker_pps_by_source: Vec<f64>,
+    /// Benign background packets per second replayed through the datapath during this
+    /// interval ([`SourceRole::Background`] sources — e.g. tenant flow churn). The
+    /// packets consume CPU like any other traffic but are attributed to no attacker
+    /// series (0.0 in every mix without background sources).
+    pub background_pps: f64,
     /// Megaflow masks at the end of the interval (all shards combined).
     pub mask_count: usize,
     /// Megaflow entries at the end of the interval (all shards combined).
@@ -96,13 +103,20 @@ pub struct Timeline {
 }
 
 impl Timeline {
-    /// Minimum aggregate victim throughput over a time window.
+    /// Minimum aggregate victim throughput over a time window (0.0 for an empty or
+    /// out-of-range window — not `+∞`, which would poison downstream JSON/metrics).
     pub fn min_total_between(&self, start: f64, stop: f64) -> f64 {
-        self.samples
+        let min = self
+            .samples
             .iter()
             .filter(|s| s.time >= start && s.time < stop)
             .map(TimelineSample::total_victim_gbps)
-            .fold(f64::INFINITY, f64::min)
+            .fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            min
+        } else {
+            0.0
+        }
     }
 
     /// Mean aggregate victim throughput over a time window.
@@ -129,7 +143,9 @@ impl Timeline {
             .samples
             .iter()
             .filter(|s| s.time >= start && s.time < stop)
-            .map(|s| s.attacker_pps_by_source[idx])
+            // Defensive: a hand-built (or spill-reloaded) sample may carry fewer
+            // per-source entries than the timeline has attacker names.
+            .map(|s| s.attacker_pps_by_source.get(idx).copied().unwrap_or(0.0))
             .collect();
         if vals.is_empty() {
             0.0
@@ -221,6 +237,16 @@ pub struct ExperimentRunner<B: FastPathBackend = TupleSpace> {
     pub mitigations: MitigationStack<B>,
     /// Sampling/measurement interval in seconds.
     pub sample_interval: f64,
+    /// Telemetry recording configuration ([`TelemetryConfig::default`] keeps every
+    /// classic short-horizon run inside the hot ring, so the returned [`Timeline`] is
+    /// unchanged bit-for-bit; shrink [`TelemetryConfig::hot_capacity`] for hour-long
+    /// runs that must hold constant memory).
+    pub telemetry_config: TelemetryConfig,
+    /// The telemetry store of the most recent `run`/`run_mix`, if any.
+    last_telemetry: Option<TelemetryStore>,
+    /// Scheduled flow-table replacements `(time, table)`, applied at the start of the
+    /// first interval whose start time is ≥ the scheduled time (sorted by time).
+    table_updates: Vec<(f64, FlowTable)>,
 }
 
 impl<B: FastPathBackend> ExperimentRunner<B> {
@@ -243,7 +269,40 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
             offload,
             mitigations: MitigationStack::new(),
             sample_interval: 1.0,
+            telemetry_config: TelemetryConfig::default(),
+            last_telemetry: None,
+            table_updates: Vec::new(),
         }
+    }
+
+    /// Configure telemetry recording (builder form): hot-ring capacity, per-tenant
+    /// SLO tracking, pressure-window depth and cold spill. See [`TelemetryStore`].
+    pub fn with_telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry_config = config;
+        self
+    }
+
+    /// Schedule mid-run flow-table replacements (builder form): at the start of the
+    /// first sample interval whose start time is ≥ each entry's time, the table is
+    /// installed on every shard via [`ShardedDatapath::install_table`] — megaflows
+    /// are revalidated against the new ACL and the microflow cache is flushed,
+    /// exactly like an OVS controller update. Entries are applied in time order.
+    pub fn with_table_updates(mut self, mut updates: Vec<(f64, FlowTable)>) -> Self {
+        updates.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.table_updates = updates;
+        self
+    }
+
+    /// The telemetry store recorded by the most recent [`ExperimentRunner::run`] /
+    /// [`ExperimentRunner::run_mix`]: whole-run streaming aggregates, per-tenant SLO
+    /// trackers and the hot sample window.
+    pub fn last_telemetry(&self) -> Option<&TelemetryStore> {
+        self.last_telemetry.as_ref()
+    }
+
+    /// Take ownership of the most recent run's telemetry store.
+    pub fn take_telemetry(&mut self) -> Option<TelemetryStore> {
+        self.last_telemetry.take()
     }
 
     /// Append a mitigation to the runner's defense pipeline (builder form; stages run
@@ -329,6 +388,7 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
         // Map each source index to its victim/attacker slot.
         let mut victim_slot = vec![usize::MAX; roles.len()];
         let mut attacker_slot = vec![usize::MAX; roles.len()];
+        let mut background_src = vec![false; roles.len()];
         let mut victim_names = Vec::new();
         let mut attacker_names = Vec::new();
         for (i, role) in roles.iter().enumerate() {
@@ -341,17 +401,22 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                     attacker_slot[i] = attacker_names.len();
                     attacker_names.push(labels[i].clone());
                 }
+                SourceRole::Background => {
+                    background_src[i] = true;
+                }
             }
         }
         let n_victims = victim_names.len();
         let n_attackers = attacker_names.len();
         let n_shards = self.datapath.shard_count();
-        let mut timeline = Timeline {
+        let mut store = TelemetryStore::new(
+            self.telemetry_config.clone(),
+            dt,
             victim_names,
             attacker_names,
-            shard_count: n_shards,
-            samples: Vec::new(),
-        };
+            n_shards,
+        );
+        let mut update_cursor = 0usize;
         let steps = (duration / dt).ceil() as usize;
         let mut chunk: Vec<(Key, usize, f64)> = Vec::new();
         let mut probes: Vec<(usize, TrafficEvent)> = Vec::new();
@@ -364,6 +429,7 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 shard_attack_pps: &zeros,
                 shard_delivered_pps: &zeros,
                 shard_busy_seconds: &zeros,
+                pressure: store.pressure(),
             };
             self.mitigations.on_start(&mut ctx);
         }
@@ -371,16 +437,31 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
             let t = step as f64 * dt;
             let t_end = t + dt;
 
+            // 0. Apply any flow-table replacement scheduled at or before this
+            //    interval's start — the controller-side half of tenant churn.
+            while update_cursor < self.table_updates.len()
+                && self.table_updates[update_cursor].0 <= t
+            {
+                let table = self.table_updates[update_cursor].1.clone();
+                self.datapath.install_table(table);
+                update_cursor += 1;
+            }
+
             // 1. Drain this interval's events; replay packet chunks as they close.
             //    Attack cost and packet counts are tracked per shard: every shard is a
             //    PMD thread with a private CPU budget.
             let mut attack_packets = 0u64;
+            let mut background_packets = 0u64;
             let mut shard_busy = vec![0.0f64; n_shards];
             let mut shard_packets = vec![0u64; n_shards];
             let mut per_attacker = vec![0u64; n_attackers];
             let mut chunk_src = usize::MAX;
             chunk.clear();
             probes.clear();
+            // A chunk belongs to one source, so its packets are all-attack or
+            // all-background: background chunks charge shard CPU like any traffic but
+            // stay out of the attack-attribution series.
+            let background_src = &background_src;
             let flush = |datapath: &mut ShardedDatapath<B>,
                          chunk: &mut Vec<(Key, usize, f64)>,
                          src: usize,
@@ -388,19 +469,26 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                          shard_packets: &mut [u64],
                          per_attacker: &mut [u64]| {
                 if chunk.is_empty() {
-                    return 0u64;
+                    return (0u64, 0u64);
                 }
                 let report = datapath.process_timed_batch(chunk);
+                let is_background = background_src[src];
                 for (s, r) in report.per_shard.iter().enumerate() {
                     shard_busy[s] += r.total_cost;
-                    shard_packets[s] += r.processed as u64;
+                    if !is_background {
+                        shard_packets[s] += r.processed as u64;
+                    }
                 }
                 let n = chunk.len() as u64;
                 if attacker_slot[src] != usize::MAX {
                     per_attacker[attacker_slot[src]] += n;
                 }
                 chunk.clear();
-                n
+                if is_background {
+                    (0, n)
+                } else {
+                    (n, 0)
+                }
             };
             while let Some((src, ev)) = mix.next_before(t_end) {
                 match ev.payload {
@@ -411,7 +499,7 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                             continue;
                         }
                         if src != chunk_src {
-                            attack_packets += flush(
+                            let (atk, bg) = flush(
                                 &mut self.datapath,
                                 &mut chunk,
                                 chunk_src,
@@ -419,6 +507,8 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                                 &mut shard_packets,
                                 &mut per_attacker,
                             );
+                            attack_packets += atk;
+                            background_packets += bg;
                             chunk_src = src;
                         }
                         chunk.push((ev.key, ev.bytes, ev.time));
@@ -426,7 +516,7 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                     EventPayload::Probe { .. } => probes.push((src, ev)),
                 }
             }
-            attack_packets += flush(
+            let (atk, bg) = flush(
                 &mut self.datapath,
                 &mut chunk,
                 chunk_src,
@@ -434,6 +524,8 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 &mut shard_packets,
                 &mut per_attacker,
             );
+            attack_packets += atk;
+            background_packets += bg;
             self.datapath.maybe_expire(t_end);
 
             // 2. Replay the probes (already in time-then-insertion order): refresh each
@@ -537,9 +629,12 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
             }
 
             // 4. Run the mitigation pipeline — each stage sees this interval's
-            //    per-shard telemetry and the datapath as left by the stages before it.
+            //    per-shard telemetry (including the rolling pressure window, updated
+            //    first so adaptive stages see the interval just measured) and the
+            //    datapath as left by the stages before it.
             let shard_attacker_pps: Vec<f64> =
                 shard_packets.iter().map(|&c| c as f64 / dt).collect();
+            store.note_pressure(&shard_attacker_pps);
             let mitigation_actions = if self.mitigations.is_empty() {
                 Vec::new()
             } else {
@@ -555,23 +650,33 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                     shard_attack_pps: &shard_attacker_pps,
                     shard_delivered_pps: &delivered_pps,
                     shard_busy_seconds: &shard_busy,
+                    pressure: store.pressure(),
                 };
                 self.mitigations.on_sample(&mut ctx)
             };
 
-            timeline.samples.push(TimelineSample {
-                time: t,
-                victim_gbps,
-                attacker_pps: attack_packets as f64 / dt,
-                attacker_pps_by_source: per_attacker.iter().map(|&c| c as f64 / dt).collect(),
-                mask_count: self.datapath.mask_count(),
-                entry_count: self.datapath.entry_count(),
-                victim_masks_scanned,
-                shard_masks: self.datapath.shard_mask_counts(),
-                shard_entries: self.datapath.shard_entry_counts(),
-                shard_attacker_pps,
-                mitigation_actions,
-            });
+            // 5. Record into the telemetry store: the hot ring keeps the sample in
+            //    full detail (aging into the cold aggregates past capacity), SLO
+            //    trackers fold in the delivered rates of the victims active this
+            //    interval.
+            let victim_active: Vec<bool> = victim_costs.iter().map(Option::is_some).collect();
+            store.record(
+                TimelineSample {
+                    time: t,
+                    victim_gbps,
+                    attacker_pps: attack_packets as f64 / dt,
+                    attacker_pps_by_source: per_attacker.iter().map(|&c| c as f64 / dt).collect(),
+                    background_pps: background_packets as f64 / dt,
+                    mask_count: self.datapath.mask_count(),
+                    entry_count: self.datapath.entry_count(),
+                    victim_masks_scanned,
+                    shard_masks: self.datapath.shard_mask_counts(),
+                    shard_entries: self.datapath.shard_entry_counts(),
+                    shard_attacker_pps,
+                    mitigation_actions,
+                },
+                &victim_active,
+            );
         }
         if !self.mitigations.is_empty() {
             // Teardown: stages disarm whatever per-shard state they installed (e.g.
@@ -584,9 +689,16 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 shard_attack_pps: &zeros,
                 shard_delivered_pps: &zeros,
                 shard_busy_seconds: &zeros,
+                pressure: store.pressure(),
             };
             self.mitigations.on_finish(&mut ctx);
         }
+        store.finish();
+        // The returned timeline is the store's recent window — bit-for-bit the classic
+        // unbounded timeline whenever the horizon fits the hot ring (the default for
+        // every short-horizon experiment; `tests/golden_runner_parity.rs`).
+        let timeline = store.recent_timeline();
+        self.last_telemetry = Some(store);
         timeline
     }
 }
@@ -806,6 +918,47 @@ mod tests {
         let timeline = runner.run(&AttackTrace::default(), 40.0);
         assert_eq!(timeline.samples[10].total_victim_gbps(), 0.0);
         assert!(timeline.samples[35].total_victim_gbps() > 0.5);
+    }
+
+    #[test]
+    fn timeline_window_accessors_are_total_on_degenerate_input() {
+        // Empty timeline: every window accessor answers 0.0, never NaN/∞/panic.
+        let empty = Timeline::default();
+        assert_eq!(empty.min_total_between(0.0, 100.0), 0.0);
+        assert_eq!(empty.mean_total_between(0.0, 100.0), 0.0);
+        assert_eq!(empty.mean_attacker_pps_between("atk", 0.0, 100.0), 0.0);
+
+        let tl = Timeline {
+            victim_names: vec!["v".into()],
+            attacker_names: vec!["atk".into()],
+            shard_count: 1,
+            samples: vec![TimelineSample {
+                time: 0.0,
+                victim_gbps: vec![1.0],
+                attacker_pps: 50.0,
+                // Deliberately narrower than `attacker_names`, as a hand-built or
+                // spill-reloaded sample may be.
+                attacker_pps_by_source: Vec::new(),
+                background_pps: 0.0,
+                mask_count: 0,
+                entry_count: 0,
+                victim_masks_scanned: 0,
+                shard_masks: vec![0],
+                shard_entries: vec![0],
+                shard_attacker_pps: vec![50.0],
+                mitigation_actions: Vec::new(),
+            }],
+        };
+        // Out-of-range and inverted windows select nothing and answer 0.0.
+        assert_eq!(tl.min_total_between(10.0, 20.0), 0.0);
+        assert_eq!(tl.min_total_between(5.0, 1.0), 0.0);
+        assert_eq!(tl.mean_total_between(10.0, 20.0), 0.0);
+        // Unknown labels and missing per-source entries degrade to 0.0, not a panic.
+        assert_eq!(tl.mean_attacker_pps_between("nope", 0.0, 1.0), 0.0);
+        assert_eq!(tl.mean_attacker_pps_between("atk", 0.0, 1.0), 0.0);
+        // A well-formed window still answers exactly.
+        assert_eq!(tl.min_total_between(0.0, 1.0), 1.0);
+        assert_eq!(tl.mean_total_between(0.0, 1.0), 1.0);
     }
 
     #[test]

@@ -110,6 +110,29 @@ impl TenantAcl {
         )
     }
 
+    /// The shard-pinned attack ACL used by tenant-fleet experiments: allow dst port 80
+    /// and src port 12345 to the attacker's own service (the SpDp pattern). Unlike
+    /// [`TenantAcl::full_blown_attack`] it does not test the source address, so an
+    /// attacker replaying the bit-inversion outer product from a single client IP
+    /// keeps every packet on one RX queue under per-tenant steering — the worst case
+    /// for the tenants sharing that queue, and blast-radius-free for the others.
+    pub fn sp_dp_attack(name: impl Into<String>, service_ip: u128) -> Self {
+        TenantAcl::new(
+            name,
+            service_ip,
+            vec![
+                AllowClause {
+                    field: AclField::DstPort,
+                    value: 80,
+                },
+                AllowClause {
+                    field: AclField::SrcPort,
+                    value: 12345,
+                },
+            ],
+        )
+    }
+
     /// Number of allow clauses.
     pub fn len(&self) -> usize {
         self.allows.len()
@@ -135,7 +158,10 @@ pub fn merge_tenant_acls(schema: &FieldSchema, tenants: &[TenantAcl]) -> FlowTab
         .or_else(|| schema.field_index("ip6_dst"))
         .expect("OVS schema must have a destination address field");
     let mut table = FlowTable::new(schema.clone());
-    let mut priority = 10_000u32;
+    // Start high enough that even a 10k-tenant fleet's clauses all stay above the
+    // DefaultDeny's priority 0 (the classic small merges keep their historic 10_000).
+    let clause_count: usize = tenants.iter().map(|t| t.allows.len()).sum();
+    let mut priority = (clause_count as u32 + 1).max(10_000);
     for tenant in tenants {
         for clause in &tenant.allows {
             let field = clause.field.schema_index(schema);

@@ -187,6 +187,49 @@
 //!     .iter()
 //!     .any(|a| matches!(a, MitigationAction::Rekeyed { .. })));
 //! ```
+//!
+//! ## Tenant-scale telemetry & SLOs
+//!
+//! For fleet-sized, hour-long runs the unbounded timeline is replaced by the two-tier
+//! [`prelude::TelemetryStore`]: a bounded hot ring of recent full-detail
+//! [`prelude::TimelineSample`]s plus streaming cold aggregates
+//! ([`prelude::SeriesAgg`]: count/sum/min/max and a deterministic log-bucket
+//! histogram for p50/p99) covering the *whole* run in memory that never grows with
+//! the horizon. Per-tenant [`prelude::SloTracker`]s measure delivered throughput
+//! against a floor — violation episodes, time-to-detect, time-to-recover.
+//! [`prelude::TenantFleet`] builds the whole multi-tenant gateway scenario (per-tenant
+//! ACLs, iperf-like victims, Poisson background churn via [`prelude::ChurnSource`],
+//! staggered mid-run attackers armed by scheduled ACL updates), and the runner
+//! replays it with bounded memory:
+//!
+//! ```
+//! use tse::prelude::*;
+//!
+//! let schema = FieldSchema::ovs_ipv4();
+//! let fleet = TenantFleet::new(&schema, FleetConfig {
+//!     tenants: 12,
+//!     attackers: 1,
+//!     offered_gbps: 0.01,
+//!     attack_rate_pps: 400.0,
+//!     duration: 20.0,
+//!     churn: Some(ChurnConfig::default()),
+//!     seed: 7,
+//! });
+//! let sharded = ShardedDatapath::from_builder(
+//!     Datapath::builder(fleet.table()),
+//!     2,
+//!     Steering::PerTenant,
+//! );
+//! let mut runner = ExperimentRunner::sharded(sharded, vec![], OffloadConfig::gro_off())
+//!     .with_telemetry(TelemetryConfig::with_hot_capacity(8).with_slo_floor(0.005))
+//!     .with_table_updates(fleet.table_updates());
+//! let recent = runner.run_mix(fleet.mix(1.0), 20.0);
+//! assert_eq!(recent.samples.len(), 8); // hot ring: only the last 8 s in full detail...
+//! let store = runner.take_telemetry().unwrap();
+//! assert_eq!(store.samples_recorded(), 20); // ...but the cold tier folded every interval
+//! assert_eq!(store.slo_trackers().len(), 11); // one SLO tracker per benign tenant
+//! assert!(store.footprint_units() <= store.footprint_ceiling(4)); // bounded, provably
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -225,16 +268,22 @@ pub mod prelude {
     pub use tse_classifier::rule::{Action, Rule};
     pub use tse_classifier::strategy::{generate_megaflow, FieldStrategy, MegaflowStrategy};
     pub use tse_classifier::tss::{MaskOrdering, TupleSpace};
-    pub use tse_mitigation::defenses::{MaskCap, RssKeyRandomizer, UpcallLimiter};
+    pub use tse_mitigation::defenses::{AdaptiveRekey, MaskCap, RssKeyRandomizer, UpcallLimiter};
     pub use tse_mitigation::guard::{GuardConfig, GuardMitigation, GuardReport, MfcGuard};
-    pub use tse_mitigation::stack::{Mitigation, MitigationAction, MitigationCtx, MitigationStack};
+    pub use tse_mitigation::stack::{
+        Mitigation, MitigationAction, MitigationCtx, MitigationStack, PressureWindow,
+    };
     pub use tse_packet::builder::PacketBuilder;
     pub use tse_packet::fields::{FieldDef, FieldSchema, Key, Mask};
     pub use tse_packet::flowkey::FlowKey;
     pub use tse_packet::Packet;
     pub use tse_simnet::cloud::CloudPlatform;
+    pub use tse_simnet::fleet::{ChurnConfig, ChurnSource, FleetConfig, TenantFleet};
     pub use tse_simnet::offload::OffloadConfig;
     pub use tse_simnet::runner::{ExperimentRunner, Timeline, TimelineSample};
+    pub use tse_simnet::telemetry::{
+        LogHistogram, SeriesAgg, SloConfig, SloTracker, TelemetryConfig, TelemetryStore,
+    };
     pub use tse_simnet::traffic::{VictimFlow, VictimSource};
     pub use tse_switch::cost::CostModel;
     pub use tse_switch::datapath::{BatchReport, Datapath, DatapathBuilder, DatapathConfig};

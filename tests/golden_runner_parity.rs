@@ -289,6 +289,9 @@ fn reference_guarded_run(
                 attacker_slot[i] = n_attackers;
                 n_attackers += 1;
             }
+            SourceRole::Background => {
+                unreachable!("the frozen reference mixes have no background sources")
+            }
         }
     }
     let n_shards = datapath.shard_count();
