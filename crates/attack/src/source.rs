@@ -70,7 +70,11 @@ pub enum SourceRole {
 /// clamps regressions defensively, but a well-behaved source never relies on that.
 /// Sources may be unbounded (e.g. a victim flow that runs forever, or a General-TSE
 /// generator) — consumers pull only as far as the experiment horizon.
-pub trait TrafficSource {
+///
+/// `Send` is a supertrait so the pipelined experiment runner can drain interval
+/// *k + 1* on a spare pool worker while the datapath shards chew interval *k*; every
+/// source is plain owned data (traces, RNG state), so this costs implementors nothing.
+pub trait TrafficSource: Send {
     /// Display label (per-source attribution in timelines, e.g. `"Attacker 2"`).
     fn label(&self) -> &str;
 
@@ -194,8 +198,8 @@ where
 
 impl<I, R> TrafficSource for AttackGenerator<I, R>
 where
-    I: Iterator<Item = Key>,
-    R: Rng,
+    I: Iterator<Item = Key> + Send,
+    R: Rng + Send,
 {
     fn label(&self) -> &str {
         &self.label

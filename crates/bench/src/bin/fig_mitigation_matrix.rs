@@ -72,7 +72,7 @@ fn run(
     schema: &FieldSchema,
     args: &tse_bench::FigArgs,
     victims: &[VictimFlow],
-    keys: impl Iterator<Item = Key> + 'static,
+    keys: impl Iterator<Item = Key> + Send + 'static,
     stack: &str,
 ) -> (Timeline, f64) {
     let duration = args.duration;

@@ -26,7 +26,9 @@ pub mod report;
 
 use std::path::PathBuf;
 
-use tse_switch::exec::{SequentialExecutor, ShardExecutor, ThreadPoolExecutor};
+use tse_switch::exec::{
+    PersistentPoolExecutor, SequentialExecutor, ShardExecutor, ThreadPoolExecutor,
+};
 
 use report::{BenchReport, Metric};
 
@@ -48,8 +50,13 @@ pub struct FigArgs {
     /// Number of datapath shards / PMD threads to model (`--shards`), or `None` for
     /// binaries without a sharded datapath — there is no sentinel shard count.
     pub shards: Option<usize>,
-    /// Worker threads driving the per-shard fan-out (`--parallel`; 1 = sequential).
+    /// Worker threads driving the per-shard fan-out (`--parallel <n>` for the
+    /// long-lived persistent pool, `--parallel scoped:<n>` for per-batch scoped
+    /// threads; 1 = sequential).
     pub threads: usize,
+    /// `true` when `--parallel scoped:<n>` asked for the per-batch scoped-thread pool
+    /// instead of the default persistent pool.
+    pub scoped: bool,
     /// Where to append this run's benchmark report (`--json <path>`), typically one
     /// of the repo-root `BENCH_<area>.json` files; `None` disables emission.
     pub json: Option<PathBuf>,
@@ -69,22 +76,33 @@ impl FigArgs {
             .expect("this binary has no --shards flag; use fig_args(..) to enable it")
     }
 
-    /// The shard executor the flags select: a [`ThreadPoolExecutor`] when
-    /// `--parallel` asked for more than one thread, the default
-    /// [`SequentialExecutor`] otherwise. Timelines are identical either way; only
-    /// wall-clock time changes.
+    /// The shard executor the flags select: a [`PersistentPoolExecutor`] when
+    /// `--parallel <n>` asked for more than one thread (long-lived parked workers,
+    /// the PMD-thread model), a [`ThreadPoolExecutor`] for the explicit
+    /// `--parallel scoped:<n>` form (per-batch scoped threads, kept reachable for
+    /// comparison runs), the default [`SequentialExecutor`] otherwise. Timelines are
+    /// identical in all three cases; only wall-clock time changes.
     pub fn executor(&self) -> Box<dyn ShardExecutor> {
         if self.threads > 1 {
-            Box::new(ThreadPoolExecutor::new(self.threads))
+            if self.scoped {
+                Box::new(ThreadPoolExecutor::new(self.threads))
+            } else {
+                Box::new(PersistentPoolExecutor::new(self.threads))
+            }
         } else {
             Box::new(SequentialExecutor)
         }
     }
 
-    /// `"sequential"` or `"thread-pool(N)"` — for experiment headers.
+    /// `"sequential"`, `"persistent-pool(N)"` or `"thread-pool(N)"` — for experiment
+    /// headers.
     pub fn executor_label(&self) -> String {
         if self.threads > 1 {
-            format!("thread-pool({})", self.threads)
+            if self.scoped {
+                format!("thread-pool({})", self.threads)
+            } else {
+                format!("persistent-pool({})", self.threads)
+            }
         } else {
             "sequential".to_string()
         }
@@ -102,7 +120,11 @@ impl FigArgs {
         }
         if let Some(shards) = self.shards {
             parts.push(format!("shards={shards}"));
-            parts.push(format!("parallel={}", self.threads));
+            if self.scoped {
+                parts.push(format!("parallel=scoped:{}", self.threads));
+            } else {
+                parts.push(format!("parallel={}", self.threads));
+            }
         }
         if let Some(tenants) = self.tenants {
             parts.push(format!("tenants={tenants}"));
@@ -175,6 +197,7 @@ pub fn fig_args(default_duration: f64, default_shards: usize) -> FigArgs {
             duration: default_duration,
             shards: Some(default_shards),
             threads: 1,
+            scoped: false,
             json: None,
             tenants: None,
             slo_gbps: None,
@@ -202,6 +225,7 @@ pub fn fig_args_fleet(
             duration: default_duration,
             shards: Some(default_shards),
             threads: 1,
+            scoped: false,
             json: None,
             tenants: Some(default_tenants),
             slo_gbps: Some(default_slo_gbps),
@@ -223,6 +247,7 @@ pub fn fig_args_duration(default_duration: f64) -> FigArgs {
             duration: default_duration,
             shards: None,
             threads: 1,
+            scoped: false,
             json: None,
             tenants: None,
             slo_gbps: None,
@@ -244,6 +269,7 @@ pub fn fig_args_static() -> FigArgs {
             duration: 0.0,
             shards: None,
             threads: 1,
+            scoped: false,
             json: None,
             tenants: None,
             slo_gbps: None,
@@ -305,7 +331,15 @@ fn parse_args(
         } else {
             None
         } {
-            out.threads = value("--parallel", &v)?;
+            if let Some(n) = v.strip_prefix("scoped:") {
+                out.threads = n
+                    .parse()
+                    .map_err(|e| format!("bad --parallel {v:?}: {e}"))?;
+                out.scoped = true;
+            } else {
+                out.threads = value("--parallel", &v)?;
+                out.scoped = false;
+            }
         } else if let Some(v) = if flags.fleet {
             take("--tenants")?
         } else {
@@ -446,6 +480,7 @@ mod tests {
                 duration: if flags.duration { 70.0 } else { 0.0 },
                 shards: flags.sharded.then_some(4),
                 threads: 1,
+                scoped: false,
                 json: None,
                 tenants: flags.fleet.then_some(1000),
                 slo_gbps: flags.fleet.then_some(0.005),
@@ -462,6 +497,7 @@ mod tests {
                 duration: 70.0,
                 shards: Some(4),
                 threads: 1,
+                scoped: false,
                 json: None,
                 tenants: None,
                 slo_gbps: None,
@@ -477,6 +513,7 @@ mod tests {
                 duration: 35.0,
                 shards: Some(16),
                 threads: 8,
+                scoped: false,
                 json: None,
                 tenants: None,
                 slo_gbps: None,
@@ -488,6 +525,7 @@ mod tests {
                 duration: 5.5,
                 shards: Some(4),
                 threads: 2,
+                scoped: false,
                 json: None,
                 tenants: None,
                 slo_gbps: None,
@@ -551,9 +589,38 @@ mod tests {
     fn fig_args_selects_the_executor() {
         assert_eq!(parse(&[], SHARDED).unwrap().executor().name(), "sequential");
         assert_eq!(parse(&[], SHARDED).unwrap().executor_label(), "sequential");
+        // Plain `--parallel N` selects the long-lived persistent pool.
         let par = parse(&["--parallel", "4"], SHARDED).unwrap();
-        assert_eq!(par.executor().name(), "thread-pool");
-        assert_eq!(par.executor_label(), "thread-pool(4)");
+        assert_eq!(par.executor().name(), "persistent-pool");
+        assert_eq!(par.executor_label(), "persistent-pool(4)");
+        // The scoped per-batch pool stays reachable behind an explicit value.
+        let scoped = parse(&["--parallel", "scoped:4"], SHARDED).unwrap();
+        assert_eq!(scoped.executor().name(), "thread-pool");
+        assert_eq!(scoped.executor_label(), "thread-pool(4)");
+        assert_eq!(parse(&["--parallel=scoped:3"], SHARDED).unwrap().threads, 3);
+        // A later plain value overrides an earlier scoped one completely.
+        let overridden = parse(&["--parallel=scoped:3", "--parallel=2"], SHARDED).unwrap();
+        assert!(!overridden.scoped);
+        assert_eq!(overridden.executor_label(), "persistent-pool(2)");
+    }
+
+    #[test]
+    fn scoped_parallel_validates_and_keeps_its_own_params_identity() {
+        // The params identity distinguishes the pools: committed baselines recorded
+        // under `parallel=N` keep matching the (executor-independent) deterministic
+        // metrics, while scoped runs file under their own key.
+        assert_eq!(
+            parse(&["--duration=35", "--parallel=scoped:2"], SHARDED)
+                .unwrap()
+                .params(),
+            "duration=35,shards=4,parallel=scoped:2"
+        );
+        assert!(parse(&["--parallel", "scoped:0"], SHARDED)
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["--parallel", "scoped:nope"], SHARDED)
+            .unwrap_err()
+            .contains("bad --parallel \"scoped:nope\""));
     }
 
     #[test]

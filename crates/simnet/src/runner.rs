@@ -27,7 +27,7 @@ use tse_mitigation::stack::{Mitigation, MitigationAction, MitigationCtx, Mitigat
 use tse_packet::fields::Key;
 use tse_switch::datapath::Datapath;
 use tse_switch::exec::ShardExecutor;
-use tse_switch::pmd::ShardedDatapath;
+use tse_switch::pmd::{Prepartition, ShardedDatapath, SteeringView};
 
 use crate::offload::OffloadConfig;
 use crate::telemetry::{TelemetryConfig, TelemetryStore};
@@ -313,10 +313,15 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
     }
 
     /// Select the shard-execution model of the datapath under test (builder form):
-    /// [`SequentialExecutor`](tse_switch::exec::SequentialExecutor) by default, or a
-    /// [`ThreadPoolExecutor`](tse_switch::exec::ThreadPoolExecutor) for true
-    /// thread-parallel shard execution. Timelines are bit-for-bit identical on every
-    /// executor (`tests/executor_parity.rs`); only wall-clock time changes.
+    /// [`SequentialExecutor`](tse_switch::exec::SequentialExecutor) by default, a
+    /// [`PersistentPoolExecutor`](tse_switch::exec::PersistentPoolExecutor) for
+    /// long-lived parked workers (the PMD-thread model — spawn cost paid once), or a
+    /// [`ThreadPoolExecutor`](tse_switch::exec::ThreadPoolExecutor) for per-batch
+    /// scoped threads. Timelines are bit-for-bit identical on every executor
+    /// (`tests/executor_parity.rs`); only wall-clock time changes. On a pooled
+    /// executor with a spare worker, [`ExperimentRunner::run_mix`] additionally
+    /// pipelines the hot loop: interval *k + 1* is drained and pre-partitioned while
+    /// the shards chew interval *k*.
     pub fn with_executor(mut self, executor: impl ShardExecutor + 'static) -> Self {
         self.datapath.set_executor(executor);
         self
@@ -381,6 +386,15 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
     /// (install quotas) are in force from t = 0; after the last interval the
     /// [`Mitigation::on_finish`] hooks disarm whatever per-shard state the stages
     /// installed, so a reused runner or datapath leaves the run undefended.
+    ///
+    /// The loop is double-buffered: while the shards process interval *k*'s largest
+    /// chunk, a spare executor worker drains interval *k + 1* from the mix and
+    /// pre-partitions its chunks against a [`SteeringView`] snapshot
+    /// ([`ShardedDatapath::process_timed_batch_with`]). Draining never touches the
+    /// datapath and a partition staled by a mitigation rekey is recomputed at
+    /// dispatch, so the timeline is bit-for-bit the unpipelined one on every executor
+    /// — on the [`SequentialExecutor`](tse_switch::exec::SequentialExecutor) the
+    /// "overlap" simply runs first.
     pub fn run_mix(&mut self, mut mix: TrafficMix<'_>, duration: f64) -> Timeline {
         let dt = self.sample_interval;
         let roles = mix.roles();
@@ -418,8 +432,11 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
         );
         let mut update_cursor = 0usize;
         let steps = (duration / dt).ceil() as usize;
-        let mut chunk: Vec<(Key, usize, f64)> = Vec::new();
-        let mut probes: Vec<(usize, TrafficEvent)> = Vec::new();
+        // Double buffers of the pipelined drain: `batch_cur` holds the interval being
+        // processed, `batch_next` is filled (and pre-partitioned) by the overlap job.
+        // Both recycle their chunk/probe/partition buffers across the whole run.
+        let mut batch_cur = IntervalBatch::default();
+        let mut batch_next = IntervalBatch::default();
         if !self.mitigations.is_empty() {
             let zeros = vec![0.0f64; n_shards];
             let mut ctx = MitigationCtx {
@@ -432,6 +449,11 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 pressure: store.pressure(),
             };
             self.mitigations.on_start(&mut ctx);
+        }
+        // Prefetch interval 0 (sequentially — there is nothing to overlap with yet);
+        // every later interval is drained by the previous one's overlap job.
+        if steps > 0 {
+            drain_interval(&mut mix, 0.0, dt, &mut batch_cur);
         }
         for step in 0..steps {
             let t = step as f64 * dt;
@@ -447,31 +469,57 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 update_cursor += 1;
             }
 
-            // 1. Drain this interval's events; replay packet chunks as they close.
-            //    Attack cost and packet counts are tracked per shard: every shard is a
-            //    PMD thread with a private CPU budget.
+            // 1. Replay this interval's packet chunks (drained ahead of time — by the
+            //    previous interval's overlap job, or by the prefetch for step 0) in
+            //    merged timestamp order. Attack cost and packet counts are tracked per
+            //    shard: every shard is a PMD thread with a private CPU budget. While
+            //    the shards chew the largest chunk, a spare executor worker drains and
+            //    pre-partitions interval k + 1.
             let mut attack_packets = 0u64;
             let mut background_packets = 0u64;
             let mut shard_busy = vec![0.0f64; n_shards];
             let mut shard_packets = vec![0u64; n_shards];
             let mut per_attacker = vec![0u64; n_attackers];
-            let mut chunk_src = usize::MAX;
-            chunk.clear();
-            probes.clear();
-            // A chunk belongs to one source, so its packets are all-attack or
-            // all-background: background chunks charge shard CPU like any traffic but
-            // stay out of the attack-attribution series.
-            let background_src = &background_src;
-            let flush = |datapath: &mut ShardedDatapath<B>,
-                         chunk: &mut Vec<(Key, usize, f64)>,
-                         src: usize,
-                         shard_busy: &mut [f64],
-                         shard_packets: &mut [u64],
-                         per_attacker: &mut [u64]| {
-                if chunk.is_empty() {
-                    return (0u64, 0u64);
-                }
-                let report = datapath.process_timed_batch(chunk);
+            // The overlap job rides the chunk with the most events (deterministic:
+            // first on ties) — the longest window to hide the drain in. On the last
+            // interval there is nothing left to drain.
+            let overlap_chunk = if step + 1 < steps {
+                (0..batch_cur.n_chunks)
+                    .max_by_key(|&i| (batch_cur.chunks[i].events.len(), usize::MAX - i))
+            } else {
+                None
+            };
+            if overlap_chunk.is_none() && step + 1 < steps {
+                // A packet-less interval (probes only): nothing to hide the drain
+                // behind, so drain inline.
+                let view = self.datapath.steering_view();
+                drain_interval(&mut mix, t_end, t_end + dt, &mut batch_next);
+                batch_next.prepartition(&view);
+            }
+            for i in 0..batch_cur.n_chunks {
+                let chunk = &mut batch_cur.chunks[i];
+                let src = chunk.src;
+                // Disjoint field borrows: the events slice feeds the shards while the
+                // partition is consumed (and recomputed if a rekey staled it).
+                let SourceChunk { events, prep, .. } = chunk;
+                let report = if overlap_chunk == Some(i) {
+                    let view = self.datapath.steering_view();
+                    let mix = &mut mix;
+                    let next = &mut batch_next;
+                    let (report, ()) =
+                        self.datapath
+                            .process_timed_batch_with(events, prep, move || {
+                                drain_interval(mix, t_end, t_end + dt, next);
+                                next.prepartition(&view);
+                            });
+                    report
+                } else {
+                    self.datapath
+                        .process_timed_batch_prepartitioned(events, prep)
+                };
+                // A chunk belongs to one source, so its packets are all-attack or
+                // all-background: background chunks charge shard CPU like any traffic
+                // but stay out of the attack-attribution series.
                 let is_background = background_src[src];
                 for (s, r) in report.per_shard.iter().enumerate() {
                     shard_busy[s] += r.total_cost;
@@ -479,53 +527,16 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                         shard_packets[s] += r.processed as u64;
                     }
                 }
-                let n = chunk.len() as u64;
+                let n = events.len() as u64;
                 if attacker_slot[src] != usize::MAX {
                     per_attacker[attacker_slot[src]] += n;
                 }
-                chunk.clear();
                 if is_background {
-                    (0, n)
+                    background_packets += n;
                 } else {
-                    (n, 0)
-                }
-            };
-            while let Some((src, ev)) = mix.next_before(t_end) {
-                match ev.payload {
-                    EventPayload::Packet => {
-                        // Events that predate the window (possible at step 0) are
-                        // consumed without being processed, like the old replay loop.
-                        if ev.time < t {
-                            continue;
-                        }
-                        if src != chunk_src {
-                            let (atk, bg) = flush(
-                                &mut self.datapath,
-                                &mut chunk,
-                                chunk_src,
-                                &mut shard_busy,
-                                &mut shard_packets,
-                                &mut per_attacker,
-                            );
-                            attack_packets += atk;
-                            background_packets += bg;
-                            chunk_src = src;
-                        }
-                        chunk.push((ev.key, ev.bytes, ev.time));
-                    }
-                    EventPayload::Probe { .. } => probes.push((src, ev)),
+                    attack_packets += n;
                 }
             }
-            let (atk, bg) = flush(
-                &mut self.datapath,
-                &mut chunk,
-                chunk_src,
-                &mut shard_busy,
-                &mut shard_packets,
-                &mut per_attacker,
-            );
-            attack_packets += atk;
-            background_packets += bg;
             self.datapath.maybe_expire(t_end);
 
             // 2. Replay the probes (already in time-then-insertion order): refresh each
@@ -539,7 +550,7 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
             let mut victim_shard = vec![0usize; n_victims];
             let mut victim_masks_scanned = 0;
             let mut shard_probes = vec![0u64; n_shards];
-            for (src, ev) in &probes {
+            for (src, ev) in &batch_cur.probes {
                 let EventPayload::Probe { offered_gbps } = ev.payload else {
                     continue;
                 };
@@ -677,6 +688,10 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                 },
                 &victim_active,
             );
+
+            // 6. Flip the double buffer: the interval the overlap job just drained
+            //    becomes current; its own buffers are recycled for interval k + 2.
+            std::mem::swap(&mut batch_cur, &mut batch_next);
         }
         if !self.mitigations.is_empty() {
             // Teardown: stages disarm whatever per-shard state they installed (e.g.
@@ -700,6 +715,93 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
         let timeline = store.recent_timeline();
         self.last_telemetry = Some(store);
         timeline
+    }
+}
+
+/// One source's contiguous packet run within an interval, plus its shard partition.
+///
+/// The buffers (events and partition scratch) are recycled across intervals — a chunk
+/// slot that existed in a previous interval reuses its allocations.
+#[derive(Debug, Default)]
+struct SourceChunk {
+    /// Index of the source the packets came from.
+    src: usize,
+    /// The packets, in timestamp order.
+    events: Vec<(Key, usize, f64)>,
+    /// Shard partition of `events`, computed by the overlap job against a steering
+    /// snapshot; transparently recomputed at dispatch if a rekey staled it.
+    prep: Prepartition,
+}
+
+/// One sample interval's worth of drained traffic: packet chunks (per-source runs, in
+/// merged timestamp order) and probe events. Two of these double-buffer the pipelined
+/// [`ExperimentRunner::run_mix`] loop.
+#[derive(Debug, Default)]
+struct IntervalBatch {
+    /// Chunk slots; only the first [`IntervalBatch::n_chunks`] are live this interval
+    /// (the rest are kept for their buffer capacity).
+    chunks: Vec<SourceChunk>,
+    /// Number of live chunks.
+    n_chunks: usize,
+    /// Probe events, in drain order.
+    probes: Vec<(usize, TrafficEvent)>,
+}
+
+impl IntervalBatch {
+    /// Open a fresh chunk for `src` (recycling a retired slot's buffers if one is
+    /// available) and return it.
+    fn open_chunk(&mut self, src: usize) -> &mut SourceChunk {
+        if self.n_chunks == self.chunks.len() {
+            self.chunks.push(SourceChunk::default());
+        }
+        let chunk = &mut self.chunks[self.n_chunks];
+        self.n_chunks += 1;
+        chunk.src = src;
+        chunk.events.clear();
+        chunk.prep.clear();
+        chunk
+    }
+
+    /// Partition every live chunk against the steering snapshot `view`. With a single
+    /// shard there is nothing to partition (the dispatch fast path ignores it).
+    fn prepartition(&mut self, view: &SteeringView) {
+        if view.shard_count() == 1 {
+            return;
+        }
+        for chunk in &mut self.chunks[..self.n_chunks] {
+            chunk.prep.compute(view, &chunk.events);
+        }
+    }
+}
+
+/// Drain every event of `[t, t_end)` from the mix into `batch`: packet events append
+/// to per-source chunks (a new chunk opens whenever the source changes — chunks
+/// preserve merged timestamp order), probe events are set aside verbatim. Packet
+/// events that predate the window (possible in the very first interval) are consumed
+/// without being recorded, like the classic replay loop; probes are always kept.
+///
+/// This touches only the mix and the batch — never the datapath — which is what lets
+/// the pipelined runner execute it on a spare worker while the shards are busy.
+fn drain_interval(mix: &mut TrafficMix<'_>, t: f64, t_end: f64, batch: &mut IntervalBatch) {
+    batch.n_chunks = 0;
+    batch.probes.clear();
+    let mut chunk_src = usize::MAX;
+    while let Some((src, ev)) = mix.next_before(t_end) {
+        match ev.payload {
+            EventPayload::Packet => {
+                if ev.time < t {
+                    continue;
+                }
+                if src != chunk_src {
+                    batch.open_chunk(src);
+                    chunk_src = src;
+                }
+                batch.chunks[batch.n_chunks - 1]
+                    .events
+                    .push((ev.key, ev.bytes, ev.time));
+            }
+            EventPayload::Probe { .. } => batch.probes.push((src, ev)),
+        }
     }
 }
 

@@ -412,12 +412,41 @@ impl<B: FastPathBackend> Datapath<B> {
     /// semantics. Per-packet verdicts are identical to calling
     /// [`Datapath::process_key`] in a loop at the same `now`.
     pub fn process_batch(&mut self, batch: &[(Key, usize)], now: f64) -> BatchReport {
+        self.process_batch_events(batch.iter(), batch.len(), now)
+    }
+
+    /// Indexed form of [`Datapath::process_batch`]: process `batch[idx[0]]`,
+    /// `batch[idx[1]]`, … in that order, without materialising the sub-batch.
+    ///
+    /// This is the zero-copy hand-off the sharded datapath's steering pre-partition
+    /// uses: each shard receives the full event slice plus one contiguous run of
+    /// indices, so fanning a batch out never clones a [`Key`]. Semantics (single
+    /// timestamp, one expiry sweep, consecutive-identical-header dedup *in index
+    /// order*) are exactly those of `process_batch` over the selected events.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds for `batch`.
+    pub fn process_batch_indexed(
+        &mut self,
+        batch: &[(Key, usize)],
+        idx: &[u32],
+        now: f64,
+    ) -> BatchReport {
+        self.process_batch_events(idx.iter().map(|&i| &batch[i as usize]), idx.len(), now)
+    }
+
+    fn process_batch_events<'a>(
+        &mut self,
+        events: impl Iterator<Item = &'a (Key, usize)>,
+        len: usize,
+        now: f64,
+    ) -> BatchReport {
         self.maybe_expire(now);
         let mut pending = DatapathStats::default();
         let mut max_masks_scanned = 0;
         // Verdict of the previous packet, reusable while headers repeat back-to-back.
         let mut run: Option<(&Key, Action, usize, f64)> = None;
-        for (header, bytes) in batch {
+        for (header, bytes) in events {
             if let Some((prev_header, action, masks, cost)) = run {
                 if prev_header == header {
                     pending.record(PathTaken::Megaflow, action.permits(), masks, cost, *bytes);
@@ -434,7 +463,7 @@ impl<B: FastPathBackend> Datapath<B> {
             };
         }
         let report = BatchReport {
-            processed: batch.len(),
+            processed: len,
             allowed: pending.allowed,
             denied: pending.denied,
             fastpath_hits: pending.megaflow_hits,
@@ -458,15 +487,39 @@ impl<B: FastPathBackend> Datapath<B> {
     /// keyed entry points, the microflow cache is bypassed (keys carry no microflow
     /// identity).
     pub fn process_timed_batch(&mut self, batch: &[(Key, usize, f64)]) -> BatchReport {
+        self.process_timed_events(batch.iter(), batch.len())
+    }
+
+    /// Indexed form of [`Datapath::process_timed_batch`]: process `batch[idx[0]]`,
+    /// `batch[idx[1]]`, … in that order, without materialising the sub-batch — the
+    /// zero-copy hand-off behind the sharded datapath's steering pre-partition (each
+    /// shard gets the full slice plus one contiguous index run; no [`Key`] clones).
+    /// Event times must be nondecreasing *along the index order*.
+    ///
+    /// # Panics
+    /// Panics if an index is out of bounds for `batch`.
+    pub fn process_timed_batch_indexed(
+        &mut self,
+        batch: &[(Key, usize, f64)],
+        idx: &[u32],
+    ) -> BatchReport {
+        self.process_timed_events(idx.iter().map(|&i| &batch[i as usize]), idx.len())
+    }
+
+    fn process_timed_events<'a>(
+        &mut self,
+        events: impl Iterator<Item = &'a (Key, usize, f64)>,
+        len: usize,
+    ) -> BatchReport {
         let mut pending = DatapathStats::default();
         let mut max_masks_scanned = 0;
-        for (header, bytes, now) in batch {
+        for (header, bytes, now) in events {
             self.maybe_expire(*now);
             let outcome = self.process_classified_stats(header, *bytes, *now, &mut pending);
             max_masks_scanned = max_masks_scanned.max(outcome.masks_scanned);
         }
         let report = BatchReport {
-            processed: batch.len(),
+            processed: len,
             allowed: pending.allowed,
             denied: pending.denied,
             fastpath_hits: pending.megaflow_hits,

@@ -11,7 +11,11 @@
 //!   bit-for-bit;
 //! * [`ThreadPoolExecutor`] drives the same jobs from scoped worker threads
 //!   (`std::thread::scope`, no external dependencies), one PMD core per shard up to
-//!   the configured thread count.
+//!   the configured thread count;
+//! * [`PersistentPoolExecutor`] keeps the workers alive across calls — long-lived
+//!   parked threads fed per-shard jobs through a shared queue, the moral equivalent of
+//!   the paper's core-pinned PMD loops: spawn cost is paid once at construction and
+//!   amortised to zero over the run.
 //!
 //! The trait's object-safe core is [`ShardExecutor::run`]: execute a type-erased job
 //! once per shard index, in any order, possibly concurrently. The typed entry point
@@ -37,8 +41,9 @@
 //! assert_eq!(seq, par, "results are collected in shard order on both executors");
 //! ```
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// How the per-shard work of a sharded datapath is executed.
 ///
@@ -133,6 +138,68 @@ pub trait ShardExecutorExt: ShardExecutor {
                 result.unwrap_or_else(|| panic!("executor never ran shard {i}"))
             })
             .collect()
+    }
+
+    /// Like [`ShardExecutorExt::for_each_shard`], but additionally runs `aux` exactly
+    /// once during the same dispatch — the pipelining hook: on an executor with a spare
+    /// worker, `aux` (e.g. draining the *next* batch out of a traffic mix) overlaps
+    /// with the shard jobs instead of serialising before or after them.
+    ///
+    /// `aux` is submitted as one extra job ahead of the shard jobs, so a
+    /// [`SequentialExecutor`] runs it first and a pooled executor hands it to the first
+    /// free worker. Correctness must not depend on *when* it runs within the call: the
+    /// closure has to touch state disjoint from the shards (the compiler enforces the
+    /// aliasing half of that; determinism of the overall result is on the caller, and
+    /// holds trivially when `aux` neither reads nor writes anything `f` does).
+    ///
+    /// # Panics
+    /// Same contract as [`ShardExecutorExt::for_each_shard`]; additionally panics if
+    /// the executor never ran (or ran twice) the aux job.
+    fn for_each_shard_with_aux<S, R, T, F, A>(&self, shards: &mut [S], f: F, aux: A) -> (Vec<R>, T)
+    where
+        S: Send,
+        R: Send,
+        T: Send,
+        F: Fn(usize, &mut S) -> R + Sync,
+        A: FnOnce() -> T + Send,
+    {
+        let aux_cell: Mutex<(Option<A>, Option<T>)> = Mutex::new((Some(aux), None));
+        let slots: Vec<Mutex<ShardSlot<'_, S, R>>> = shards
+            .iter_mut()
+            .map(|shard| Mutex::new((Some(shard), None)))
+            .collect();
+        self.run(slots.len() + 1, &|j| {
+            if j == 0 {
+                let mut cell = aux_cell.lock().expect("the aux job panicked");
+                let aux = cell
+                    .0
+                    .take()
+                    .unwrap_or_else(|| panic!("executor ran the aux job twice"));
+                cell.1 = Some(aux());
+            } else {
+                let i = j - 1;
+                let mut slot = slots[i].lock().expect("a sibling shard job panicked");
+                let shard = slot
+                    .0
+                    .take()
+                    .unwrap_or_else(|| panic!("executor ran shard {i} twice"));
+                slot.1 = Some(f(i, shard));
+            }
+        });
+        let results = slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let (_, result) = slot.into_inner().expect("a shard job panicked");
+                result.unwrap_or_else(|| panic!("executor never ran shard {i}"))
+            })
+            .collect();
+        let aux_result = aux_cell
+            .into_inner()
+            .expect("the aux job panicked")
+            .1
+            .unwrap_or_else(|| panic!("executor never ran the aux job"));
+        (results, aux_result)
     }
 }
 
@@ -239,6 +306,299 @@ impl ShardExecutor for ThreadPoolExecutor {
     }
 }
 
+/// The borrowed job of the run in flight, type-erased to a raw pointer so the
+/// long-lived workers (which are `'static` threads) can hold it.
+///
+/// # Safety
+/// The pointer is only ever dereferenced between a successful index claim and the
+/// recording of that index's completion, and [`PersistentPoolExecutor::run`] does not
+/// return (keeping the `&dyn Fn` it erased alive) until every claimed index has
+/// recorded completion. Claims are validated against the run's generation under the
+/// pool mutex, so a worker can never claim — and therefore never dereference — a job
+/// from a run that already finished.
+#[derive(Clone, Copy)]
+struct RawJob(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (it is a `&(dyn Fn + Sync)` in the caller), so sharing
+// the pointer across the pool's worker threads is sound; the lifetime argument is
+// covered by the `RawJob` invariant above.
+#[allow(unsafe_code)]
+unsafe impl Send for RawJob {}
+
+/// Shared pool state, guarded by [`PoolCore::state`].
+struct PoolState {
+    /// Bumped once per [`PersistentPoolExecutor::run`]; workers use it to tell a fresh
+    /// run from the one they last drained.
+    generation: u64,
+    /// The erased job of the run in flight (`None` between runs).
+    job: Option<RawJob>,
+    /// Shard count of the run in flight.
+    n_shards: usize,
+    /// Next shard index to hand out.
+    next: usize,
+    /// Shard indices whose job has finished (the run is complete at `n_shards`).
+    done: usize,
+    /// First panic payload caught from a job, re-thrown by the caller.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    /// Set once by [`PoolHandle::drop`]; workers exit their loop on observing it.
+    shutdown: bool,
+}
+
+struct PoolCore {
+    state: Mutex<PoolState>,
+    /// Workers park here between runs.
+    work_ready: Condvar,
+    /// The caller parks here until `done == n_shards`.
+    run_done: Condvar,
+}
+
+impl PoolCore {
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        // Jobs run under `catch_unwind`, so a poisoned pool mutex can only come from a
+        // panic in the tiny bookkeeping sections — recover rather than cascade.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Claim-and-run loop shared by the workers and the calling thread: repeatedly
+    /// claim the next shard index of generation `generation` under the lock, run the
+    /// job outside it, and record completion. Returns when the run has no indices left
+    /// (or a newer generation started, which implies this run fully completed).
+    fn drain_claims(&self, generation: u64, job: RawJob) {
+        loop {
+            let i = {
+                let mut st = self.lock();
+                if st.generation != generation || st.next >= st.n_shards {
+                    return;
+                }
+                let i = st.next;
+                st.next += 1;
+                i
+            };
+            // SAFETY: we hold a claimed-but-not-completed index of the current
+            // generation, so `run` is still blocked and the erased `&dyn Fn` is alive
+            // (see `RawJob`).
+            #[allow(unsafe_code)]
+            let job_ref: &(dyn Fn(usize) + Sync) = unsafe { &*job.0 };
+            let result = catch_unwind(AssertUnwindSafe(|| job_ref(i)));
+            let mut st = self.lock();
+            if let Err(payload) = result {
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
+            }
+            st.done += 1;
+            if st.done == st.n_shards {
+                self.run_done.notify_all();
+            }
+        }
+    }
+
+    fn worker_loop(&self) {
+        let mut seen_generation = 0u64;
+        loop {
+            let (generation, job) = {
+                let mut st = self.lock();
+                loop {
+                    if st.shutdown {
+                        return;
+                    }
+                    if st.generation != seen_generation {
+                        seen_generation = st.generation;
+                        // `job` is cleared once a run completes; a worker waking late
+                        // just re-parks on the (already finished) generation.
+                        if let Some(job) = st.job {
+                            break (seen_generation, job);
+                        }
+                    }
+                    st = self.work_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            self.drain_claims(generation, job);
+        }
+    }
+}
+
+/// Owns the worker threads; dropped when the last executor clone goes away, which
+/// signals shutdown and joins every worker (clean `Drop` teardown, no detached
+/// threads).
+struct PoolHandle {
+    core: Arc<PoolCore>,
+    threads: usize,
+    /// Serialises `run` calls from clones sharing this pool (one run in flight at a
+    /// time; the pool state holds exactly one job).
+    run_lock: Mutex<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for PoolHandle {
+    fn drop(&mut self) {
+        {
+            let mut st = self.core.lock();
+            st.shutdown = true;
+        }
+        self.core.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Execute shard jobs on long-lived parked worker threads — the persistent form of
+/// [`ThreadPoolExecutor`], and the closest software analogue of the paper's testbed
+/// where every PMD is a core-pinned loop that lives as long as the switch.
+///
+/// Construction spawns the workers once; every [`ShardExecutor::run`] call afterwards
+/// only takes a lock, bumps a generation counter and wakes them, so the per-batch
+/// dispatch cost is independent of thread-spawn cost. Between runs the workers park on
+/// a condvar and consume no CPU. The calling thread participates in draining shard
+/// indices (it would otherwise idle for the duration of the run), and a panicking job
+/// is caught, completes the run's accounting, and is re-thrown to the caller —
+/// leaving the pool reusable.
+///
+/// Clones (including [`ShardExecutor::clone_box`]) share the same workers; concurrent
+/// `run` calls from clones serialise. The last clone to drop signals shutdown and
+/// joins every worker.
+///
+/// Outputs are bit-for-bit identical to [`SequentialExecutor`]'s for any conforming
+/// job, exactly as for [`ThreadPoolExecutor`] (`tests/executor_parity.rs`).
+pub struct PersistentPoolExecutor {
+    handle: Arc<PoolHandle>,
+}
+
+impl std::fmt::Debug for PersistentPoolExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentPoolExecutor")
+            .field("threads", &self.handle.threads)
+            .finish()
+    }
+}
+
+impl Clone for PersistentPoolExecutor {
+    /// Clones share the underlying pool (no new threads are spawned).
+    fn clone(&self) -> Self {
+        PersistentPoolExecutor {
+            handle: Arc::clone(&self.handle),
+        }
+    }
+}
+
+impl PersistentPoolExecutor {
+    /// Spawn a pool of `threads` parked workers.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        let core = Arc::new(PoolCore {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                job: None,
+                n_shards: 0,
+                next: 0,
+                done: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            run_done: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("tse-pmd-{i}"))
+                    .spawn(move || core.worker_loop())
+                    .expect("spawning a pool worker failed")
+            })
+            .collect();
+        PersistentPoolExecutor {
+            handle: Arc::new(PoolHandle {
+                core,
+                threads,
+                run_lock: Mutex::new(()),
+                workers,
+            }),
+        }
+    }
+
+    /// One worker per available core — the "one PMD per core" configuration of the
+    /// paper's testbed.
+    pub fn per_core() -> Self {
+        PersistentPoolExecutor::new(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The number of long-lived worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.handle.threads
+    }
+}
+
+impl Default for PersistentPoolExecutor {
+    fn default() -> Self {
+        PersistentPoolExecutor::per_core()
+    }
+}
+
+impl ShardExecutor for PersistentPoolExecutor {
+    fn name(&self) -> &'static str {
+        "persistent-pool"
+    }
+
+    #[allow(unsafe_code)]
+    fn run(&self, n_shards: usize, job: &(dyn Fn(usize) + Sync)) {
+        if n_shards == 0 {
+            return;
+        }
+        let serial = self
+            .handle
+            .run_lock
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let core = &self.handle.core;
+        // SAFETY: a lifetime-only transmute (`&'a` → `*const` with the `'static`
+        // default bound); the `RawJob` invariant guarantees no dereference outlives
+        // this call, and `run` below does not return until `done == n_shards`.
+        let raw = RawJob(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), *const (dyn Fn(usize) + Sync)>(
+                job,
+            )
+        });
+        let generation = {
+            let mut st = core.lock();
+            st.job = Some(raw);
+            st.n_shards = n_shards;
+            st.next = 0;
+            st.done = 0;
+            st.panic = None;
+            st.generation = st.generation.wrapping_add(1);
+            core.work_ready.notify_all();
+            st.generation
+        };
+        // The calling thread drains indices alongside the workers.
+        core.drain_claims(generation, raw);
+        let payload = {
+            let mut st = core.lock();
+            while st.done < n_shards {
+                st = core.run_done.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            st.job = None;
+            st.panic.take()
+        };
+        drop(serial);
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ShardExecutor> {
+        Box::new(self.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,5 +675,159 @@ mod tests {
     #[should_panic(expected = "thread count must be positive")]
     fn zero_threads_is_rejected() {
         ThreadPoolExecutor::new(0);
+    }
+
+    #[test]
+    fn persistent_pool_visits_every_shard_exactly_once() {
+        let pool = PersistentPoolExecutor::new(4);
+        let visits: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(32, &|i| {
+            visits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, v) in visits.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), 1, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn persistent_pool_is_reusable_across_many_runs() {
+        // The whole point of the pool: one spawn, many dispatches. 200 back-to-back
+        // runs on one pool must each satisfy the exactly-once contract.
+        let pool = PersistentPoolExecutor::new(3);
+        let mut data = vec![0u64; 8];
+        for round in 0..200u64 {
+            let results = pool.for_each_shard(&mut data, |i, v| {
+                *v += i as u64 + round;
+                *v
+            });
+            assert_eq!(results.len(), 8);
+        }
+        let expected: Vec<u64> = (0..8u64).map(|i| 200 * i + (0..200).sum::<u64>()).collect();
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn persistent_pool_matches_sequential_bitwise() {
+        let work = |i: usize, v: &mut u64| {
+            for _ in 0..(i + 1) * 1000 {
+                *v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            *v
+        };
+        let mut a = vec![7u64; 9];
+        let ra = SequentialExecutor.for_each_shard(&mut a, work);
+        let mut b = vec![7u64; 9];
+        let rb = PersistentPoolExecutor::new(4).for_each_shard(&mut b, work);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn persistent_pool_clones_share_the_workers() {
+        let pool = PersistentPoolExecutor::new(2);
+        let boxed: Box<dyn ShardExecutor> = pool.clone_box();
+        assert_eq!(boxed.name(), "persistent-pool");
+        let mut data = vec![1u64, 2, 3];
+        assert_eq!(
+            boxed.for_each_shard(&mut data, |_, v| *v * 2),
+            vec![2, 4, 6]
+        );
+        // The original still works after the clone ran (shared state was reset).
+        assert_eq!(pool.for_each_shard(&mut data, |_, v| *v), vec![1, 2, 3]);
+        drop(boxed);
+        // ...and after one of the sharing clones is dropped (workers outlive it).
+        assert_eq!(pool.for_each_shard(&mut data, |_, v| *v), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn persistent_pool_propagates_job_panics_and_survives_them() {
+        let pool = PersistentPoolExecutor::new(2);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, &|i| {
+                if i == 2 {
+                    panic!("job blew up");
+                }
+            });
+        }));
+        let payload = outcome.expect_err("the job panic must propagate to the caller");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "job blew up");
+        // The pool's accounting completed despite the panic: it is still usable.
+        let mut data = vec![1u64; 4];
+        assert_eq!(
+            pool.for_each_shard(&mut data, |i, v| *v + i as u64),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn persistent_pool_handles_more_shards_than_threads_and_vice_versa() {
+        let pool = PersistentPoolExecutor::new(8);
+        let mut two = vec![0u64; 2];
+        assert_eq!(pool.for_each_shard(&mut two, |i, _| i), vec![0, 1]);
+        let pool = PersistentPoolExecutor::new(1);
+        let mut many = vec![0u64; 16];
+        let r = pool.for_each_shard(&mut many, |i, _| i);
+        assert_eq!(r, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_core_pool_has_at_least_one_thread() {
+        assert!(PersistentPoolExecutor::per_core().threads() >= 1);
+        assert!(PersistentPoolExecutor::default().threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be positive")]
+    fn zero_persistent_threads_is_rejected() {
+        PersistentPoolExecutor::new(0);
+    }
+
+    #[test]
+    fn with_aux_runs_the_aux_job_exactly_once_on_every_executor() {
+        let executors: Vec<Box<dyn ShardExecutor>> = vec![
+            Box::new(SequentialExecutor),
+            Box::new(ThreadPoolExecutor::new(3)),
+            Box::new(PersistentPoolExecutor::new(3)),
+        ];
+        for exec in executors {
+            let mut data = vec![10u64, 20, 30];
+            let aux_runs = AtomicUsize::new(0);
+            let (results, produced) = exec.for_each_shard_with_aux(
+                &mut data,
+                |i, v| *v + i as u64,
+                || {
+                    aux_runs.fetch_add(1, Ordering::Relaxed);
+                    "next batch"
+                },
+            );
+            assert_eq!(results, vec![10, 21, 32], "{}", exec.name());
+            assert_eq!(produced, "next batch");
+            assert_eq!(aux_runs.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn with_aux_on_sequential_runs_aux_before_the_shards() {
+        // Pinned ordering: the aux job is submitted ahead of the shard jobs, so the
+        // sequential executor produces the next batch before chewing the current one —
+        // the order the pipelined runner's determinism argument assumes.
+        let log = Mutex::new(Vec::new());
+        let mut shards = vec![(), ()];
+        SequentialExecutor.for_each_shard_with_aux(
+            &mut shards,
+            |i, ()| log.lock().unwrap().push(format!("shard{i}")),
+            || log.lock().unwrap().push("aux".into()),
+        );
+        assert_eq!(*log.lock().unwrap(), vec!["aux", "shard0", "shard1"]);
+    }
+
+    #[test]
+    fn with_aux_works_with_zero_shards() {
+        let mut none: Vec<u64> = Vec::new();
+        let (results, value) =
+            PersistentPoolExecutor::new(2).for_each_shard_with_aux(&mut none, |_, v| *v, || 42);
+        assert!(results.is_empty());
+        assert_eq!(value, 42);
     }
 }

@@ -16,13 +16,16 @@
 //!   RSS-style steering policy, modelling OVS-DPDK's one-megaflow-cache-per-PMD-thread
 //!   architecture and the shard-local blast radius of the attack;
 //! * [`exec`] — pluggable shard-execution models for that fan-out: the default
-//!   [`SequentialExecutor`] and the scoped-thread [`ThreadPoolExecutor`], bit-for-bit
-//!   interchangeable;
+//!   [`SequentialExecutor`], the scoped-thread [`ThreadPoolExecutor`] and the
+//!   long-lived [`PersistentPoolExecutor`], bit-for-bit interchangeable;
 //! * [`stats`] — per-path counters and busy-time accounting;
 //! * [`tenant`] — multi-tenant ACL composition: per-tenant ACLs merged into the single
 //!   flow table of the shared hypervisor switch, the abstraction Co-located TSE exploits.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool in [`exec`] needs one
+// narrowly scoped, documented `unsafe` block (running a borrowed job on long-lived
+// threads has no safe-Rust expression); everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;
@@ -37,7 +40,9 @@ pub use cost::CostModel;
 pub use datapath::{
     BatchReport, Datapath, DatapathBuilder, DatapathConfig, ProcessOutcome, DEFAULT_IDLE_TIMEOUT,
 };
-pub use exec::{SequentialExecutor, ShardExecutor, ShardExecutorExt, ThreadPoolExecutor};
+pub use exec::{
+    PersistentPoolExecutor, SequentialExecutor, ShardExecutor, ShardExecutorExt, ThreadPoolExecutor,
+};
 pub use pmd::{ShardedBatchReport, ShardedDatapath, Steering};
 pub use slowpath::{SlowPath, UpcallOutcome};
 pub use stats::{DatapathStats, PathTaken};

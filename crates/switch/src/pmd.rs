@@ -102,6 +102,156 @@ impl Steering {
     }
 }
 
+/// Reusable scratch buffers of the steering pre-partition pass: a stable counting
+/// sort of event *indices* by destination shard.
+///
+/// `order` holds `0..n_events` grouped shard-major (events of shard 0 first, then
+/// shard 1, …), preserving relative order within each shard — the order the PMD's RX
+/// queue would deliver them. `starts[s]..starts[s + 1]` is shard `s`'s contiguous run.
+/// All three buffers retain their capacity across batches, so the steady-state pass
+/// performs zero heap allocations and zero `Key` clones (asserted by
+/// `tests/alloc_audit.rs`).
+#[derive(Debug, Clone, Default)]
+struct PartitionScratch {
+    /// Destination shard of event `e` (pass 1; avoids re-hashing in pass 2).
+    shard_of: Vec<u32>,
+    /// Event indices grouped by shard, stable within a shard.
+    order: Vec<u32>,
+    /// Prefix offsets into `order`, length `n_shards + 1`.
+    starts: Vec<usize>,
+    /// Per-shard write cursors of pass 2.
+    cursors: Vec<usize>,
+}
+
+impl PartitionScratch {
+    /// Recompute the partition of `n_events` events over `n_shards` shards, where
+    /// event `e` steers to `shard_of(e)`.
+    fn partition(&mut self, n_shards: usize, n_events: usize, shard_of: impl Fn(usize) -> usize) {
+        self.shard_of.clear();
+        self.starts.clear();
+        self.starts.resize(n_shards + 1, 0);
+        for e in 0..n_events {
+            let s = shard_of(e);
+            debug_assert!(s < n_shards, "steering produced shard {s} of {n_shards}");
+            self.shard_of.push(s as u32);
+            self.starts[s + 1] += 1;
+        }
+        for s in 0..n_shards {
+            self.starts[s + 1] += self.starts[s];
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&self.starts[..n_shards]);
+        self.order.clear();
+        self.order.resize(n_events, 0);
+        for (e, &s) in self.shard_of.iter().enumerate() {
+            let cursor = &mut self.cursors[s as usize];
+            self.order[*cursor] = e as u32;
+            *cursor += 1;
+        }
+    }
+
+    /// The contiguous index run of `shard` (empty if the shard received no events).
+    fn slice(&self, shard: usize) -> &[u32] {
+        &self.order[self.starts[shard]..self.starts[shard + 1]]
+    }
+}
+
+/// An immutable snapshot of a [`ShardedDatapath`]'s steering function, detached from
+/// the datapath so another thread can steer while the shards are busy — what the
+/// pipelined experiment runner hands to the job that pre-partitions batch *k + 1*
+/// while the shards still chew batch *k*.
+///
+/// The snapshot answers [`SteeringView::shard_of_key`] exactly as the datapath it was
+/// taken from would have at snapshot time. It does *not* track later
+/// [`ShardedDatapath::rekey`] calls — consumers detect that through the hash key
+/// recorded in a [`Prepartition`] (see
+/// [`ShardedDatapath::process_timed_batch_prepartitioned`]).
+#[derive(Debug, Clone)]
+pub struct SteeringView {
+    steering: Steering,
+    steer_fields: Vec<usize>,
+    n_shards: usize,
+    hash_key: u64,
+}
+
+impl SteeringView {
+    /// The shard `key` steers to under this snapshot.
+    pub fn shard_of_key(&self, key: &Key) -> usize {
+        if self.n_shards == 1 {
+            return 0;
+        }
+        match self.steering {
+            Steering::Pinned(i) => i,
+            _ => rss::shard_of_keyed(key, &self.steer_fields, self.n_shards, self.hash_key),
+        }
+    }
+
+    /// Number of shards in the snapshot.
+    pub fn shard_count(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The RSS hash key in effect at snapshot time.
+    pub fn hash_key(&self) -> u64 {
+        self.hash_key
+    }
+}
+
+/// A shard partition of one timed batch computed *ahead* of dispatch — the
+/// double-buffering half of the pipelined datapath: while the shards chew batch *k*,
+/// a spare worker drains batch *k + 1* and partitions it against a [`SteeringView`];
+/// at dispatch the partition is either consumed as-is or transparently recomputed if
+/// the steering changed in between (e.g. a mitigation-driven rekey landed at the end
+/// of interval *k*).
+///
+/// The buffers are reused across batches (`Default` starts empty; steady state
+/// allocates nothing).
+#[derive(Debug, Clone, Default)]
+pub struct Prepartition {
+    scratch: PartitionScratch,
+    hash_key: u64,
+    n_shards: usize,
+    n_events: usize,
+    valid: bool,
+}
+
+impl Prepartition {
+    /// Partition `batch` against the steering snapshot `view`.
+    pub fn compute(&mut self, view: &SteeringView, batch: &[(Key, usize, f64)]) {
+        self.compute_with(view.n_shards, view.hash_key, batch.len(), |e| {
+            view.shard_of_key(&batch[e].0)
+        });
+    }
+
+    fn compute_with(
+        &mut self,
+        n_shards: usize,
+        hash_key: u64,
+        n_events: usize,
+        shard_of: impl Fn(usize) -> usize,
+    ) {
+        self.scratch.partition(n_shards, n_events, shard_of);
+        self.hash_key = hash_key;
+        self.n_shards = n_shards;
+        self.n_events = n_events;
+        self.valid = true;
+    }
+
+    /// Invalidate the partition (the next consumer recomputes). Buffers are kept.
+    pub fn clear(&mut self) {
+        self.valid = false;
+    }
+
+    /// Whether the partition would be consumed as-is by a datapath with the given
+    /// shard count and hash key for a batch of `n_events` events.
+    fn is_current(&self, n_shards: usize, hash_key: u64, n_events: usize) -> bool {
+        self.valid
+            && self.n_shards == n_shards
+            && self.hash_key == hash_key
+            && self.n_events == n_events
+    }
+}
+
 /// Per-shard result of one sharded batch dispatch.
 ///
 /// `per_shard[s]` is the [`BatchReport`] of shard `s`'s sub-batch (zero counters for
@@ -161,6 +311,9 @@ pub struct ShardedDatapath<B: FastPathBackend = TupleSpace> {
     schema_is_v6: bool,
     /// The execution model driving the per-shard fan-out (sequential by default).
     executor: Box<dyn ShardExecutor>,
+    /// Reusable steering scratch for the batched entry points (not logical state:
+    /// fully recomputed per batch, kept only for its capacity).
+    partition: PartitionScratch,
 }
 
 impl<B: FastPathBackend> ShardedDatapath<B> {
@@ -178,6 +331,7 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
             schema_is_v6: schema.field_index("ip6_src").is_some(),
             hash_key: rss::DEFAULT_HASH_KEY,
             executor: Box::new(SequentialExecutor),
+            partition: PartitionScratch::default(),
             shards,
             steering,
         }
@@ -315,6 +469,19 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
         }
     }
 
+    /// Snapshot the steering function (policy, hashed fields, shard count, current
+    /// hash key) so another thread can compute [`Prepartition`]s while the shards are
+    /// busy. Answers [`SteeringView::shard_of_key`] exactly like
+    /// [`ShardedDatapath::shard_of_key`] does at snapshot time.
+    pub fn steering_view(&self) -> SteeringView {
+        SteeringView {
+            steering: self.steering,
+            steer_fields: self.steer_fields.clone(),
+            n_shards: self.shards.len(),
+            hash_key: self.hash_key,
+        }
+    }
+
     /// The installed flow table (identical on every shard).
     pub fn table(&self) -> &FlowTable {
         self.shards[0].table()
@@ -389,9 +556,17 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
         self.shards[shard].process_key(header, bytes, now)
     }
 
-    /// Process a concrete packet on the shard its flow key is steered to. Packets whose
-    /// family does not match the installed schema (which the per-shard datapath permits
-    /// unclassified) are accounted on shard 0.
+    /// Process a concrete packet on the shard its flow key is steered to.
+    ///
+    /// Packets whose family does not match the installed schema (an IPv6 packet
+    /// against an IPv4 table, or vice versa) cannot be steered — the RSS fields the
+    /// policy hashes do not exist in their header — so they are **deterministically
+    /// accounted on shard 0**, where the per-shard datapath permits them unclassified
+    /// at microflow cost (exactly like non-IP traffic, see
+    /// [`Datapath::process_packet`]). This mirrors a NIC delivering non-matching
+    /// frames to the default RX queue: such traffic never spreads cache state or cost
+    /// across shards, and the choice of shard 0 is stable across runs and executors
+    /// (pinned by `schema_mismatch_accounts_on_shard_zero`).
     pub fn process_packet(&mut self, pkt: &Packet, now: f64) -> ProcessOutcome {
         let flow = FlowKey::from_packet(pkt);
         let family_matches =
@@ -416,29 +591,129 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
     /// shard's [`BatchReport`] is returned directly by its job (no re-derivation) and
     /// collected in shard order, so the report — like every other output — is
     /// executor-independent.
+    ///
+    /// Steering is a single allocation-free pre-partition pass: `shard_of_key` is
+    /// computed for the whole batch into a reusable scratch index buffer (a stable
+    /// counting sort), then each shard receives the full slice plus one contiguous
+    /// index run via [`Datapath::process_timed_batch_indexed`] — no per-shard `Vec`s,
+    /// no per-event [`Key`] clones.
     pub fn process_timed_batch(&mut self, batch: &[(Key, usize, f64)]) -> ShardedBatchReport {
         if self.shards.len() == 1 {
             return ShardedBatchReport {
                 per_shard: vec![self.shards[0].process_timed_batch(batch)],
             };
         }
-        let mut sub: Vec<Vec<(Key, usize, f64)>> = vec![Vec::new(); self.shards.len()];
-        for (key, bytes, time) in batch {
-            sub[self.shard_of_key(key)].push((key.clone(), *bytes, *time));
+        let mut scratch = std::mem::take(&mut self.partition);
+        scratch.partition(self.shards.len(), batch.len(), |e| {
+            self.shard_of_key(&batch[e].0)
+        });
+        let per_shard = Self::dispatch_timed(&self.executor, &mut self.shards, batch, &scratch);
+        self.partition = scratch;
+        ShardedBatchReport { per_shard }
+    }
+
+    /// Like [`ShardedDatapath::process_timed_batch`], but consuming a partition
+    /// computed ahead of time against a [`SteeringView`] — the dispatch half of the
+    /// pipelined datapath.
+    ///
+    /// If `prep` no longer matches this datapath (never computed, computed under a
+    /// different hash key — a rekey landed in between — or for a different batch
+    /// length or shard count), it is transparently recomputed here against the current
+    /// steering before dispatch, so results are **always** identical to
+    /// `process_timed_batch` on the same batch; staleness can only cost the
+    /// pre-computation, never correctness.
+    pub fn process_timed_batch_prepartitioned(
+        &mut self,
+        batch: &[(Key, usize, f64)],
+        prep: &mut Prepartition,
+    ) -> ShardedBatchReport {
+        if self.shards.len() == 1 {
+            return ShardedBatchReport {
+                per_shard: vec![self.shards[0].process_timed_batch(batch)],
+            };
         }
-        let per_shard = self.for_each_shard(|i, shard| {
-            if sub[i].is_empty() {
+        self.revalidate(prep, batch);
+        let per_shard =
+            Self::dispatch_timed(&self.executor, &mut self.shards, batch, &prep.scratch);
+        ShardedBatchReport { per_shard }
+    }
+
+    /// The pipelined entry point: process `batch` (partitioned by `prep`, revalidated
+    /// exactly as in [`ShardedDatapath::process_timed_batch_prepartitioned`]) and run
+    /// `aux` once *during* the same executor dispatch.
+    ///
+    /// On an executor with a spare worker — a [`PersistentPoolExecutor`](crate::exec::PersistentPoolExecutor)
+    /// (crate::exec::PersistentPoolExecutor) or
+    /// [`ThreadPoolExecutor`](crate::exec::ThreadPoolExecutor) with more threads than
+    /// busy shards — `aux` overlaps with shard processing; the experiment runner uses
+    /// it to drain and pre-partition interval *k + 1* while the shards chew interval
+    /// *k*. On a [`SequentialExecutor`] `aux` simply runs first. Because `aux` cannot
+    /// touch the datapath (the borrow checker enforces disjointness) the result is
+    /// executor-independent whenever `aux` itself is deterministic.
+    pub fn process_timed_batch_with<T: Send>(
+        &mut self,
+        batch: &[(Key, usize, f64)],
+        prep: &mut Prepartition,
+        aux: impl FnOnce() -> T + Send,
+    ) -> (ShardedBatchReport, T) {
+        if self.shards.len() == 1 {
+            let (per_shard, aux_result) = self.executor.for_each_shard_with_aux(
+                &mut self.shards,
+                |_, shard| shard.process_timed_batch(batch),
+                aux,
+            );
+            return (ShardedBatchReport { per_shard }, aux_result);
+        }
+        self.revalidate(prep, batch);
+        let scratch = &prep.scratch;
+        let (per_shard, aux_result) = self.executor.for_each_shard_with_aux(
+            &mut self.shards,
+            |i, shard| {
+                let idx = scratch.slice(i);
+                if idx.is_empty() {
+                    BatchReport::default()
+                } else {
+                    shard.process_timed_batch_indexed(batch, idx)
+                }
+            },
+            aux,
+        );
+        (ShardedBatchReport { per_shard }, aux_result)
+    }
+
+    /// Recompute `prep` against the current steering unless it is already current
+    /// (same shard count, same hash key, same batch length).
+    fn revalidate(&self, prep: &mut Prepartition, batch: &[(Key, usize, f64)]) {
+        if prep.is_current(self.shards.len(), self.hash_key, batch.len()) {
+            return;
+        }
+        prep.compute_with(self.shards.len(), self.hash_key, batch.len(), |e| {
+            self.shard_of_key(&batch[e].0)
+        });
+    }
+
+    /// Fan the partitioned batch out through the executor: shard `i` processes the
+    /// contiguous index run `scratch.slice(i)` against the shared event slice.
+    fn dispatch_timed(
+        executor: &dyn ShardExecutor,
+        shards: &mut [Datapath<B>],
+        batch: &[(Key, usize, f64)],
+        scratch: &PartitionScratch,
+    ) -> Vec<BatchReport> {
+        executor.for_each_shard(shards, |i, shard| {
+            let idx = scratch.slice(i);
+            if idx.is_empty() {
                 BatchReport::default()
             } else {
-                shard.process_timed_batch(&sub[i])
+                shard.process_timed_batch_indexed(batch, idx)
             }
-        });
-        ShardedBatchReport { per_shard }
+        })
     }
 
     /// Fan a single-timestamp batch out per shard (the [`Datapath::process_batch`]
     /// semantics — one expiry sweep per shard, consecutive identical headers within a
     /// shard's sub-batch deduplicated). Like [`ShardedDatapath::process_timed_batch`],
+    /// steering is an allocation-free indexed pre-partition pass (no `Key` clones),
     /// the sub-batches run through the configured executor and reports come back in
     /// shard order.
     pub fn process_batch(&mut self, batch: &[(Key, usize)], now: f64) -> ShardedBatchReport {
@@ -447,17 +722,22 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
                 per_shard: vec![self.shards[0].process_batch(batch, now)],
             };
         }
-        let mut sub: Vec<Vec<(Key, usize)>> = vec![Vec::new(); self.shards.len()];
-        for (key, bytes) in batch {
-            sub[self.shard_of_key(key)].push((key.clone(), *bytes));
-        }
-        let per_shard = self.for_each_shard(|i, shard| {
-            if sub[i].is_empty() {
-                BatchReport::default()
-            } else {
-                shard.process_batch(&sub[i], now)
-            }
+        let mut scratch = std::mem::take(&mut self.partition);
+        scratch.partition(self.shards.len(), batch.len(), |e| {
+            self.shard_of_key(&batch[e].0)
         });
+        let per_shard = {
+            let scratch = &scratch;
+            self.executor.for_each_shard(&mut self.shards, |i, shard| {
+                let idx = scratch.slice(i);
+                if idx.is_empty() {
+                    BatchReport::default()
+                } else {
+                    shard.process_batch_indexed(batch, idx, now)
+                }
+            })
+        };
+        self.partition = scratch;
         ShardedBatchReport { per_shard }
     }
 }
@@ -473,6 +753,7 @@ impl ShardedDatapath<TupleSpace> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::PathTaken;
     use tse_classifier::rule::Action;
     use tse_packet::builder::PacketBuilder;
 
@@ -680,6 +961,159 @@ mod tests {
         sharded.rekey(12345);
         for key in key_spread(&schema, 50) {
             assert_eq!(sharded.shard_of_key(&key), 3);
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_accounts_on_shard_zero() {
+        // A v6 frame hitting a v4-schema datapath can't produce a flow key in the
+        // table's schema, so steering is impossible: it must land — deterministically —
+        // on shard 0, the "default RX queue", as Unclassified/Allow. This pins the
+        // behaviour documented on `ShardedDatapath::process_packet`.
+        let schema = FieldSchema::ovs_ipv4();
+        let mut sharded = ShardedDatapath::new(fig6_table(&schema), 4, Steering::Rss);
+        let v6 = PacketBuilder::tcp_v6(
+            [0x2001, 0xdb8, 0, 0, 0, 0, 0, 1],
+            [0x2001, 0xdb8, 0, 0, 0, 0, 0, 2],
+            5555,
+            80,
+        )
+        .build();
+        let out = sharded.process_packet(&v6, 0.0);
+        assert_eq!(out.path, PathTaken::Unclassified);
+        assert_eq!(out.action, Action::Allow);
+        assert_eq!(out.masks_scanned, 0);
+        assert_eq!(sharded.shard_stats(0).packets(), 1);
+        for i in 1..4 {
+            assert_eq!(
+                sharded.shard_stats(i).packets(),
+                0,
+                "mismatched frames must never spread beyond shard 0"
+            );
+        }
+        // And it installs no cache state anywhere — not even on shard 0.
+        assert_eq!(sharded.entry_count(), 0);
+        assert_eq!(sharded.mask_count(), 0);
+    }
+
+    /// Build the standard 4-shard parity fixture: a fresh datapath plus a timed batch.
+    fn parity_fixture() -> (ShardedDatapath<TupleSpace>, Vec<(Key, usize, f64)>) {
+        let schema = FieldSchema::ovs_ipv4();
+        let sharded = ShardedDatapath::new(fig6_table(&schema), 4, Steering::Rss);
+        let batch: Vec<(Key, usize, f64)> = key_spread(&schema, 240)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, 64usize, i as f64 * 1e-3))
+            .collect();
+        (sharded, batch)
+    }
+
+    #[test]
+    fn prepartitioned_batch_matches_the_inline_partition_bitwise() {
+        let (mut inline, batch) = parity_fixture();
+        let (mut piped, _) = parity_fixture();
+
+        let expect = inline.process_timed_batch(&batch);
+
+        let mut prep = Prepartition::default();
+        prep.compute(&piped.steering_view(), &batch);
+        let got = piped.process_timed_batch_prepartitioned(&batch, &mut prep);
+
+        assert_eq!(got, expect);
+        assert_eq!(piped.stats(), inline.stats());
+        assert_eq!(
+            piped.stats().busy_seconds.to_bits(),
+            inline.stats().busy_seconds.to_bits()
+        );
+    }
+
+    #[test]
+    fn stale_prepartition_is_transparently_recomputed() {
+        // Pre-partition under the default hash key, then rekey before dispatch — the
+        // exact race a mitigation-driven rekey creates in the pipelined runner. The
+        // stale partition must be recomputed, never consumed.
+        let (mut inline, batch) = parity_fixture();
+        let (mut piped, _) = parity_fixture();
+
+        let mut prep = Prepartition::default();
+        prep.compute(&piped.steering_view(), &batch);
+        inline.rekey(0xfeed_f00d_dead_beef);
+        piped.rekey(0xfeed_f00d_dead_beef);
+
+        let expect = inline.process_timed_batch(&batch);
+        let got = piped.process_timed_batch_prepartitioned(&batch, &mut prep);
+        assert_eq!(got, expect);
+        assert_eq!(piped.stats(), inline.stats());
+
+        // A cleared partition is likewise recomputed rather than trusted.
+        let (mut inline2, _) = parity_fixture();
+        let (mut piped2, _) = parity_fixture();
+        let mut cleared = Prepartition::default();
+        cleared.compute(&piped2.steering_view(), &batch);
+        cleared.clear();
+        assert_eq!(
+            piped2.process_timed_batch_prepartitioned(&batch, &mut cleared),
+            inline2.process_timed_batch(&batch)
+        );
+    }
+
+    #[test]
+    fn pipelined_batch_runs_aux_and_matches_bitwise() {
+        for executor in [
+            Box::new(SequentialExecutor) as Box<dyn ShardExecutor>,
+            Box::new(crate::exec::PersistentPoolExecutor::new(2)),
+        ] {
+            let name = executor.name();
+            let (mut inline, batch) = parity_fixture();
+            let (mut piped, _) = parity_fixture();
+            piped.set_executor(executor);
+
+            let expect = inline.process_timed_batch(&batch);
+            let mut prep = Prepartition::default();
+            prep.compute(&piped.steering_view(), &batch);
+            let (got, aux) = piped.process_timed_batch_with(&batch, &mut prep, || 6 * 7);
+            assert_eq!(aux, 42, "[{name}] aux job must run exactly once");
+            assert_eq!(got, expect, "[{name}]");
+            assert_eq!(piped.stats(), inline.stats(), "[{name}]");
+        }
+    }
+
+    #[test]
+    fn pipelined_single_shard_still_runs_aux() {
+        let schema = FieldSchema::ovs_ipv4();
+        let table = fig6_table(&schema);
+        let batch: Vec<(Key, usize, f64)> = key_spread(&schema, 50)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, 64usize, i as f64 * 1e-3))
+            .collect();
+        let mut mono = Datapath::new(table.clone());
+        let expect = mono.process_timed_batch(&batch);
+
+        let mut sharded = ShardedDatapath::new(table, 1, Steering::Rss);
+        let mut prep = Prepartition::default();
+        let (got, aux) = sharded.process_timed_batch_with(&batch, &mut prep, || "drained");
+        assert_eq!(aux, "drained");
+        assert_eq!(got.aggregate(), expect);
+    }
+
+    #[test]
+    fn partition_scratch_is_a_stable_total_partition() {
+        let mut scratch = PartitionScratch::default();
+        let shard_of = |e: usize| e % 3;
+        scratch.partition(3, 10, shard_of);
+        // Every index appears exactly once, grouped by shard, stable within a shard.
+        assert_eq!(scratch.slice(0), &[0, 3, 6, 9]);
+        assert_eq!(scratch.slice(1), &[1, 4, 7]);
+        assert_eq!(scratch.slice(2), &[2, 5, 8]);
+        // Reuse with different geometry: buffers adapt, results stay exact.
+        scratch.partition(2, 4, |e| if e < 2 { 1 } else { 0 });
+        assert_eq!(scratch.slice(0), &[2, 3]);
+        assert_eq!(scratch.slice(1), &[0, 1]);
+        // Empty batch: all runs empty, no panic.
+        scratch.partition(4, 0, shard_of);
+        for s in 0..4 {
+            assert!(scratch.slice(s).is_empty());
         }
     }
 

@@ -123,12 +123,17 @@
 //!
 //! The sharded datapath's per-shard fan-out runs through a pluggable
 //! [`prelude::ShardExecutor`]: the default [`prelude::SequentialExecutor`] walks the
-//! shards in order, while [`prelude::ThreadPoolExecutor`] drives them from scoped
-//! worker threads — one PMD core per shard, the paper's actual hardware model.
-//! Because shards share nothing and results are always collected in shard order,
-//! executor choice changes wall-clock time only: timelines, stats and mitigation
-//! action logs are bit-for-bit identical (asserted by `tests/executor_parity.rs`).
-//! Select the executor on the builder, the sharded datapath or the runner:
+//! shards in order, [`prelude::PersistentPoolExecutor`] feeds long-lived parked
+//! workers — the paper's actual hardware model of core-pinned PMD threads whose spawn
+//! cost is paid once per process, not per batch — and [`prelude::ThreadPoolExecutor`]
+//! spawns scoped threads per batch. Steering is an allocation-free pre-partition pass
+//! (a reusable index buffer, no per-event key clones), and on a pooled executor the
+//! experiment runner pipelines its hot loop: interval *k + 1* is drained and
+//! pre-partitioned on a spare worker while the shards chew interval *k*. Because
+//! shards share nothing and results are always collected in shard order, executor
+//! choice changes wall-clock time only: timelines, stats and mitigation action logs
+//! are bit-for-bit identical (asserted by `tests/executor_parity.rs`). Select the
+//! executor on the builder, the sharded datapath or the runner:
 //!
 //! ```
 //! use tse::prelude::*;
@@ -141,7 +146,7 @@
 //!     Steering::Rss,
 //! );
 //! let mut threaded = ShardedDatapath::from_builder(
-//!     Datapath::builder(table).with_executor(ThreadPoolExecutor::new(8)),
+//!     Datapath::builder(table).with_executor(PersistentPoolExecutor::new(8)),
 //!     8,
 //!     Steering::Rss,
 //! );
@@ -288,8 +293,11 @@ pub mod prelude {
     pub use tse_switch::cost::CostModel;
     pub use tse_switch::datapath::{BatchReport, Datapath, DatapathBuilder, DatapathConfig};
     pub use tse_switch::exec::{
-        SequentialExecutor, ShardExecutor, ShardExecutorExt, ThreadPoolExecutor,
+        PersistentPoolExecutor, SequentialExecutor, ShardExecutor, ShardExecutorExt,
+        ThreadPoolExecutor,
     };
-    pub use tse_switch::pmd::{ShardedBatchReport, ShardedDatapath, Steering};
+    pub use tse_switch::pmd::{
+        Prepartition, ShardedBatchReport, ShardedDatapath, Steering, SteeringView,
+    };
     pub use tse_switch::tenant::{merge_tenant_acls, AclField, AllowClause, TenantAcl};
 }

@@ -1,0 +1,214 @@
+//! Steady-state allocation audit of the sharded batch fan-out.
+//!
+//! The steering pre-partition pass (`PartitionScratch` / `Prepartition` in
+//! `tse-switch`) promises **zero per-event heap allocations** once its scratch
+//! buffers are warm: partitioning writes event indices into reusable buffers and each
+//! shard processes one contiguous index run against the shared event slice — no
+//! per-shard `Vec<(Key, bytes, t)>`, no per-event `Key` clones. This test pins that
+//! with a counting global allocator: after a warm-up batch, fanning out a batch of N
+//! events costs exactly as many allocations as a batch of 2N (the per-*batch*
+//! constant — report vectors and executor slots — not per-event), on the sequential
+//! walk and on the persistent worker pool alike.
+//!
+//! The per-event *classification* path is excluded by construction: the TSS backend
+//! allocates per lookup (`apply_mask` builds a masked key), which is classifier work,
+//! not fan-out work. A stub backend with an allocation-free lookup isolates the
+//! machinery under audit.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tse::classifier::backend::FastPathBackend;
+use tse::classifier::tss::{InsertError, LookupOutcome};
+use tse::prelude::*;
+
+/// Forwards to the system allocator, counting every allocation (and reallocation —
+/// a `Vec` growing in place is still heap traffic we claim not to produce).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// The test's own bookkeeping (building batches, report vectors) also counts; the
+// assertions only ever compare *deltas* around the calls under audit.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations_during(mut f: impl FnMut()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// A fast-path backend whose lookup is allocation-free (constant Allow verdict, one
+/// mask scanned): every event terminates at level 2 without touching the slow path,
+/// so any allocation observed during a batch belongs to the fan-out machinery.
+#[derive(Debug, Clone)]
+struct NoAllocBackend {
+    schema: FieldSchema,
+}
+
+impl FastPathBackend for NoAllocBackend {
+    fn fresh(schema: &FieldSchema) -> Self {
+        NoAllocBackend {
+            schema: schema.clone(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "no-alloc-stub"
+    }
+
+    fn schema(&self) -> &FieldSchema {
+        &self.schema
+    }
+
+    fn lookup(&mut self, _header: &Key, _now: f64) -> LookupOutcome {
+        LookupOutcome {
+            action: Some(Action::Allow),
+            masks_scanned: 1,
+        }
+    }
+
+    fn insert_megaflow(
+        &mut self,
+        _key: Key,
+        _mask: Mask,
+        _action: Action,
+        _now: f64,
+    ) -> Result<(), InsertError> {
+        Ok(())
+    }
+
+    fn clear(&mut self) {}
+
+    fn mask_count(&self) -> usize {
+        0
+    }
+
+    fn entry_count(&self) -> usize {
+        0
+    }
+}
+
+fn stub_datapath(
+    schema: &FieldSchema,
+    executor: impl ShardExecutor + 'static,
+) -> ShardedDatapath<NoAllocBackend> {
+    let tp_dst = schema.field_index("tp_dst").unwrap();
+    let table = FlowTable::whitelist_default_deny(schema, &[(tp_dst, 80)]);
+    ShardedDatapath::from_builder(
+        Datapath::builder(table).backend_fresh::<NoAllocBackend>(),
+        4,
+        Steering::Rss,
+    )
+    .with_executor(executor)
+}
+
+fn spread_batch(schema: &FieldSchema, n: usize) -> Vec<(Key, usize, f64)> {
+    let tp_dst = schema.field_index("tp_dst").unwrap();
+    let ip_src = schema.field_index("ip_src").unwrap();
+    (0..n)
+        .map(|i| {
+            let mut k = schema.zero_value();
+            k.set(tp_dst, (i % 400) as u128);
+            k.set(ip_src, 0x0a00_0000 + (i / 3) as u128);
+            (k, 64usize, i as f64 * 1e-4)
+        })
+        .collect()
+}
+
+// One test function on purpose: the counter is process-global, and the deltas stay
+// meaningful only while no sibling test allocates concurrently.
+#[test]
+fn steady_state_fan_out_allocates_independently_of_batch_size() {
+    let schema = FieldSchema::ovs_ipv4();
+    let small = spread_batch(&schema, 600);
+    let big = spread_batch(&schema, 1200);
+
+    // --- Sequential executor: the pure scratch-reuse claim. ---
+    let mut dp = stub_datapath(&schema, SequentialExecutor);
+    // Warm up with the *largest* batch so every scratch buffer reaches its final
+    // capacity, then with the small one so nothing below depends on first-touch costs.
+    dp.process_timed_batch(&big);
+    dp.process_timed_batch(&small);
+
+    let d_small = allocations_during(|| {
+        dp.process_timed_batch(&small);
+    });
+    let d_big = allocations_during(|| {
+        dp.process_timed_batch(&big);
+    });
+    assert_eq!(
+        d_small, d_big,
+        "fan-out allocations must not scale with batch size \
+         (600 events: {d_small} allocs, 1200 events: {d_big})"
+    );
+    // The per-batch constant is the dispatch overhead (executor slots, report
+    // vectors) — a handful, never hundreds.
+    assert!(
+        d_big <= 32,
+        "per-batch dispatch overhead exploded: {d_big} allocations"
+    );
+
+    // --- The pre-partition pass itself reuses its buffers completely. ---
+    let view = dp.steering_view();
+    let mut prep = Prepartition::default();
+    prep.compute(&view, &big); // warm
+    prep.compute(&view, &small);
+    let d_prep = allocations_during(|| {
+        prep.compute(&view, &big);
+        prep.compute(&view, &small);
+    });
+    assert_eq!(
+        d_prep, 0,
+        "warm Prepartition::compute must be allocation-free, saw {d_prep}"
+    );
+
+    // --- Consuming a precomputed partition allocates no more than computing one. ---
+    let d_preparted = allocations_during(|| {
+        prep.compute(&view, &big);
+        dp.process_timed_batch_prepartitioned(&big, &mut prep);
+    });
+    assert!(
+        d_preparted <= d_big,
+        "prepartitioned dispatch ({d_preparted}) must not out-allocate \
+         the inline pass ({d_big})"
+    );
+
+    // --- Persistent pool: same independence with the fan-out on live workers. ---
+    let mut pooled = stub_datapath(&schema, PersistentPoolExecutor::new(2));
+    pooled.process_timed_batch(&big);
+    pooled.process_timed_batch(&small);
+    let p_small = allocations_during(|| {
+        pooled.process_timed_batch(&small);
+    });
+    let p_big = allocations_during(|| {
+        pooled.process_timed_batch(&big);
+    });
+    assert_eq!(
+        p_small, p_big,
+        "pooled fan-out allocations must not scale with batch size \
+         (600 events: {p_small} allocs, 1200 events: {p_big})"
+    );
+}

@@ -105,6 +105,33 @@ fn threaded_timelines_match_sequential_on_every_scenario_and_shard_count() {
 }
 
 #[test]
+fn persistent_pool_timelines_match_sequential_on_every_scenario_and_shard_count() {
+    // Same exhaustive sweep for the long-lived worker pool — and note the pipelined
+    // runner actually overlaps the drain of interval k+1 with shard processing here,
+    // so this doubles as the determinism proof of the pipeline itself.
+    for scenario in Scenario::ALL {
+        for n_shards in [1usize, 4, 16] {
+            let seq = run_experiment(scenario, n_shards, SequentialExecutor);
+            let par = run_experiment(scenario, n_shards, PersistentPoolExecutor::new(4));
+            assert_timelines_identical(&seq, &par);
+        }
+    }
+}
+
+#[test]
+fn one_persistent_pool_is_reusable_across_runs() {
+    // A single pool (cloned handles share the workers) driving several full
+    // experiments back to back must keep producing the sequential timelines — the
+    // long-lived workers carry no state between runs.
+    let pool = PersistentPoolExecutor::new(3);
+    for scenario in [Scenario::SipDp, Scenario::SpDp, Scenario::SipDp] {
+        let seq = run_experiment(scenario, 8, SequentialExecutor);
+        let par = run_experiment(scenario, 8, pool.clone());
+        assert_timelines_identical(&seq, &par);
+    }
+}
+
+#[test]
 fn threaded_runs_are_reproducible() {
     // Two identical threaded runs agree with each other (no hidden scheduling
     // dependence), not just with the sequential reference.
@@ -126,8 +153,8 @@ fn batch_reports_and_stats_match_across_executors() {
     let table = Scenario::SipDp.flow_table(&schema);
     let mut seq = ShardedDatapath::new(table.clone(), 6, Steering::Rss);
     let mut par =
-        ShardedDatapath::new(table, 6, Steering::Rss).with_executor(ThreadPoolExecutor::new(4));
-    assert_eq!(par.executor().name(), "thread-pool");
+        ShardedDatapath::new(table, 6, Steering::Rss).with_executor(PersistentPoolExecutor::new(4));
+    assert_eq!(par.executor().name(), "persistent-pool");
 
     let r_seq = seq.process_timed_batch(&events);
     let r_par = par.process_timed_batch(&events);
@@ -164,6 +191,7 @@ fn sharded_batch_report_is_consistent_with_shard_stats() {
     for executor in [
         Box::new(SequentialExecutor) as Box<dyn ShardExecutor>,
         Box::new(ThreadPoolExecutor::new(4)),
+        Box::new(PersistentPoolExecutor::new(4)),
     ] {
         let mut dp = ShardedDatapath::new(Scenario::SpDp.flow_table(&schema), 4, Steering::Rss)
             .with_executor(executor);
@@ -223,16 +251,24 @@ proptest! {
             .collect();
         let table = Scenario::SpDp.flow_table(&schema);
         let mut seq = ShardedDatapath::new(table.clone(), n_shards, Steering::Rss);
-        let mut par = ShardedDatapath::new(table, n_shards, Steering::Rss)
+        let mut par = ShardedDatapath::new(table.clone(), n_shards, Steering::Rss)
             .with_executor(ThreadPoolExecutor::new(threads));
+        let mut pool = ShardedDatapath::new(table, n_shards, Steering::Rss)
+            .with_executor(PersistentPoolExecutor::new(threads));
         let r_seq = seq.process_timed_batch(&batch);
         let r_par = par.process_timed_batch(&batch);
-        prop_assert_eq!(r_seq, r_par);
+        let r_pool = pool.process_timed_batch(&batch);
+        prop_assert_eq!(&r_seq, &r_par);
+        prop_assert_eq!(&r_seq, &r_pool);
         let (a, b): (DatapathStats, DatapathStats) = (seq.stats(), par.stats());
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(a.busy_seconds.to_bits(), b.busy_seconds.to_bits());
+        let c: DatapathStats = pool.stats();
+        prop_assert_eq!(&a, &c);
+        prop_assert_eq!(a.busy_seconds.to_bits(), c.busy_seconds.to_bits());
         for i in 0..n_shards {
             prop_assert_eq!(seq.shard_stats(i), par.shard_stats(i), "shard {}", i);
+            prop_assert_eq!(seq.shard_stats(i), pool.shard_stats(i), "shard {}", i);
         }
     }
 }

@@ -63,6 +63,19 @@ fn executors_are_send_and_sync() {
     assert_sync::<SequentialExecutor>();
     assert_send::<ThreadPoolExecutor>();
     assert_sync::<ThreadPoolExecutor>();
+    assert_send::<PersistentPoolExecutor>();
+    assert_sync::<PersistentPoolExecutor>();
     assert_send::<Box<dyn ShardExecutor>>();
     assert_sync::<Box<dyn ShardExecutor>>();
+}
+
+#[test]
+fn pipelined_drain_payloads_are_send() {
+    // The pipelined runner moves the traffic mix and the pre-partition scratch to a
+    // spare pool worker while the shards are busy; both must stay `Send` (that is what
+    // the `TrafficSource: Send` supertrait buys).
+    assert_send::<TrafficMix<'_>>();
+    assert_send::<Box<dyn TrafficSource>>();
+    assert_send::<Prepartition>();
+    assert_send::<SteeringView>();
 }

@@ -33,7 +33,7 @@ fn attack_keys(schema: &FieldSchema) -> BitInversionKeys {
     Scenario::SipDp.key_iter(schema, &base)
 }
 
-fn run_attack(schema: &FieldSchema, keys: impl Iterator<Item = Key> + 'static) -> Timeline {
+fn run_attack(schema: &FieldSchema, keys: impl Iterator<Item = Key> + Send + 'static) -> Timeline {
     let table = Scenario::SipDp.flow_table(schema);
     let sharded = ShardedDatapath::from_builder(Datapath::builder(table), N_SHARDS, Steering::Rss);
     let mut runner = ExperimentRunner::sharded(sharded, Vec::new(), OffloadConfig::gro_off());
