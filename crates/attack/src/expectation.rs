@@ -15,7 +15,7 @@
 //! `1 − (1 − p_k)^n`. Summing per *distinct mask* (entries that share a mask pool their
 //! coverage) gives the expected mask count the paper plots as the "E" curves of Fig. 9b.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tse_packet::fields::FieldSchema;
 
@@ -39,8 +39,11 @@ pub struct ExpectationModel {
     /// Widths of the targeted fields, in the priority order of their allow rules.
     widths: Vec<u32>,
     /// Distinct masks of the construction: per-field prefix lengths → total coverage
-    /// probability of the entries sharing that mask.
-    masks: HashMap<Vec<u32>, f64>,
+    /// probability of the entries sharing that mask. A `BTreeMap` keyed by the prefix
+    /// vector keeps [`ExpectationModel::expected_masks`]'s floating-point sum in a
+    /// deterministic order — hash order would vary per process and perturb the low
+    /// bits of the "E" curves.
+    masks: BTreeMap<Vec<u32>, f64>,
 }
 
 impl ExpectationModel {
@@ -48,7 +51,7 @@ impl ExpectationModel {
     pub fn new(widths: Vec<u32>) -> Self {
         assert!(!widths.is_empty());
         let total_bits: u32 = widths.iter().sum();
-        let mut masks: HashMap<Vec<u32>, f64> = HashMap::new();
+        let mut masks: BTreeMap<Vec<u32>, f64> = BTreeMap::new();
         let m = widths.len();
 
         // Entries covering allow rule i (0-based): prefixes on fields < i, exact on i,

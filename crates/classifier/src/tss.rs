@@ -103,6 +103,7 @@ impl TupleBucket {
     /// Recompute the summaries from scratch (after removals). No-op on an empty bucket
     /// (it is about to be dropped).
     fn rebuild_summary(&mut self) {
+        // lint: allow(nondet-iteration) — commutative AND/OR folds, order-free summary
         let mut it = self.entries.keys();
         let Some(first) = it.next() else { return };
         let mut key_and = first.clone();
@@ -172,6 +173,7 @@ impl TupleSpace {
 
     /// Number of entries |C|.
     pub fn entry_count(&self) -> usize {
+        // lint: allow(nondet-iteration) — integer sum of bucket sizes, order-free
         self.tuples.values().map(|t| t.entries.len()).sum()
     }
 
@@ -205,8 +207,10 @@ impl TupleSpace {
         bucket.entries.len()
     }
 
-    /// Iterate over all entries.
+    /// Iterate over all entries, in unspecified order — callers that need a stable
+    /// order (e.g. [`TupleSpace::render`]) must sort what they collect.
     pub fn entries(&self) -> impl Iterator<Item = &MegaflowEntry> {
+        // lint: allow(nondet-iteration) — unordered passthrough; ordered consumers sort
         self.tuples.values().flat_map(|t| t.entries.values())
     }
 
@@ -233,11 +237,21 @@ impl TupleSpace {
         match hit {
             Some((idx, mask, masked)) => {
                 self.mask_hits[idx] += 1;
-                let entry = self
+                // The scan above just saw this entry and the `&mut self` receiver rules
+                // out concurrent mutation, so the re-probe can only miss if the cache
+                // invariants are already broken — degrade to a miss instead of tearing
+                // down the datapath.
+                let Some(entry) = self
                     .tuples
                     .get_mut(&mask)
                     .and_then(|t| t.entries.get_mut(&masked))
-                    .expect("hit entry must exist");
+                else {
+                    debug_assert!(false, "hit entry vanished between scan and update");
+                    return LookupOutcome {
+                        action: None,
+                        masks_scanned: scanned,
+                    };
+                };
                 entry.hits += 1;
                 entry.last_used = now;
                 let action = entry.action;
@@ -296,7 +310,6 @@ impl TupleSpace {
                 self.masks.push(mask.clone());
                 self.mask_hits.push(0);
             }
-            self.tuples.insert(mask.clone(), TupleBucket::new(&key));
         }
         let entry = MegaflowEntry {
             key: key.clone(),
@@ -306,7 +319,10 @@ impl TupleSpace {
             last_used: now,
             installed_at: now,
         };
-        let bucket = self.tuples.get_mut(&mask).expect("tuple just ensured");
+        let bucket = self
+            .tuples
+            .entry(mask)
+            .or_insert_with(|| TupleBucket::new(&key));
         bucket.absorb(&key);
         bucket.entries.insert(key, entry);
         Ok(())
@@ -370,10 +386,16 @@ impl TupleSpace {
                     return Some((probe, existing_mask.clone()));
                 }
             } else {
-                for e in tuple.entries.values() {
-                    if !fields::disjoint(&key, mask, &e.key, &e.mask) {
-                        return Some((e.key.clone(), e.mask.clone()));
-                    }
+                // Report the smallest conflicting key, not the first in hash order:
+                // the generation strategy narrows wildcards against the returned
+                // conflict, so the choice must not depend on bucket layout.
+                let conflict = tuple
+                    .entries
+                    .values()
+                    .filter(|e| !fields::disjoint(&key, mask, &e.key, &e.mask))
+                    .min_by(|a, b| a.key.cmp(&b.key));
+                if let Some(e) = conflict {
+                    return Some((e.key.clone(), e.mask.clone()));
                 }
             }
         }
@@ -385,6 +407,7 @@ impl TupleSpace {
     /// this is what shrinks |M| back down (the entire point of MFCGuard).
     pub fn remove_where<F: FnMut(&MegaflowEntry) -> bool>(&mut self, mut predicate: F) -> usize {
         let mut removed = 0;
+        // lint: allow(nondet-iteration) — per-entry predicate + integer count, order-free
         for tuple in self.tuples.values_mut() {
             let before = tuple.entries.len();
             tuple.entries.retain(|_, e| !predicate(e));
@@ -462,6 +485,7 @@ impl TupleSpace {
     pub fn render(&self) -> String {
         let mut lines = Vec::new();
         for (i, mask) in self.masks.iter().enumerate() {
+            // lint: allow(nondet-iteration) — collected then sorted by key on the next line
             let mut keys: Vec<&MegaflowEntry> = self.tuples[mask].entries.values().collect();
             keys.sort_by(|a, b| a.key.cmp(&b.key));
             for e in keys {

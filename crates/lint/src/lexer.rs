@@ -1,0 +1,398 @@
+//! A minimal, panic-free Rust token scanner.
+//!
+//! This is deliberately **not** a parser: the lint rules match on token
+//! *sequences* (identifiers, punctuation, comments), so all the lexer has to
+//! get right is the part rustc's grammar makes subtle — telling code apart
+//! from the places code-looking text is inert:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, including byte/C strings (`b".."`, `c".."`);
+//! * raw strings with arbitrary hash fences (`r#".."#`, `br##".."##`);
+//! * char literals vs. lifetimes (`'a'` vs. `'a`).
+//!
+//! Everything inside a comment or literal becomes a single opaque token, so a
+//! string containing `unsafe` or `Instant::now` can never trigger a rule
+//! (asserted by the lexer property tests). The scanner never panics and never
+//! rejects input: unterminated literals simply extend to end of file, which is
+//! the right degradation for a lint that must not crash on a half-saved file.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unsafe`, `HashMap`, `foo`).
+    Ident,
+    /// A lifetime (`'a`) — distinct from [`TokenKind::Char`].
+    Lifetime,
+    /// A numeric literal (integers and floats, loosely scanned).
+    Num,
+    /// A single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+    /// A `//`-to-end-of-line comment (doc comments included), text preserved.
+    LineComment,
+    /// A (possibly nested) `/* … */` comment, text preserved.
+    BlockComment,
+    /// A quoted string literal, including `b"…"` / `c"…"` forms.
+    Str,
+    /// A raw string literal (`r"…"`, `br#"…"#`, …).
+    RawStr,
+    /// A character literal (`'x'`, `'\n'`).
+    Char,
+}
+
+/// One lexeme with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme class.
+    pub kind: TokenKind,
+    /// The raw text of the lexeme (comments keep their `//` / `/*` markers).
+    pub text: String,
+    /// 1-indexed line of the lexeme's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is an identifier equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True when the token is the single punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for both comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Cursor over the source characters; all movement is char-wise, so arbitrary
+/// (including multi-byte) input can never cause an out-of-bounds slice.
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn collect_from(&self, start: usize) -> String {
+        self.chars[start..self.pos].iter().collect()
+    }
+}
+
+/// Tokenize `src`. Total (every character is consumed), panic-free, and
+/// tolerant of malformed input: an unterminated literal or comment becomes one
+/// token running to end of file.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let start = cur.pos;
+        let line = cur.line;
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(c) = cur.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            tokens.push(Token {
+                kind: TokenKind::LineComment,
+                text: cur.collect_from(start),
+                line,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::BlockComment,
+                text: cur.collect_from(start),
+                line,
+            });
+            continue;
+        }
+        if c == '"' {
+            lex_string(&mut cur);
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text: cur.collect_from(start),
+                line,
+            });
+            continue;
+        }
+        if c == '\'' {
+            let kind = lex_quote(&mut cur);
+            tokens.push(Token {
+                kind,
+                text: cur.collect_from(start),
+                line,
+            });
+            continue;
+        }
+        if is_ident_start(c) {
+            cur.bump();
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            let ident = cur.collect_from(start);
+            // String-literal prefixes: `b"…"`, `c"…"`, `r"…"`, `r#"…"#`,
+            // `br##"…"##`, `cr"…"` — the ident glues onto the quote.
+            if matches!(ident.as_str(), "b" | "c") && cur.peek(0) == Some('"') {
+                lex_string(&mut cur);
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: cur.collect_from(start),
+                    line,
+                });
+                continue;
+            }
+            if matches!(ident.as_str(), "r" | "br" | "cr")
+                && matches!(cur.peek(0), Some('"') | Some('#'))
+                && lex_raw_string(&mut cur)
+            {
+                tokens.push(Token {
+                    kind: TokenKind::RawStr,
+                    text: cur.collect_from(start),
+                    line,
+                });
+                continue;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: ident,
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            cur.bump();
+            loop {
+                match cur.peek(0) {
+                    Some(d) if is_ident_continue(d) => {
+                        cur.bump();
+                    }
+                    // A dot continues the number only when a digit follows
+                    // (`1.5` yes, `0..n` and `1.max(2)` no).
+                    Some('.') if cur.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                        cur.bump();
+                    }
+                    _ => break,
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Num,
+                text: cur.collect_from(start),
+                line,
+            });
+            continue;
+        }
+        cur.bump();
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+    }
+    tokens
+}
+
+/// Consume a `"…"` string starting at the opening quote; escapes respected,
+/// EOF-tolerant.
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        if c == '\\' {
+            cur.bump();
+        } else if c == '"' {
+            break;
+        }
+    }
+}
+
+/// Try to consume a raw string body (`#`-fence + `"` … `"` + fence) starting at
+/// the character after the `r`/`br`/`cr` prefix. Returns false (consuming
+/// nothing) if what follows is not actually a raw string opener — e.g. `r#foo`,
+/// a raw identifier.
+fn lex_raw_string(cur: &mut Cursor) -> bool {
+    let mut hashes = 0usize;
+    while cur.peek(hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(hashes) != Some('"') {
+        return false;
+    }
+    for _ in 0..=hashes {
+        cur.bump(); // fence + opening quote
+    }
+    'body: while let Some(c) = cur.bump() {
+        if c == '"' {
+            for i in 0..hashes {
+                if cur.peek(i) != Some('#') {
+                    continue 'body;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+    }
+    true
+}
+
+/// Disambiguate a `'` into a char literal or a lifetime and consume it.
+fn lex_quote(cur: &mut Cursor) -> TokenKind {
+    cur.bump(); // the quote
+    match (cur.peek(0), cur.peek(1)) {
+        // `'\…'` — escaped char literal.
+        (Some('\\'), _) => {
+            cur.bump();
+            cur.bump(); // the escape head (e.g. `n`, `u`, `'`)
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+            TokenKind::Char
+        }
+        // `'x'` — a one-character literal (covers digits and punctuation too).
+        (Some(_), Some('\'')) => {
+            cur.bump();
+            cur.bump();
+            TokenKind::Char
+        }
+        // `'ident` — a lifetime.
+        (Some(c), _) if is_ident_start(c) => {
+            while cur.peek(0).is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            TokenKind::Lifetime
+        }
+        // Stray quote (malformed source): keep it as a lone char token.
+        _ => TokenKind::Char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_opaque() {
+        let src = r##"
+            let a = "unsafe thread::spawn"; // Instant::now in a comment
+            let b = r#"HashMap iteration "quoted" here"#;
+            /* nested /* SystemTime::now */ still comment */
+            let c = b"unsafe";
+        "##;
+        let ids = idents(src);
+        assert!(ids.iter().all(|i| i != "unsafe" && i != "Instant"));
+        assert_eq!(
+            lex(src)
+                .iter()
+                .filter(|t| t.kind == TokenKind::RawStr)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let toks = lex("let c = 'a'; fn f<'a>(x: &'a str) {} let n = '\\n';");
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Char).collect();
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(chars.len(), 2);
+        assert_eq!(lifetimes.len(), 2);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb";
+        let toks = lex(src);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let toks = lex("for i in 0..10 { let f = 1.5; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5"]);
+    }
+
+    #[test]
+    fn unterminated_literals_reach_eof_without_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"x", "'a"] {
+            let _ = lex(src);
+        }
+    }
+}

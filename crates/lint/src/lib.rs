@@ -1,0 +1,295 @@
+//! `tse-lint` — workspace-native static analysis for the determinism and
+//! unsafe-budget invariants every headline claim of this reproduction rests
+//! on.
+//!
+//! The tuple-space-explosion collapse/recovery numbers, the executor-parity
+//! proofs and the strict-equality `bench_diff` gate are all *bit-for-bit*
+//! claims. They hold only while nothing nondeterministic leaks into the
+//! deterministic paths: no wall-clock reads outside the advisory `*_wall`
+//! metrics, no `HashMap` iteration order feeding ordered output, no threads
+//! outside the executor seam, no undocumented `unsafe`, no panics reachable
+//! from crafted traffic. Parity tests check those properties where they look;
+//! this crate makes them hold *everywhere*, as a CI gate.
+//!
+//! crates.io is unreachable in the build environment, so this is a hand-rolled
+//! analyzer: a comment-, string- and raw-string-aware token scanner
+//! ([`lexer`]), a per-file context model ([`context`]), a set of
+//! token-sequence rules ([`rules`]), inline suppression pragmas with mandatory
+//! reasons ([`pragma`]) and a committed allowlist for the known whole-file
+//! exceptions ([`allowlist`]).
+//!
+//! # Rules
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `unsafe-budget` | `unsafe` only at allowlisted `(file, max_count)` sites, each with a `// SAFETY:` comment |
+//! | `unsafe-attr` | every crate root forbids `unsafe_code` (denies it in budgeted crates) |
+//! | `wall-clock` | `Instant::now`/`SystemTime::now` only in the criterion stub and `*wall*` captures of figure binaries |
+//! | `nondet-iteration` | hash-container iteration in non-test code must neutralize order in-statement or carry a pragma |
+//! | `thread-containment` | thread creation only in `crates/switch/src/exec.rs` |
+//! | `panic-hygiene` | no `unwrap`/`expect`/panicking macros in hot-path modules outside tests |
+//! | `pragma-hygiene` | pragmas need a reason, a known rule, and a matching finding |
+//!
+//! # Exit codes (binary)
+//!
+//! `0` clean · `1` violations · `2` usage or I/O error — the same contract as
+//! `bench_diff`, so CI wiring is identical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod context;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use tse_bench::report::json::Json;
+
+/// A confirmed violation (after pragma processing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A finding suppressed by a valid pragma — reported (not failed) so every
+/// active suppression stays auditable in the output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule identifier of the suppressed finding.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-indexed line of the suppressed finding.
+    pub line: u32,
+    /// The pragma's mandatory justification.
+    pub reason: String,
+}
+
+/// The scan result for one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileReport {
+    /// Violations.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Pragma-suppressed findings.
+    pub suppressions: Vec<Suppression>,
+}
+
+/// Scan one file's source. `path` must be workspace-relative with `/`
+/// separators — it drives the module classification.
+pub fn scan_file(path: &str, source: &str) -> FileReport {
+    let tokens = lexer::lex(source);
+    let ctx = context::FileContext::new(path, &tokens);
+    let findings = rules::check_file(&ctx, &tokens);
+
+    let mut pragmas: Vec<(pragma::Pragma, bool)> = tokens
+        .iter()
+        .filter(|t| t.kind == lexer::TokenKind::LineComment)
+        .filter_map(|t| pragma::parse(&t.text, t.line))
+        .map(|p| (p, false))
+        .collect();
+
+    let mut report = FileReport::default();
+    for finding in findings {
+        let matched = pragmas.iter_mut().find(|(p, _)| {
+            p.rule == finding.rule
+                && p.reason.is_some()
+                && (p.line == finding.line || p.line + 1 == finding.line)
+        });
+        if let Some((p, used)) = matched {
+            *used = true;
+            report.suppressions.push(Suppression {
+                rule: finding.rule.to_string(),
+                file: path.to_string(),
+                line: finding.line,
+                reason: p.reason.clone().unwrap_or_default(),
+            });
+        } else {
+            report.diagnostics.push(Diagnostic {
+                rule: finding.rule.to_string(),
+                file: path.to_string(),
+                line: finding.line,
+                message: finding.message,
+            });
+        }
+    }
+    for (p, used) in &pragmas {
+        let problem = if p.reason.is_none() {
+            Some("suppression pragma without a reason (the reason is mandatory)".to_string())
+        } else if !rules::RULE_IDS.contains(&p.rule.as_str()) {
+            Some(format!(
+                "suppression pragma names unknown rule `{}`",
+                p.rule
+            ))
+        } else if !used {
+            Some(format!(
+                "unused suppression pragma for `{}` — no finding on this or the next line",
+                p.rule
+            ))
+        } else {
+            None
+        };
+        if let Some(message) = problem {
+            report.diagnostics.push(Diagnostic {
+                rule: "pragma-hygiene".to_string(),
+                file: path.to_string(),
+                line: p.line,
+                message,
+            });
+        }
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (a.line, a.rule.as_str()).cmp(&(b.line, b.rule.as_str())));
+    report
+}
+
+/// A whole-workspace scan result.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All violations, ordered by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// All pragma suppressions, same order.
+    pub suppressions: Vec<Suppression>,
+}
+
+impl WorkspaceReport {
+    /// True when the scan found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Render the human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        if !self.suppressions.is_empty() {
+            out.push_str(&format!(
+                "{} pragma-suppressed finding(s):\n",
+                self.suppressions.len()
+            ));
+            for s in &self.suppressions {
+                out.push_str(&format!(
+                    "  {}:{}: [{}] suppressed — {}\n",
+                    s.file, s.line, s.rule, s.reason
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "tse-lint: {} file(s) scanned, {} violation(s), {} suppression(s)\n",
+            self.files_scanned,
+            self.diagnostics.len(),
+            self.suppressions.len()
+        ));
+        out
+    }
+
+    /// Render the report as a [`Json`] value (written with the same bit-exact
+    /// writer the bench regression gate uses).
+    pub fn to_json(&self) -> Json {
+        let diag = |d: &Diagnostic| {
+            Json::Obj(vec![
+                ("rule".to_string(), Json::Str(d.rule.clone())),
+                ("file".to_string(), Json::Str(d.file.clone())),
+                ("line".to_string(), Json::Num(f64::from(d.line))),
+                ("message".to_string(), Json::Str(d.message.clone())),
+            ])
+        };
+        let supp = |s: &Suppression| {
+            Json::Obj(vec![
+                ("rule".to_string(), Json::Str(s.rule.clone())),
+                ("file".to_string(), Json::Str(s.file.clone())),
+                ("line".to_string(), Json::Num(f64::from(s.line))),
+                ("reason".to_string(), Json::Str(s.reason.clone())),
+            ])
+        };
+        Json::Obj(vec![
+            ("tool".to_string(), Json::Str("tse-lint".to_string())),
+            (
+                "files_scanned".to_string(),
+                Json::Num(self.files_scanned as f64),
+            ),
+            (
+                "diagnostics".to_string(),
+                Json::Arr(self.diagnostics.iter().map(diag).collect()),
+            ),
+            (
+                "suppressions".to_string(),
+                Json::Arr(self.suppressions.iter().map(supp).collect()),
+            ),
+        ])
+    }
+}
+
+/// The directories scanned under the workspace root.
+const SCAN_ROOTS: &[&str] = &["src", "crates", "tests", "examples"];
+
+/// Scan the workspace rooted at `root`: every `.rs` file under `src/`,
+/// `crates/`, `tests/` and `examples/` (skipping any `target` directory), in
+/// sorted path order so output — and the JSON report — is deterministic.
+pub fn scan_workspace(root: &Path) -> std::io::Result<WorkspaceReport> {
+    let mut files = Vec::new();
+    for dir in SCAN_ROOTS {
+        let dir = root.join(dir);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = WorkspaceReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(&path)?;
+        let file_report = scan_file(&rel, &source);
+        report.files_scanned += 1;
+        report.diagnostics.extend(file_report.diagnostics);
+        report.suppressions.extend(file_report.suppressions);
+    }
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        if path.is_dir() {
+            if name != "target" {
+                collect_rs_files(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! `tse-lint` CLI — scan the workspace, print the report, gate CI.
+//!
+//! ```text
+//! tse-lint [--root <dir>] [--json <path>]
+//! ```
+//!
+//! Exit codes match `bench_diff`: `0` clean, `1` violations found, `2` usage
+//! or I/O error. With no `--root`, the workspace root is located by walking up
+//! from the current directory to the first directory holding both a
+//! `Cargo.toml` and a `crates/` directory.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tse_bench::report::json;
+
+fn usage() -> String {
+    "usage: tse-lint [--root <dir>] [--json <path>]".to_string()
+}
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let value = |it: &mut dyn Iterator<Item = String>| {
+            inline
+                .clone()
+                .or_else(|| it.next())
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--root" => args.root = Some(PathBuf::from(value(&mut it)?)),
+            "--json" => args.json = Some(PathBuf::from(value(&mut it)?)),
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// Walk up from the current directory to the workspace root (`Cargo.toml` +
+/// `crates/` present).
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(root) = args.root.or_else(find_root) else {
+        eprintln!("tse-lint: could not locate the workspace root (try --root <dir>)");
+        return ExitCode::from(2);
+    };
+    let report = match tse_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tse-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render_human());
+    if let Some(path) = args.json {
+        let rendered = match json::write(&report.to_json()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tse-lint: JSON render failed: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, rendered + "\n") {
+            eprintln!("tse-lint: writing {} failed: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,92 @@
+//! Inline suppression pragmas.
+//!
+//! Grammar (inside a line comment, anywhere on the line of the violation or on
+//! the line directly above it):
+//!
+//! ```text
+//! // lint: allow(<rule>) — <reason>
+//! ```
+//!
+//! The separator may be an em dash (`—`), `--`, or `-`; the reason is
+//! **mandatory** — a pragma without one suppresses nothing and is itself
+//! reported by the `pragma-hygiene` rule, as is a pragma naming an unknown
+//! rule or one that no finding matched (suppressions must not outlive the code
+//! they justified).
+
+/// A parsed `lint: allow(..)` pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// The rule the pragma suppresses.
+    pub rule: String,
+    /// The mandatory justification (`None` = malformed: reason missing).
+    pub reason: Option<String>,
+    /// 1-indexed line of the pragma comment.
+    pub line: u32,
+}
+
+/// Parse a line comment's text into a [`Pragma`]. Returns `None` when the
+/// comment is not a lint pragma at all; returns `Some` with `reason: None`
+/// when it is one but the mandatory reason is missing.
+pub fn parse(comment_text: &str, line: u32) -> Option<Pragma> {
+    let body = comment_text.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let (rule, after) = rest.split_once(')')?;
+    let rule = rule.trim().to_string();
+    if rule.is_empty() {
+        return None;
+    }
+    let after = after.trim_start();
+    let reason = after
+        .strip_prefix('\u{2014}') // em dash
+        .or_else(|| after.strip_prefix("--"))
+        .or_else(|| after.strip_prefix('-'))
+        .map(str::trim)
+        .filter(|r| !r.is_empty())
+        .map(str::to_string);
+    Some(Pragma { rule, reason, line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pragma_parses() {
+        let p = parse(
+            "// lint: allow(nondet-iteration) — AND/OR fold is order-free",
+            7,
+        )
+        .expect("should parse");
+        assert_eq!(p.rule, "nondet-iteration");
+        assert_eq!(p.reason.as_deref(), Some("AND/OR fold is order-free"));
+        assert_eq!(p.line, 7);
+    }
+
+    #[test]
+    fn ascii_separators_accepted() {
+        for src in [
+            "// lint: allow(wall-clock) -- measured for humans only",
+            "//lint: allow(wall-clock) - measured for humans only",
+        ] {
+            let p = parse(src, 1).expect("should parse");
+            assert_eq!(p.reason.as_deref(), Some("measured for humans only"));
+        }
+    }
+
+    #[test]
+    fn missing_reason_is_flagged_not_ignored() {
+        let p = parse("// lint: allow(unsafe-budget)", 3).expect("is a pragma");
+        assert_eq!(p.reason, None);
+        let p = parse("// lint: allow(unsafe-budget) —   ", 3).expect("is a pragma");
+        assert_eq!(p.reason, None);
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_pragmas() {
+        assert_eq!(parse("// lint is great", 1), None);
+        assert_eq!(parse("// allow(foo) — no lint prefix", 1), None);
+        assert_eq!(parse("// lint: allow() — empty rule", 1), None);
+    }
+}

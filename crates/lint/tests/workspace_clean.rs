@@ -1,0 +1,27 @@
+//! The workspace itself must scan clean — the same invariant the CI lint gate
+//! enforces, kept as a test so `cargo test` alone catches a regression.
+
+use std::path::Path;
+
+#[test]
+fn workspace_scans_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = tse_lint::scan_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        report.files_scanned
+    );
+    assert!(report.is_clean(), "\n{}", report.render_human());
+    // Every active suppression is auditable: rule known, reason non-empty.
+    for s in &report.suppressions {
+        assert!(!s.reason.is_empty(), "{}:{} [{}]", s.file, s.line, s.rule);
+        assert!(
+            tse_lint::rules::RULE_IDS.contains(&s.rule.as_str()),
+            "{}:{} suppresses unknown rule {}",
+            s.file,
+            s.line,
+            s.rule
+        );
+    }
+}

@@ -306,6 +306,108 @@ impl ShardExecutor for ThreadPoolExecutor {
     }
 }
 
+/// Execute shard jobs in a seeded adversarial order with injected yields — a
+/// determinism-stressing executor for parity tests.
+///
+/// A parity test passing under [`ThreadPoolExecutor`] might still be riding a lucky,
+/// mostly in-order schedule: the work-stealing counter hands out indices nearly
+/// sequentially when per-shard work is uniform. `ChaosExecutor` removes the luck. It
+/// deals the shard indices to its workers from a seeded Fisher–Yates permutation
+/// (round-robin, so every worker gets shards from all over the index space) and each
+/// worker yields the CPU at seeded points between jobs, coaxing the OS into a
+/// different interleaving on every run — while the shard-to-worker *assignment* stays
+/// reproducible from the seed. If shard state were not truly shard-exclusive, or any
+/// result assembly depended on completion order, parity against
+/// [`SequentialExecutor`] would break under some seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosExecutor {
+    threads: usize,
+    seed: u64,
+}
+
+impl ChaosExecutor {
+    /// An executor driving at most `threads` workers over a permutation seeded by
+    /// `seed`.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize, seed: u64) -> Self {
+        assert!(threads > 0, "thread count must be positive");
+        ChaosExecutor { threads, seed }
+    }
+
+    /// The permutation seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// One step of the splitmix64 generator — the same tiny PRNG the compat `rand` stub
+/// builds on, inlined here so `tse-switch` keeps its zero-dependency core.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ShardExecutor for ChaosExecutor {
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn run(&self, n_shards: usize, job: &(dyn Fn(usize) + Sync)) {
+        if n_shards == 0 {
+            return;
+        }
+        let mut state = self.seed ^ (n_shards as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut order: Vec<usize> = (0..n_shards).collect();
+        for i in (1..n_shards).rev() {
+            let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let workers = self.threads.min(n_shards);
+        // Deal the permuted indices round-robin; each worker also draws a 64-bit
+        // yield pattern deciding before which of its jobs it yields the CPU.
+        let mut plans: Vec<(Vec<usize>, u64)> = (0..workers)
+            .map(|_| {
+                (
+                    Vec::with_capacity(n_shards / workers + 1),
+                    splitmix64(&mut state),
+                )
+            })
+            .collect();
+        for (k, &shard) in order.iter().enumerate() {
+            plans[k % workers].0.push(shard);
+        }
+        if workers <= 1 {
+            // Single worker: still runs the full permutation, minus the yields.
+            for i in &plans[0].0 {
+                job(*i);
+            }
+            return;
+        }
+        std::thread::scope(|scope| {
+            for (indices, yields) in plans {
+                scope.spawn(move || {
+                    for (k, i) in indices.into_iter().enumerate() {
+                        if (yields >> (k % 64)) & 1 == 1 {
+                            std::thread::yield_now();
+                        }
+                        job(i);
+                    }
+                });
+            }
+            // The scope joins every worker; a panicked job re-panics here.
+        });
+    }
+
+    fn clone_box(&self) -> Box<dyn ShardExecutor> {
+        Box::new(*self)
+    }
+}
+
 /// The borrowed job of the run in flight, type-erased to a raw pointer so the
 /// long-lived workers (which are `'static` threads) can hold it.
 ///
@@ -675,6 +777,55 @@ mod tests {
     #[should_panic(expected = "thread count must be positive")]
     fn zero_threads_is_rejected() {
         ThreadPoolExecutor::new(0);
+    }
+
+    #[test]
+    fn chaos_visits_every_shard_exactly_once() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let visits: Vec<AtomicUsize> = (0..33).map(|_| AtomicUsize::new(0)).collect();
+            ChaosExecutor::new(4, seed).run(33, &|i| {
+                visits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, v) in visits.iter().enumerate() {
+                assert_eq!(v.load(Ordering::Relaxed), 1, "seed {seed} shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_permutes_but_results_stay_in_shard_order() {
+        let log = Mutex::new(Vec::new());
+        ChaosExecutor::new(1, 7).run(8, &|i| log.lock().unwrap().push(i));
+        let order = log.lock().unwrap().clone();
+        assert_ne!(order, (0..8).collect::<Vec<_>>(), "seed 7 must shuffle");
+
+        // The same seed replays the same single-worker execution order...
+        let log2 = Mutex::new(Vec::new());
+        ChaosExecutor::new(1, 7).run(8, &|i| log2.lock().unwrap().push(i));
+        assert_eq!(order, *log2.lock().unwrap());
+
+        // ...and result assembly is in shard order regardless.
+        let mut data = vec![10u64, 20, 30, 40];
+        let results = ChaosExecutor::new(3, 99).for_each_shard(&mut data, |i, v| *v + i as u64);
+        assert_eq!(results, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn chaos_matches_sequential_on_uneven_work() {
+        let work = |i: usize, v: &mut u64| {
+            for _ in 0..(i + 1) * 1000 {
+                *v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            *v
+        };
+        let mut a = vec![7u64; 9];
+        let ra = SequentialExecutor.for_each_shard(&mut a, work);
+        for seed in 0..8u64 {
+            let mut b = vec![7u64; 9];
+            let rb = ChaosExecutor::new(4, seed).for_each_shard(&mut b, work);
+            assert_eq!(a, b, "seed {seed}");
+            assert_eq!(ra, rb, "seed {seed}");
+        }
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub use datapath::{
     BatchReport, Datapath, DatapathBuilder, DatapathConfig, ProcessOutcome, DEFAULT_IDLE_TIMEOUT,
 };
 pub use exec::{
-    PersistentPoolExecutor, SequentialExecutor, ShardExecutor, ShardExecutorExt, ThreadPoolExecutor,
+    ChaosExecutor, PersistentPoolExecutor, SequentialExecutor, ShardExecutor, ShardExecutorExt,
+    ThreadPoolExecutor,
 };
 pub use pmd::{ShardedBatchReport, ShardedDatapath, Steering};
 pub use slowpath::{SlowPath, UpcallOutcome};

@@ -293,7 +293,7 @@ pub mod prelude {
     pub use tse_switch::cost::CostModel;
     pub use tse_switch::datapath::{BatchReport, Datapath, DatapathBuilder, DatapathConfig};
     pub use tse_switch::exec::{
-        PersistentPoolExecutor, SequentialExecutor, ShardExecutor, ShardExecutorExt,
+        ChaosExecutor, PersistentPoolExecutor, SequentialExecutor, ShardExecutor, ShardExecutorExt,
         ThreadPoolExecutor,
     };
     pub use tse_switch::pmd::{

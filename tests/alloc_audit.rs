@@ -30,6 +30,9 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
 // The test's own bookkeeping (building batches, report vectors) also counts; the
 // assertions only ever compare *deltas* around the calls under audit.
+//
+// SAFETY: every method forwards `ptr`/`layout` unchanged to `System`, which upholds
+// the `GlobalAlloc` contract; the only addition is a relaxed atomic counter bump.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -40,6 +43,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same forwarding argument as above for the remaining two methods.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)

@@ -119,6 +119,25 @@ fn persistent_pool_timelines_match_sequential_on_every_scenario_and_shard_count(
 }
 
 #[test]
+fn chaos_timelines_match_sequential_across_seeds() {
+    // The adversarial executor runs the shards in a seeded permutation with injected
+    // yields — if any cross-shard state or order-dependent merge existed, some seed
+    // would surface it. Sweep seeds on one scenario and scenarios on one seed.
+    let seq = run_experiment(Scenario::SipDp, 8, SequentialExecutor);
+    for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+        let chaos = run_experiment(Scenario::SipDp, 8, ChaosExecutor::new(4, seed));
+        assert_timelines_identical(&seq, &chaos);
+    }
+    for scenario in Scenario::ALL {
+        for n_shards in [1usize, 4, 16] {
+            let seq = run_experiment(scenario, n_shards, SequentialExecutor);
+            let chaos = run_experiment(scenario, n_shards, ChaosExecutor::new(4, 7));
+            assert_timelines_identical(&seq, &chaos);
+        }
+    }
+}
+
+#[test]
 fn one_persistent_pool_is_reusable_across_runs() {
     // A single pool (cloned handles share the workers) driving several full
     // experiments back to back must keep producing the sequential timelines — the
@@ -192,6 +211,7 @@ fn sharded_batch_report_is_consistent_with_shard_stats() {
         Box::new(SequentialExecutor) as Box<dyn ShardExecutor>,
         Box::new(ThreadPoolExecutor::new(4)),
         Box::new(PersistentPoolExecutor::new(4)),
+        Box::new(ChaosExecutor::new(4, 0xC0FFEE)),
     ] {
         let mut dp = ShardedDatapath::new(Scenario::SpDp.flow_table(&schema), 4, Steering::Rss)
             .with_executor(executor);
@@ -253,13 +273,17 @@ proptest! {
         let mut seq = ShardedDatapath::new(table.clone(), n_shards, Steering::Rss);
         let mut par = ShardedDatapath::new(table.clone(), n_shards, Steering::Rss)
             .with_executor(ThreadPoolExecutor::new(threads));
-        let mut pool = ShardedDatapath::new(table, n_shards, Steering::Rss)
+        let mut pool = ShardedDatapath::new(table.clone(), n_shards, Steering::Rss)
             .with_executor(PersistentPoolExecutor::new(threads));
+        let mut chaos = ShardedDatapath::new(table, n_shards, Steering::Rss)
+            .with_executor(ChaosExecutor::new(threads, values.len() as u64));
         let r_seq = seq.process_timed_batch(&batch);
         let r_par = par.process_timed_batch(&batch);
         let r_pool = pool.process_timed_batch(&batch);
+        let r_chaos = chaos.process_timed_batch(&batch);
         prop_assert_eq!(&r_seq, &r_par);
         prop_assert_eq!(&r_seq, &r_pool);
+        prop_assert_eq!(&r_seq, &r_chaos);
         let (a, b): (DatapathStats, DatapathStats) = (seq.stats(), par.stats());
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(a.busy_seconds.to_bits(), b.busy_seconds.to_bits());
