@@ -20,7 +20,11 @@
 //! * [`source`] — the streaming form: pull-based [`source::TrafficSource`] event
 //!   streams ([`trace::AttackTrace`] replay, the lazy [`source::AttackGenerator`]) and
 //!   the [`source::TrafficMix`] timestamp merge that composes them into experiment
-//!   workloads.
+//!   workloads;
+//! * [`wire`] — the wire-level form of the same sources: [`wire::WireSource`] /
+//!   [`wire::WireGenerator`] serialise every packet to raw Ethernet bytes (optionally
+//!   under a VLAN/VXLAN overlay) and recover the key through the real parser, emitting
+//!   [`source::EventPayload::Malformed`] for frames the datapath cannot classify.
 //!
 //! Everything here is *generation and analysis*: the effect on a switch is measured by
 //! feeding these traces into `tse-switch` / `tse-simnet`.
@@ -36,6 +40,7 @@ pub mod scenarios;
 pub mod sharding;
 pub mod source;
 pub mod trace;
+pub mod wire;
 
 pub use bounds::{multi_field_bound, multi_field_extremes, single_field_curve, TradeoffPoint};
 pub use colocated::{
@@ -50,3 +55,4 @@ pub use source::{
     AttackGenerator, EventPayload, SourceRole, TraceSource, TrafficEvent, TrafficMix, TrafficSource,
 };
 pub use trace::{AttackTrace, TimedPacket};
+pub use wire::{wire_trace, WireGenerator, WireSource};

@@ -13,10 +13,9 @@
 
 use rand::Rng;
 
-use tse_packet::builder::PacketBuilder;
 use tse_packet::fields::{FieldSchema, Key};
 use tse_packet::flowkey::FlowKey;
-use tse_packet::l4::IpProto;
+use tse_packet::wire::WireFault;
 
 use crate::trace::AttackTrace;
 
@@ -32,6 +31,14 @@ pub enum EventPayload {
     Probe {
         /// The probed flow's offered load in Gbps at this instant.
         offered_gbps: f64,
+    },
+    /// A raw frame that could not be classified: wire decode failed, or the decoded
+    /// family does not match the experiment's schema. The event's `key` is a schema
+    /// zero value (never steered); the consumer charges the frame to shard 0, exactly
+    /// like the datapath's schema-mismatch path.
+    Malformed {
+        /// Why the frame was unclassifiable.
+        fault: WireFault,
     },
 }
 
@@ -143,10 +150,7 @@ impl TrafficSource for TraceSource<'_> {
 pub struct AttackGenerator<I, R> {
     label: String,
     schema: FieldSchema,
-    ip_src: usize,
-    ip_dst: usize,
-    tp_src: usize,
-    tp_dst: usize,
+    fields: (usize, usize, usize, usize, bool),
     keys: I,
     rng: R,
     rate_pps: f64,
@@ -160,9 +164,9 @@ where
     I: Iterator<Item = Key>,
     R: Rng,
 {
-    /// Create a generator over the OVS IPv4 schema, sending one packet per key drawn
-    /// from `keys` at `rate_pps` starting at `start_time`. The stream ends when `keys`
-    /// does (pass a cycled iterator plus [`AttackGenerator::with_limit`] for the
+    /// Create a generator over an OVS schema (IPv4 or IPv6), sending one packet per key
+    /// drawn from `keys` at `rate_pps` starting at `start_time`. The stream ends when
+    /// `keys` does (pass a cycled iterator plus [`AttackGenerator::with_limit`] for the
     /// "replay the pcap in a loop" attacker).
     pub fn new(
         label: impl Into<String>,
@@ -175,10 +179,7 @@ where
         assert!(rate_pps > 0.0, "rate must be positive");
         AttackGenerator {
             label: label.into(),
-            ip_src: schema.field_index("ip_src").expect("IPv4 schema"),
-            ip_dst: schema.field_index("ip_dst").expect("IPv4 schema"),
-            tp_src: schema.field_index("tp_src").expect("IPv4 schema"),
-            tp_dst: schema.field_index("tp_dst").expect("IPv4 schema"),
+            fields: crate::trace::crafting_fields(schema),
             schema: schema.clone(),
             keys,
             rng,
@@ -212,15 +213,9 @@ where
             }
         }
         let key = self.keys.next()?;
-        let packet = PacketBuilder::from_numeric_v4(
-            key.get(self.ip_src) as u32,
-            key.get(self.ip_dst) as u32,
-            IpProto::Tcp,
-            key.get(self.tp_src) as u16,
-            key.get(self.tp_dst) as u16,
-        )
-        .randomize_noise(&mut self.rng)
-        .build();
+        let packet = crate::trace::craft_packet(&key, self.fields)
+            .randomize_noise(&mut self.rng)
+            .build();
         let time = self.start_time + self.emitted as f64 * (1.0 / self.rate_pps);
         self.emitted += 1;
         Some(TrafficEvent {

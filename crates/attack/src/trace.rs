@@ -27,10 +27,57 @@ pub struct AttackTrace {
     packets: Vec<TimedPacket>,
 }
 
+/// Field indices an attack crafter needs, resolved once per schema. Works on both OVS
+/// schema families: `ip_src`/`ip_dst` (IPv4) or `ip6_src`/`ip6_dst` (IPv6).
+///
+/// # Panics
+/// Panics if `schema` is neither OVS family.
+pub(crate) fn crafting_fields(schema: &FieldSchema) -> (usize, usize, usize, usize, bool) {
+    let (ip_src, ip_dst, is_v6) = match schema.field_index("ip_src") {
+        Some(src) => (
+            src,
+            schema.field_index("ip_dst").expect("OVS IPv4 schema"),
+            false,
+        ),
+        None => (
+            schema
+                .field_index("ip6_src")
+                .expect("OVS IPv4 or IPv6 schema"),
+            schema.field_index("ip6_dst").expect("OVS IPv6 schema"),
+            true,
+        ),
+    };
+    let tp_src = schema.field_index("tp_src").expect("OVS schema");
+    let tp_dst = schema.field_index("tp_dst").expect("OVS schema");
+    (ip_src, ip_dst, tp_src, tp_dst, is_v6)
+}
+
+/// Craft one attack packet (before noise randomisation) from a header key.
+pub(crate) fn craft_packet(key: &Key, fields: (usize, usize, usize, usize, bool)) -> PacketBuilder {
+    let (ip_src, ip_dst, tp_src, tp_dst, is_v6) = fields;
+    if is_v6 {
+        PacketBuilder::from_numeric_v6(
+            key.get(ip_src),
+            key.get(ip_dst),
+            IpProto::Tcp,
+            key.get(tp_src) as u16,
+            key.get(tp_dst) as u16,
+        )
+    } else {
+        PacketBuilder::from_numeric_v4(
+            key.get(ip_src) as u32,
+            key.get(ip_dst) as u32,
+            IpProto::Tcp,
+            key.get(tp_src) as u16,
+            key.get(tp_dst) as u16,
+        )
+    }
+}
+
 impl AttackTrace {
-    /// Build a trace from header keys over the OVS IPv4 schema, sent at `rate_pps`
-    /// starting at `start_time`. Each packet's noise fields (TTL, IP id, TCP seq) are
-    /// randomised so every packet is a distinct microflow.
+    /// Build a trace from header keys over an OVS schema (IPv4 or IPv6), sent at
+    /// `rate_pps` starting at `start_time`. Each packet's noise fields (TTL, IP id /
+    /// flow label, TCP seq) are randomised so every packet is a distinct microflow.
     pub fn from_keys<R: Rng + ?Sized>(
         rng: &mut R,
         schema: &FieldSchema,
@@ -39,24 +86,13 @@ impl AttackTrace {
         start_time: f64,
     ) -> Self {
         assert!(rate_pps > 0.0, "rate must be positive");
-        let ip_src = schema.field_index("ip_src").expect("IPv4 schema");
-        let ip_dst = schema.field_index("ip_dst").expect("IPv4 schema");
-        let tp_src = schema.field_index("tp_src").expect("IPv4 schema");
-        let tp_dst = schema.field_index("tp_dst").expect("IPv4 schema");
+        let fields = crafting_fields(schema);
         let interval = 1.0 / rate_pps;
         let packets = keys
             .iter()
             .enumerate()
             .map(|(i, key)| {
-                let packet = PacketBuilder::from_numeric_v4(
-                    key.get(ip_src) as u32,
-                    key.get(ip_dst) as u32,
-                    IpProto::Tcp,
-                    key.get(tp_src) as u16,
-                    key.get(tp_dst) as u16,
-                )
-                .randomize_noise(rng)
-                .build();
+                let packet = craft_packet(key, fields).randomize_noise(rng).build();
                 TimedPacket {
                     time: start_time + i as f64 * interval,
                     packet,

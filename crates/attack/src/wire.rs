@@ -1,0 +1,411 @@
+//! Wire-level traffic sources: pcap-style replay of serialised frames through the real
+//! parser.
+//!
+//! The key-level sources in [`crate::source`] hand the datapath pre-extracted header
+//! keys. The sources here instead serialise every packet to raw Ethernet bytes
+//! (optionally under a VLAN/VXLAN overlay, [`Encap`]) and recover the key through
+//! [`tse_packet::wire::decode`] — so the full header-layout code runs on the hot path,
+//! exactly as a switch fed from a NIC. For the same keys, seed, rate and start time a
+//! wire source emits an event stream **identical** to its key-level counterpart
+//! (encode→decode is exact), which the tests here pin; the only difference appears
+//! under an overlay, where the event's `bytes` honestly include the encapsulation
+//! overhead.
+//!
+//! Frames that fail to decode (or decode into the wrong address family) are not
+//! dropped: they come out as [`EventPayload::Malformed`] events the experiment runner
+//! charges to shard 0, like the datapath's schema-mismatch path.
+
+use rand::Rng;
+
+use tse_packet::fields::{FieldSchema, Key};
+use tse_packet::flowkey::FlowKey;
+use tse_packet::wire::{self, Encap, WireFault, WireTrace};
+
+use crate::source::{EventPayload, TrafficEvent, TrafficSource};
+use crate::trace::AttackTrace;
+
+/// Serialise an [`AttackTrace`] into a [`WireTrace`] under the given encapsulation —
+/// the "write the pcap" half of wire-level replay.
+pub fn wire_trace(trace: &AttackTrace, encap: Encap) -> WireTrace {
+    let mut out = WireTrace::new();
+    for tp in trace.packets() {
+        out.push_packet(tp.time, &tp.packet, encap);
+    }
+    out
+}
+
+/// Which OVS schema families a schema can classify (resolved once per source).
+#[derive(Debug, Clone, Copy)]
+struct Family {
+    v4: bool,
+    v6: bool,
+}
+
+impl Family {
+    fn of(schema: &FieldSchema) -> Self {
+        Family {
+            v4: schema.field_index("ip_src").is_some(),
+            v6: schema.field_index("ip6_src").is_some(),
+        }
+    }
+}
+
+/// Decode one frame into a traffic event: a classifiable packet becomes a keyed
+/// [`EventPayload::Packet`]; anything else becomes [`EventPayload::Malformed`] with a
+/// schema zero key (never steered — the runner charges it to shard 0).
+fn frame_event(
+    schema: &FieldSchema,
+    family: Family,
+    zero: &Key,
+    time: f64,
+    frame: &[u8],
+) -> TrafficEvent {
+    let payload = match wire::decode(frame) {
+        Ok(pkt) => {
+            let flow = FlowKey::from_packet(&pkt);
+            if (flow.is_v6 && family.v6) || (!flow.is_v6 && family.v4) {
+                return TrafficEvent {
+                    time,
+                    key: flow.to_key(schema),
+                    bytes: frame.len(),
+                    payload: EventPayload::Packet,
+                };
+            }
+            EventPayload::Malformed {
+                fault: WireFault::FamilyMismatch,
+            }
+        }
+        Err(e) => EventPayload::Malformed { fault: e.into() },
+    };
+    TrafficEvent {
+        time,
+        key: zero.clone(),
+        bytes: frame.len(),
+        payload,
+    }
+}
+
+/// A [`TrafficSource`] replaying a [`WireTrace`] frame by frame through the wire
+/// parser — the pcap-replay attacker of §5.4, down to the bytes.
+#[derive(Debug, Clone)]
+pub struct WireSource {
+    label: String,
+    schema: FieldSchema,
+    family: Family,
+    zero: Key,
+    trace: WireTrace,
+    cursor: usize,
+}
+
+impl WireSource {
+    /// Replay `trace` as events under `schema`.
+    pub fn replay(label: impl Into<String>, trace: WireTrace, schema: &FieldSchema) -> Self {
+        WireSource {
+            label: label.into(),
+            family: Family::of(schema),
+            zero: schema.zero_value(),
+            schema: schema.clone(),
+            trace,
+            cursor: 0,
+        }
+    }
+
+    /// Serialise an [`AttackTrace`] under `encap` and replay it — shorthand for
+    /// [`wire_trace`] + [`WireSource::replay`].
+    pub fn from_attack_trace(
+        label: impl Into<String>,
+        trace: &AttackTrace,
+        schema: &FieldSchema,
+        encap: Encap,
+    ) -> Self {
+        Self::replay(label, wire_trace(trace, encap), schema)
+    }
+
+    /// The frame trace being replayed.
+    pub fn trace(&self) -> &WireTrace {
+        &self.trace
+    }
+}
+
+impl TrafficSource for WireSource {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn next_event(&mut self) -> Option<TrafficEvent> {
+        if self.cursor >= self.trace.len() {
+            return None;
+        }
+        let i = self.cursor;
+        self.cursor += 1;
+        Some(frame_event(
+            &self.schema,
+            self.family,
+            &self.zero,
+            self.trace.time(i),
+            self.trace.frame(i),
+        ))
+    }
+}
+
+/// The lazy wire-level generator: crafts each attack packet on the fly (identically to
+/// [`crate::source::AttackGenerator`] — same builder, same noise draws, same constant-
+/// rate timestamps), serialises it into a reusable frame buffer under the configured
+/// [`Encap`], and recovers the classification key through the real parser. O(1) memory
+/// for any packet count, zero per-packet buffer allocations in steady state.
+#[derive(Debug, Clone)]
+pub struct WireGenerator<I, R> {
+    label: String,
+    schema: FieldSchema,
+    family: Family,
+    fields: (usize, usize, usize, usize, bool),
+    zero: Key,
+    keys: I,
+    rng: R,
+    rate_pps: f64,
+    start_time: f64,
+    emitted: usize,
+    limit: Option<usize>,
+    encap: Encap,
+    frame: Vec<u8>,
+}
+
+impl<I, R> WireGenerator<I, R>
+where
+    I: Iterator<Item = Key>,
+    R: Rng,
+{
+    /// Create a generator over an OVS schema (IPv4 or IPv6), one frame per key drawn
+    /// from `keys` at `rate_pps` starting at `start_time`, with no encapsulation.
+    pub fn new(
+        label: impl Into<String>,
+        schema: &FieldSchema,
+        keys: I,
+        rng: R,
+        rate_pps: f64,
+        start_time: f64,
+    ) -> Self {
+        assert!(rate_pps > 0.0, "rate must be positive");
+        WireGenerator {
+            label: label.into(),
+            family: Family::of(schema),
+            fields: crate::trace::crafting_fields(schema),
+            zero: schema.zero_value(),
+            schema: schema.clone(),
+            keys,
+            rng,
+            rate_pps,
+            start_time,
+            emitted: 0,
+            limit: None,
+            encap: Encap::None,
+            frame: Vec::new(),
+        }
+    }
+
+    /// Serialise every frame under `encap`. Under a VXLAN tunnel the outer header is
+    /// the tunnel's fixed VTEP addresses and VNI — the attacker controls only the
+    /// inner frame, which is exactly what the parser extracts and the ACL classifies.
+    pub fn with_encap(mut self, encap: Encap) -> Self {
+        self.encap = encap;
+        self
+    }
+
+    /// Cap the stream at `count` frames (the cyclic-replay form).
+    pub fn with_limit(mut self, count: usize) -> Self {
+        self.limit = Some(count);
+        self
+    }
+}
+
+impl<I, R> TrafficSource for WireGenerator<I, R>
+where
+    I: Iterator<Item = Key> + Send,
+    R: Rng + Send,
+{
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn next_event(&mut self) -> Option<TrafficEvent> {
+        if let Some(limit) = self.limit {
+            if self.emitted >= limit {
+                return None;
+            }
+        }
+        let key = self.keys.next()?;
+        let packet = crate::trace::craft_packet(&key, self.fields)
+            .randomize_noise(&mut self.rng)
+            .build();
+        self.frame.clear();
+        self.encap.encode_into(&packet, &mut self.frame);
+        let time = self.start_time + self.emitted as f64 * (1.0 / self.rate_pps);
+        self.emitted += 1;
+        Some(frame_event(
+            &self.schema,
+            self.family,
+            &self.zero,
+            time,
+            &self.frame,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::colocated::{scenario_key_iter, scenario_trace};
+    use crate::general::random_trace_on_fields;
+    use crate::scenarios::Scenario;
+    use crate::source::{AttackGenerator, SourceRole, TraceSource};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tse_packet::wire::DecodeError;
+
+    fn stream(mut src: impl TrafficSource) -> Vec<TrafficEvent> {
+        std::iter::from_fn(move || src.next_event()).collect()
+    }
+
+    #[test]
+    fn wire_replay_matches_key_level_replay_exactly() {
+        let schema = FieldSchema::ovs_ipv4();
+        let keys = scenario_trace(&schema, Scenario::SpDp, &schema.zero_value());
+        let trace =
+            AttackTrace::from_keys(&mut StdRng::seed_from_u64(7), &schema, &keys, 200.0, 3.0);
+        let wire = WireSource::from_attack_trace("atk", &trace, &schema, Encap::None);
+        assert_eq!(wire.trace().len(), trace.len());
+        let keyed = TraceSource::new("atk", &trace, &schema);
+        assert_eq!(stream(wire), stream(keyed));
+    }
+
+    #[test]
+    fn wire_generator_matches_key_level_generator_exactly() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mk_keys = || {
+            scenario_key_iter(&schema, Scenario::SipDp, &schema.zero_value())
+                .cycle()
+                .take(400)
+        };
+        let wire = WireGenerator::new(
+            "atk",
+            &schema,
+            mk_keys(),
+            StdRng::seed_from_u64(42),
+            250.0,
+            10.0,
+        );
+        let keyed = AttackGenerator::new(
+            "atk",
+            &schema,
+            mk_keys(),
+            StdRng::seed_from_u64(42),
+            250.0,
+            10.0,
+        );
+        assert_eq!(stream(wire), stream(keyed));
+    }
+
+    #[test]
+    fn ipv6_wire_generator_matches_key_level_generator() {
+        let schema = FieldSchema::ovs_ipv6();
+        let ip6_src = schema.field_index("ip6_src").unwrap();
+        let tp_dst = schema.field_index("tp_dst").unwrap();
+        let mk_keys = || {
+            random_trace_on_fields(
+                &mut StdRng::seed_from_u64(99),
+                &schema,
+                &[ip6_src, tp_dst],
+                &schema.zero_value(),
+                300,
+            )
+            .into_iter()
+        };
+        let wire = WireGenerator::new(
+            "v6",
+            &schema,
+            mk_keys(),
+            StdRng::seed_from_u64(5),
+            100.0,
+            0.0,
+        );
+        let keyed = AttackGenerator::new(
+            "v6",
+            &schema,
+            mk_keys(),
+            StdRng::seed_from_u64(5),
+            100.0,
+            0.0,
+        );
+        let wire_events = stream(wire);
+        assert_eq!(wire_events, stream(keyed));
+        assert_eq!(wire_events.len(), 300);
+    }
+
+    #[test]
+    fn overlay_encap_extracts_the_inner_key() {
+        let schema = FieldSchema::ovs_ipv4();
+        let keys = scenario_trace(&schema, Scenario::Dp, &schema.zero_value());
+        let trace =
+            AttackTrace::from_keys(&mut StdRng::seed_from_u64(1), &schema, &keys, 100.0, 0.0);
+        let plain = stream(WireSource::from_attack_trace(
+            "p",
+            &trace,
+            &schema,
+            Encap::None,
+        ));
+        for encap in [
+            Encap::Vlan { tci: 100 },
+            Encap::Vxlan {
+                outer_src: 0x0a00_0001,
+                outer_dst: 0x0a00_0002,
+                vni: 42,
+            },
+        ] {
+            let tunneled = stream(WireSource::from_attack_trace("t", &trace, &schema, encap));
+            assert_eq!(tunneled.len(), plain.len());
+            for (t, p) in tunneled.iter().zip(plain.iter()) {
+                // The overlay changes the wire bytes but not the classified key: the
+                // attacker-controlled inner header passes through the tunnel intact.
+                assert_eq!(t.key, p.key);
+                assert_eq!(t.time, p.time);
+                assert_eq!(t.payload, p.payload);
+                assert_eq!(t.bytes, p.bytes + encap.overhead());
+            }
+        }
+    }
+
+    #[test]
+    fn unclassifiable_frames_become_malformed_events() {
+        let schema = FieldSchema::ovs_ipv4();
+        let v6 = tse_packet::PacketBuilder::tcp_v6(
+            [1, 0, 0, 0, 0, 0, 0, 2],
+            [3, 0, 0, 0, 0, 0, 0, 4],
+            1,
+            2,
+        )
+        .build();
+        let good = tse_packet::PacketBuilder::tcp_v4([10, 0, 0, 1], [10, 0, 0, 2], 1, 80).build();
+        let mut trace = WireTrace::new();
+        trace.push_packet(0.0, &good, Encap::None);
+        trace.push(0.1, &wire::encode(&good)[..9]); // truncated
+        trace.push_packet(0.2, &v6, Encap::None); // family mismatch under v4 schema
+        let events = stream(WireSource::replay("mix", trace, &schema));
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].payload, EventPayload::Packet);
+        assert_eq!(
+            events[1].payload,
+            EventPayload::Malformed {
+                fault: WireFault::Decode(DecodeError::Truncated)
+            }
+        );
+        assert_eq!(events[1].key, schema.zero_value());
+        assert_eq!(
+            events[2].payload,
+            EventPayload::Malformed {
+                fault: WireFault::FamilyMismatch
+            }
+        );
+        let src = WireSource::replay("mix", WireTrace::new(), &schema);
+        assert_eq!(src.role(), SourceRole::Attacker);
+    }
+}

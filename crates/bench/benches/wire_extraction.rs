@@ -1,0 +1,99 @@
+//! Wire-ingestion cost: what does classifying from raw Ethernet bytes add over
+//! classifying from pre-parsed keys?
+//!
+//! Three rows per batch size over the same SipDp-shaped traffic:
+//!
+//! * `key_level_baseline` — the pre-wire datapath input: [`FlowKey::from_packet`]
+//!   over already-parsed [`Packet`] structs (header-field shuffling only, the floor
+//!   every wire row is measured against);
+//! * `per_frame_decode` — the naive ingest loop: [`wire::decode`] each frame into a
+//!   fresh `Packet` and derive its key, one at a time;
+//! * `batched_extract` — the batch path the sharded datapath actually uses:
+//!   [`extract_trace_into`] with a warm [`ExtractScratch`], one parser pass per
+//!   frame and zero heap allocations in steady state (pinned by
+//!   `tests/alloc_audit.rs`).
+//!
+//! The interesting comparison is `batched_extract` vs `per_frame_decode` (the batch
+//! row decodes the same frames *plus* stores every per-frame `Result` and the error
+//! accounting the datapath consumes — that bookkeeping is the measured overhead of
+//! the reusable-scratch contract) and `batched_extract` vs `key_level_baseline`
+//! (the full price of byte-level ingestion).
+//!
+//! Exported into `BENCH_wire.json` via the stub's `TSE_BENCH_OUT` log and
+//! `bench_ingest --group wire_extraction`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tse_packet::builder::PacketBuilder;
+use tse_packet::flowkey::FlowKey;
+use tse_packet::wire::{self, Encap, WireTrace};
+use tse_packet::{extract_trace_into, ExtractScratch, Packet};
+
+/// SipDp-shaped traffic: the attacker walks source addresses and ports while the
+/// service tuple stays fixed, so every frame decodes but no two keys collide.
+fn packets(n: usize) -> Vec<Packet> {
+    (0..n)
+        .map(|i| {
+            PacketBuilder::tcp_v4(
+                [10, (i >> 8) as u8, i as u8, 7],
+                [10, 0, 0, 99],
+                1024 + (i % 40_000) as u16,
+                80,
+            )
+            .build()
+        })
+        .collect()
+}
+
+fn bench_wire_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_extraction");
+    for batch in [256usize, 4096] {
+        let pkts = packets(batch);
+        let mut trace = WireTrace::new();
+        for (i, p) in pkts.iter().enumerate() {
+            trace.push_packet(i as f64 * 1e-5, p, Encap::None);
+        }
+
+        group.bench_with_input(
+            BenchmarkId::new("key_level_baseline", batch),
+            &batch,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for p in &pkts {
+                        acc = acc.wrapping_add(FlowKey::from_packet(p).tp_src as u64);
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_frame_decode", batch),
+            &batch,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for frame in trace.frames() {
+                        let pkt = wire::decode(frame).expect("well-formed frame");
+                        acc = acc.wrapping_add(FlowKey::from_packet(&pkt).tp_src as u64);
+                    }
+                    acc
+                })
+            },
+        );
+        let mut scratch = ExtractScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("batched_extract", batch),
+            &batch,
+            |b, _| {
+                b.iter(|| {
+                    extract_trace_into(&trace, &mut scratch);
+                    scratch.counts().decoded
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(wire_extraction, bench_wire_extraction);
+criterion_main!(wire_extraction);

@@ -1,30 +1,67 @@
-//! E-IPv6: the §5.4 anomaly — for IPv6 ACLs OVS exact-matches the source address instead
-//! of wildcarding it bit by bit, so the attack inflates the number of *entries* (memory,
-//! revalidation CPU) while the mask count stays small.
+//! E-IPv6: the §5.4 anomaly — for IPv6 ACLs OVS exact-matches the source address
+//! instead of wildcarding it bit by bit, so the attack inflates the number of
+//! *entries* (memory, revalidation CPU) while the mask count stays small.
+//!
+//! The experiment runs through the full wire-level pipeline: an IPv6 victim iperf
+//! flow plus a [`WireGenerator`] attacker that crafts each random SipDp-over-IPv6
+//! packet, serialises it to raw Ethernet bytes and recovers the key through the real
+//! parser, feeding a sharded datapath behind RSS steering. Two megaflow-generation
+//! strategies are compared on identical traffic:
+//!
+//! * `wildcarding` — bit-level wildcarding as for IPv4: the attack sparks *masks*
+//!   (the classic lookup-slowdown explosion, collapsing the victim);
+//! * `ipv6_anomaly` — the observed OVS behaviour: source addresses are installed
+//!   exact-match, so masks stay flat while *entries* grow with every packet —
+//!   memory/revalidation exhaustion instead of lookup slowdown.
+//!
+//! Run with `--duration <s>` (default 70), `--shards <n>` (default 4),
+//! `--parallel <threads>` and `--json <path>` (CI smoke-runs it short and gates the
+//! deterministic metrics through `BENCH_wire.json`).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tse_attack::source::TrafficMix;
+use tse_attack::wire::WireGenerator;
 use tse_bench::render_table;
 use tse_classifier::strategy::MegaflowStrategy;
 use tse_packet::fields::FieldSchema;
+use tse_simnet::offload::OffloadConfig;
+use tse_simnet::runner::ExperimentRunner;
+use tse_simnet::traffic::{VictimFlow, VictimSource};
 use tse_switch::datapath::Datapath;
+use tse_switch::pmd::{ShardedDatapath, Steering};
+
+const ATTACK_START: f64 = 20.0;
+const ATTACK_PPS: f64 = 400.0;
+const ALLOWED_SRC: u128 = 0xfd00_0000_0000_0000_0000_0000_0000_0001;
+const SERVICE_DST: u128 = 0xfd00_0000_0000_0000_0000_0000_0000_0063;
 
 fn main() {
-    let args = tse_bench::fig_args_static();
+    let args = tse_bench::fig_args(70.0, 4);
+    let (duration, n_shards) = (args.duration, args.shard_count());
     let schema = FieldSchema::ovs_ipv6();
     let tp_dst = schema.field_index("tp_dst").unwrap();
     let ip6_src = schema.field_index("ip6_src").unwrap();
     // SipDp over IPv6: allow dst port 80, allow one source address, deny the rest.
     let table = tse_classifier::flowtable::FlowTable::whitelist_default_deny(
         &schema,
-        &[
-            (tp_dst, 80),
-            (ip6_src, 0xfd00_0000_0000_0000_0000_0000_0000_0001),
-        ],
+        &[(tp_dst, 80), (ip6_src, ALLOWED_SRC)],
+    );
+    let victim = VictimFlow::iperf_tcp_v6("Victim", ALLOWED_SRC, SERVICE_DST, 10.0);
+    let packets = ((duration - ATTACK_START).max(1.0) * ATTACK_PPS) as usize;
+    let during_start = (ATTACK_START + 10.0).min(duration - 2.0);
+    let during_end = duration - 1.0;
+
+    println!(
+        "== §5.4 IPv6 anomaly: {packets} random SipDp-over-IPv6 frames through the wire \
+         parser, {n_shards} shards ({} executor), duration {duration} s ==\n",
+        args.executor_label()
     );
 
     let mut rows = Vec::new();
     let mut metrics = Vec::new();
+    let mut results = Vec::new();
+    let wall = std::time::Instant::now();
     for (label, strategy, tag) in [
         (
             "bit-level wildcarding (IPv4-style)",
@@ -37,43 +74,107 @@ fn main() {
             "ipv6_anomaly",
         ),
     ] {
-        let mut dp = Datapath::builder(table.clone()).strategy(strategy).build();
-        let mut rng = StdRng::seed_from_u64(99);
+        let sharded = ShardedDatapath::from_builder(
+            Datapath::builder(table.clone())
+                .strategy(strategy)
+                .with_executor(args.executor()),
+            n_shards,
+            Steering::Rss,
+        );
+        let mut runner = ExperimentRunner::sharded(sharded, Vec::new(), OffloadConfig::gro_off());
+        // Uniformly random attacker-controlled fields (the General TSE §6 shape),
+        // serialised to raw frames and re-parsed on ingest.
         let keys = tse_attack::general::random_trace_on_fields(
-            &mut rng,
+            &mut StdRng::seed_from_u64(99),
             &schema,
             &[ip6_src, tp_dst],
             &schema.zero_value(),
-            20_000,
+            packets,
         );
-        for (i, key) in keys.iter().enumerate() {
-            dp.process_key(key, 64, i as f64 * 1e-5);
-        }
+        let mix = TrafficMix::new()
+            .with(VictimSource::new(victim.clone(), &schema, 1.0))
+            .with(WireGenerator::new(
+                "Attacker",
+                &schema,
+                keys.into_iter(),
+                StdRng::seed_from_u64(7),
+                ATTACK_PPS,
+                ATTACK_START,
+            ));
+        let tl = runner.run_mix(mix, duration);
+        let peak_masks = tl.samples.iter().map(|s| s.mask_count).max().unwrap_or(0);
+        let peak_entries = tl.samples.iter().map(|s| s.entry_count).max().unwrap_or(0);
+        let before = tl.mean_total_between(5.0, ATTACK_START - 1.0);
+        let during = tl.mean_total_between(during_start, during_end);
+        let malformed: f64 = tl.samples.iter().map(|s| s.malformed_pps).sum();
+        assert_eq!(malformed, 0.0, "well-formed frames must all classify");
         rows.push(vec![
             label.to_string(),
-            format!("{}", dp.mask_count()),
-            format!("{}", dp.entry_count()),
+            format!("{peak_masks}"),
+            format!("{peak_entries}"),
+            format!("{before:6.2}"),
+            format!("{during:6.2}"),
         ]);
         use tse_bench::report::Metric;
         metrics.push(Metric::deterministic(
-            &format!("{tag}/masks"),
+            &format!("{tag}/peak_masks"),
             "masks",
-            dp.mask_count() as f64,
+            peak_masks as f64,
         ));
         metrics.push(Metric::deterministic(
-            &format!("{tag}/entries"),
+            &format!("{tag}/peak_entries"),
             "entries",
-            dp.entry_count() as f64,
+            peak_entries as f64,
         ));
+        metrics.push(
+            Metric::deterministic(&format!("{tag}/victim_during_gbps"), "gbps", during)
+                .higher_is_better(),
+        );
+        results.push((tag, peak_masks, peak_entries, before, during));
     }
-    println!("== §5.4 IPv6 anomaly: 20 000 random SipDp-over-IPv6 attack packets ==\n");
+
     println!(
         "{}",
         render_table(
-            &["megaflow generation strategy", "MFC masks", "MFC entries"],
+            &[
+                "megaflow generation strategy",
+                "peak masks",
+                "peak entries",
+                "victim before (Gbps)",
+                "victim during (Gbps)",
+            ],
             &rows
         )
     );
-    println!("\npaper: 'a handful of masks but hundreds of thousands of MFC entries' -> memory/CPU exhaustion instead of lookup slowdown");
+    println!(
+        "\npaper: 'a handful of masks but hundreds of thousands of MFC entries' -> \
+         memory/CPU exhaustion instead of lookup slowdown"
+    );
+
+    let (_, wc_masks, _, wc_before, wc_during) = results[0];
+    let (_, an_masks, an_entries, ..) = results[1];
+    if duration >= ATTACK_START + 12.0 {
+        assert!(
+            an_entries > an_masks * 50,
+            "the anomaly inflates entries, not masks: {an_entries} entries vs {an_masks} masks"
+        );
+        assert!(
+            wc_masks > an_masks * 4,
+            "bit-level wildcarding sparks masks instead: {wc_masks} vs {an_masks}"
+        );
+        assert!(
+            wc_during < wc_before * 0.5,
+            "the wildcarding mask explosion must degrade the victim: {wc_before} -> {wc_during}"
+        );
+    } else {
+        println!("(horizon too short for the acceptance assertions — run with --duration 70)");
+    }
+
+    use tse_bench::report::Metric;
+    metrics.push(Metric::wall(
+        "wall_seconds",
+        "seconds_wall",
+        wall.elapsed().as_secs_f64(),
+    ));
     args.emit(env!("CARGO_BIN_NAME"), metrics);
 }

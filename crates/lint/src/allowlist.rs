@@ -54,6 +54,10 @@ pub const HOT_PATH_FILES: &[&str] = &[
     "crates/classifier/src/microflow.rs",
     "crates/switch/src/datapath.rs",
     "crates/switch/src/pmd.rs",
+    // Wire ingestion: the frame parser and the batched extractor run on every
+    // raw frame, including attacker-crafted byte soup.
+    "crates/packet/src/wire.rs",
+    "crates/packet/src/extract.rs",
 ];
 
 /// The `unsafe` budget for `file` (0 when unlisted).

@@ -103,6 +103,35 @@ impl PacketBuilder {
         }
     }
 
+    /// A packet built directly from raw IPv6 address/port integers — the v6 counterpart
+    /// of [`PacketBuilder::from_numeric_v4`] for attack generators working on numeric
+    /// header values.
+    pub fn from_numeric_v6(
+        ip_src: u128,
+        ip_dst: u128,
+        proto: IpProto,
+        src_port: u16,
+        dst_port: u16,
+    ) -> Self {
+        let l4 = match proto {
+            IpProto::Udp => L4Header::udp(src_port, dst_port),
+            _ => L4Header::tcp(src_port, dst_port),
+        };
+        PacketBuilder {
+            eth: EthernetHeader {
+                ethertype: EtherType::Ipv6,
+                ..EthernetHeader::default()
+            },
+            net: NetHeader::V6(Ipv6Header::new(
+                Ipv6Addr::from(ip_src),
+                Ipv6Addr::from(ip_dst),
+                proto,
+            )),
+            l4,
+            payload_len: DEFAULT_ATTACK_PAYLOAD,
+        }
+    }
+
     /// Set the source MAC.
     pub fn src_mac(mut self, mac: MacAddr) -> Self {
         self.eth.src = mac;

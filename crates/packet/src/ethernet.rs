@@ -40,6 +40,9 @@ pub enum EtherType {
     /// ARP (0x0806) — parsed but never classified (non-IP traffic never reaches the
     /// tenant ACL, cf. §5.2 footnote 2).
     Arp,
+    /// An 802.1Q VLAN tag (0x8100): four more bytes (TCI + inner ethertype) follow the
+    /// Ethernet header before the network layer.
+    Vlan,
     /// Anything else.
     Other(u16),
 }
@@ -51,6 +54,7 @@ impl EtherType {
             EtherType::Ipv4 => 0x0800,
             EtherType::Ipv6 => 0x86DD,
             EtherType::Arp => 0x0806,
+            EtherType::Vlan => 0x8100,
             EtherType::Other(v) => v,
         }
     }
@@ -61,6 +65,7 @@ impl EtherType {
             0x0800 => EtherType::Ipv4,
             0x86DD => EtherType::Ipv6,
             0x0806 => EtherType::Arp,
+            0x8100 => EtherType::Vlan,
             other => EtherType::Other(other),
         }
     }
@@ -135,6 +140,7 @@ mod tests {
             EtherType::Ipv4,
             EtherType::Ipv6,
             EtherType::Arp,
+            EtherType::Vlan,
             EtherType::Other(0x1234),
         ] {
             assert_eq!(EtherType::from_u16(et.to_u16()), et);

@@ -26,6 +26,7 @@
 
 pub mod builder;
 pub mod ethernet;
+pub mod extract;
 pub mod fields;
 pub mod flowkey;
 pub mod ipv4;
@@ -36,11 +37,13 @@ pub mod wire;
 
 pub use builder::PacketBuilder;
 pub use ethernet::{EtherType, EthernetHeader, MacAddr};
+pub use extract::{extract_keys_into, extract_trace_into, ExtractCounts, ExtractScratch};
 pub use fields::{FieldDef, FieldSchema, FieldVec, Key, Mask};
 pub use flowkey::{FlowKey, MicroflowKey};
 pub use ipv4::Ipv4Header;
 pub use ipv6::Ipv6Header;
 pub use l4::{IpProto, L4Header};
+pub use wire::{DecodeError, Encap, WireFault, WireTrace};
 
 /// A fully formed packet as seen by the software switch: L2 + L3 + L4 headers plus an
 /// opaque payload length (payload *contents* are irrelevant to classification, cf. §1:

@@ -25,6 +25,7 @@ use tse_classifier::tss::TupleSpace;
 use tse_mitigation::guard::{GuardMitigation, MfcGuard};
 use tse_mitigation::stack::{Mitigation, MitigationAction, MitigationCtx, MitigationStack};
 use tse_packet::fields::Key;
+use tse_packet::wire::WireFault;
 use tse_switch::datapath::Datapath;
 use tse_switch::exec::ShardExecutor;
 use tse_switch::pmd::{Prepartition, ShardedDatapath, SteeringView};
@@ -51,6 +52,12 @@ pub struct TimelineSample {
     /// packets consume CPU like any other traffic but are attributed to no attacker
     /// series (0.0 in every mix without background sources).
     pub background_pps: f64,
+    /// Raw frames per second the wire parser could not turn into a classifiable key
+    /// this interval ([`EventPayload::Malformed`] events — truncated/garbled frames or
+    /// an address family the installed table cannot express). Each is charged to
+    /// shard 0, the ingestion point, and counted here rather than in any attacker
+    /// series (always 0.0 for key-level sources, which cannot emit malformed events).
+    pub malformed_pps: f64,
     /// Megaflow masks at the end of the interval (all shards combined).
     pub mask_count: usize,
     /// Megaflow entries at the end of the interval (all shards combined).
@@ -537,6 +544,15 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                     attack_packets += n;
                 }
             }
+            // Malformed frames (wire-level sources only): each is charged to shard 0 —
+            // the ingestion point, matching `ShardedDatapath::process_wire` — at its
+            // own timestamp, consuming shard 0's CPU budget without joining any
+            // attack-attribution series.
+            let malformed_frames = batch_cur.faults.len() as u64;
+            for &(fault, bytes, time) in &batch_cur.faults {
+                let out = self.datapath.note_wire_fault(fault, bytes, time);
+                shard_busy[0] += out.cost;
+            }
             self.datapath.maybe_expire(t_end);
 
             // 2. Replay the probes (already in time-then-insertion order): refresh each
@@ -678,6 +694,7 @@ impl<B: FastPathBackend> ExperimentRunner<B> {
                     attacker_pps: attack_packets as f64 / dt,
                     attacker_pps_by_source: per_attacker.iter().map(|&c| c as f64 / dt).collect(),
                     background_pps: background_packets as f64 / dt,
+                    malformed_pps: malformed_frames as f64 / dt,
                     mask_count: self.datapath.mask_count(),
                     entry_count: self.datapath.entry_count(),
                     victim_masks_scanned,
@@ -745,6 +762,9 @@ struct IntervalBatch {
     n_chunks: usize,
     /// Probe events, in drain order.
     probes: Vec<(usize, TrafficEvent)>,
+    /// Malformed-frame events as `(fault, wire bytes, time)`, in drain order. Charged
+    /// to shard 0 (the ingestion point) when the interval is processed.
+    faults: Vec<(WireFault, usize, f64)>,
 }
 
 impl IntervalBatch {
@@ -776,15 +796,18 @@ impl IntervalBatch {
 
 /// Drain every event of `[t, t_end)` from the mix into `batch`: packet events append
 /// to per-source chunks (a new chunk opens whenever the source changes — chunks
-/// preserve merged timestamp order), probe events are set aside verbatim. Packet
-/// events that predate the window (possible in the very first interval) are consumed
-/// without being recorded, like the classic replay loop; probes are always kept.
+/// preserve merged timestamp order), probe events are set aside verbatim, and
+/// malformed-frame events land in the faults list (they carry no steerable key, so
+/// they never join a chunk). Packet and malformed events that predate the window
+/// (possible in the very first interval) are consumed without being recorded, like
+/// the classic replay loop; probes are always kept.
 ///
 /// This touches only the mix and the batch — never the datapath — which is what lets
 /// the pipelined runner execute it on a spare worker while the shards are busy.
 fn drain_interval(mix: &mut TrafficMix<'_>, t: f64, t_end: f64, batch: &mut IntervalBatch) {
     batch.n_chunks = 0;
     batch.probes.clear();
+    batch.faults.clear();
     let mut chunk_src = usize::MAX;
     while let Some((src, ev)) = mix.next_before(t_end) {
         match ev.payload {
@@ -801,6 +824,12 @@ fn drain_interval(mix: &mut TrafficMix<'_>, t: f64, t_end: f64, batch: &mut Inte
                     .push((ev.key, ev.bytes, ev.time));
             }
             EventPayload::Probe { .. } => batch.probes.push((src, ev)),
+            EventPayload::Malformed { fault } => {
+                if ev.time < t {
+                    continue;
+                }
+                batch.faults.push((fault, ev.bytes, ev.time));
+            }
         }
     }
 }
@@ -1042,6 +1071,7 @@ mod tests {
                 // spill-reloaded sample may be.
                 attacker_pps_by_source: Vec::new(),
                 background_pps: 0.0,
+                malformed_pps: 0.0,
                 mask_count: 0,
                 entry_count: 0,
                 victim_masks_scanned: 0,
@@ -1123,6 +1153,72 @@ mod tests {
         for (a, b) in tl_trace.samples.iter().zip(&tl_gen.samples) {
             assert_eq!(a, b, "samples diverged at t={}", a.time);
         }
+    }
+
+    #[test]
+    fn wire_mix_reproduces_key_level_timeline_and_charges_malformed_to_shard_zero() {
+        use tse_attack::wire::{wire_trace, WireSource};
+        use tse_packet::wire::Encap;
+        let schema = FieldSchema::ovs_ipv4();
+        let scenario = Scenario::SipDp;
+        let table = scenario.flow_table(&schema);
+        let victim = VictimFlow::iperf_tcp("V", 0x0a000005, VICTIM_IP, 10.0);
+        let keys = scenario_trace(&schema, scenario, &schema.zero_value());
+        let mut rng = StdRng::seed_from_u64(99);
+        let trace = AttackTrace::from_keys_cyclic(&mut rng, &schema, &keys, 100.0, 10.0, 2000);
+
+        // Key-level reference run.
+        let mut by_key = ExperimentRunner::new(
+            Datapath::new(table.clone()),
+            vec![victim.clone()],
+            OffloadConfig::gro_off(),
+        );
+        let tl_key = by_key.run(&trace, 40.0);
+
+        // The same attack serialised to raw Ethernet frames and re-parsed: the
+        // timeline is reproduced bit-for-bit (frame length == modelled wire length).
+        let mut by_wire = ExperimentRunner::new(
+            Datapath::new(table.clone()),
+            vec![],
+            OffloadConfig::gro_off(),
+        );
+        let mix = TrafficMix::new()
+            .with(VictimSource::new(victim.clone(), &schema, 1.0))
+            .with(WireSource::from_attack_trace(
+                "Attacker",
+                &trace,
+                &schema,
+                Encap::None,
+            ));
+        let tl_wire = by_wire.run_mix(mix, 40.0);
+        assert_eq!(tl_key.samples, tl_wire.samples);
+        assert!(tl_wire.samples.iter().all(|s| s.malformed_pps == 0.0));
+
+        // Now corrupt the wire: append truncated frames. They never reach the cache
+        // (same masks/entries), are charged to shard 0's counters, and surface in the
+        // malformed series instead of any attacker series.
+        let mut frames = wire_trace(&trace, Encap::None);
+        let garbled = frames.frame(0)[..9].to_vec();
+        for i in 0..50 {
+            // After the last well-formed frame (~t = 30 s): frame times are monotonic.
+            frames.push(30.0 + i as f64 * 0.01, &garbled);
+        }
+        let mut by_bad =
+            ExperimentRunner::new(Datapath::new(table), vec![], OffloadConfig::gro_off());
+        let mix = TrafficMix::new()
+            .with(VictimSource::new(victim, &schema, 1.0))
+            .with(WireSource::replay("Attacker", frames, &schema));
+        let tl_bad = by_bad.run_mix(mix, 40.0);
+        let malformed: f64 = tl_bad.samples.iter().map(|s| s.malformed_pps).sum();
+        assert_eq!(malformed.round() as u64, 50);
+        assert_eq!(by_bad.datapath.shard(0).stats().truncated, 50);
+        for (a, b) in tl_key.samples.iter().zip(&tl_bad.samples) {
+            assert_eq!(a.mask_count, b.mask_count, "t={}", a.time);
+            assert_eq!(a.attacker_pps, b.attacker_pps, "t={}", a.time);
+        }
+        let store = by_bad.last_telemetry().expect("telemetry recorded");
+        assert_eq!(store.malformed_series().count(), 40);
+        assert!(store.malformed_series().max() > 0.0);
     }
 
     #[test]

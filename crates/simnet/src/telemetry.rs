@@ -456,7 +456,7 @@ impl TelemetryConfig {
 /// plus each per-source/per-shard vector entry, with mitigation actions charged a
 /// conservative 4 slots each.
 fn sample_units(s: &TimelineSample) -> u64 {
-    (6 + s.victim_gbps.len()
+    (7 + s.victim_gbps.len()
         + s.attacker_pps_by_source.len()
         + s.shard_masks.len()
         + s.shard_entries.len()
@@ -494,6 +494,7 @@ pub struct TelemetryStore {
     total_victim_gbps: SeriesAgg,
     total_attacker_pps: SeriesAgg,
     background_pps: SeriesAgg,
+    malformed_pps: SeriesAgg,
     mask_count: SeriesAgg,
     entry_count: SeriesAgg,
     slo: Vec<SloTracker>,
@@ -535,6 +536,7 @@ impl TelemetryStore {
             total_victim_gbps: SeriesAgg::new(),
             total_attacker_pps: SeriesAgg::new(),
             background_pps: SeriesAgg::new(),
+            malformed_pps: SeriesAgg::new(),
             mask_count: SeriesAgg::new(),
             entry_count: SeriesAgg::new(),
             slo,
@@ -575,6 +577,7 @@ impl TelemetryStore {
         self.total_victim_gbps.observe(sample.total_victim_gbps());
         self.total_attacker_pps.observe(sample.attacker_pps);
         self.background_pps.observe(sample.background_pps);
+        self.malformed_pps.observe(sample.malformed_pps);
         self.mask_count.observe(sample.mask_count as f64);
         self.entry_count.observe(sample.entry_count as f64);
         for (i, tracker) in self.slo.iter_mut().enumerate() {
@@ -701,6 +704,12 @@ impl TelemetryStore {
         &self.background_pps
     }
 
+    /// Cold aggregate of the malformed-frame rate (wire-level frames per second the
+    /// parser could not classify; identically zero for key-level mixes).
+    pub fn malformed_series(&self) -> &SeriesAgg {
+        &self.malformed_pps
+    }
+
     /// Cold aggregate of the switch-wide mask count.
     pub fn mask_series(&self) -> &SeriesAgg {
         &self.mask_count
@@ -739,7 +748,7 @@ impl TelemetryStore {
     /// means operationally: `footprint_units() ≤ footprint_ceiling(m)` holds at every
     /// instant of an arbitrarily long run.
     pub fn footprint_ceiling(&self, max_actions_per_interval: usize) -> u64 {
-        let width = 6
+        let width = 7
             + self.victim_names.len()
             + self.attacker_names.len()
             + 3 * self.shard_count
@@ -752,7 +761,7 @@ impl TelemetryStore {
     }
 
     fn cold_units(&self) -> u64 {
-        let series = self.victim_gbps.len() + self.attacker_pps.len() + 2 * self.shard_count + 5;
+        let series = self.victim_gbps.len() + self.attacker_pps.len() + 2 * self.shard_count + 6;
         series as u64 * AGG_UNITS
     }
 
@@ -803,6 +812,7 @@ impl TelemetryStore {
             &s.attacker_pps_by_source,
         );
         line.push_str(&format!(",\"background_pps\":{}", s.background_pps));
+        line.push_str(&format!(",\"malformed_pps\":{}", s.malformed_pps));
         line.push_str(&format!(
             ",\"mask_count\":{},\"entry_count\":{},\"victim_masks_scanned\":{}",
             s.mask_count, s.entry_count, s.victim_masks_scanned
@@ -854,6 +864,7 @@ mod tests {
             attacker_pps: 100.0,
             attacker_pps_by_source: vec![100.0],
             background_pps: 0.0,
+            malformed_pps: 0.0,
             mask_count: 10,
             entry_count: 20,
             victim_masks_scanned: 3,

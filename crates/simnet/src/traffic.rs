@@ -15,10 +15,15 @@ use tse_switch::pmd::Steering;
 pub struct VictimFlow {
     /// Display name (e.g. "Victim 1").
     pub name: String,
-    /// Source IPv4 address.
-    pub src_ip: u32,
-    /// Destination IPv4 address (the victim's service address).
-    pub dst_ip: u32,
+    /// Source IP address (an IPv4 address in the low 32 bits unless
+    /// [`VictimFlow::v6`]).
+    pub src_ip: u128,
+    /// Destination IP address — the victim's service address (an IPv4 address in the
+    /// low 32 bits unless [`VictimFlow::v6`]).
+    pub dst_ip: u128,
+    /// Address family: when set the endpoints are IPv6 and the representative packet
+    /// carries an IPv6 header (classify under [`FieldSchema::ovs_ipv6`]).
+    pub v6: bool,
     /// Source port.
     pub src_port: u16,
     /// Destination port (80 for the canonical web-service victim).
@@ -38,8 +43,9 @@ impl VictimFlow {
     pub fn iperf_tcp(name: impl Into<String>, src_ip: u32, dst_ip: u32, offered_gbps: f64) -> Self {
         VictimFlow {
             name: name.into(),
-            src_ip,
-            dst_ip,
+            src_ip: src_ip.into(),
+            dst_ip: dst_ip.into(),
+            v6: false,
             src_port: 40_000,
             dst_port: 80,
             proto: IpProto::Tcp,
@@ -54,6 +60,41 @@ impl VictimFlow {
         VictimFlow {
             proto: IpProto::Udp,
             ..Self::iperf_tcp(name, src_ip, dst_ip, offered_gbps)
+        }
+    }
+
+    /// A full-rate TCP iperf session between IPv6 tenant endpoints — the victim of
+    /// the IPv6 explosion experiments. Classify under [`FieldSchema::ovs_ipv6`].
+    pub fn iperf_tcp_v6(
+        name: impl Into<String>,
+        src_ip: u128,
+        dst_ip: u128,
+        offered_gbps: f64,
+    ) -> Self {
+        VictimFlow {
+            name: name.into(),
+            src_ip,
+            dst_ip,
+            v6: true,
+            src_port: 40_000,
+            dst_port: 80,
+            proto: IpProto::Tcp,
+            offered_gbps,
+            start: 0.0,
+            stop: f64::INFINITY,
+        }
+    }
+
+    /// The UDP form of [`VictimFlow::iperf_tcp_v6`].
+    pub fn iperf_udp_v6(
+        name: impl Into<String>,
+        src_ip: u128,
+        dst_ip: u128,
+        offered_gbps: f64,
+    ) -> Self {
+        VictimFlow {
+            proto: IpProto::Udp,
+            ..Self::iperf_tcp_v6(name, src_ip, dst_ip, offered_gbps)
         }
     }
 
@@ -124,15 +165,24 @@ impl VictimFlow {
     /// A representative packet of the flow (used to probe the datapath's current cost
     /// for this flow and to install/refresh its megaflow entry).
     pub fn representative_packet(&self) -> Packet {
-        PacketBuilder::from_numeric_v4(
-            self.src_ip,
-            self.dst_ip,
-            self.proto,
-            self.src_port,
-            self.dst_port,
-        )
-        .payload_len(1460)
-        .build()
+        let builder = if self.v6 {
+            PacketBuilder::from_numeric_v6(
+                self.src_ip,
+                self.dst_ip,
+                self.proto,
+                self.src_port,
+                self.dst_port,
+            )
+        } else {
+            PacketBuilder::from_numeric_v4(
+                self.src_ip as u32,
+                self.dst_ip as u32,
+                self.proto,
+                self.src_port,
+                self.dst_port,
+            )
+        };
+        builder.payload_len(1460).build()
     }
 
     /// The flow's classification key under the given schema.
@@ -268,6 +318,23 @@ mod tests {
         assert_eq!(k.tp_src, 555);
         assert_eq!(k.tp_dst, 80);
         assert_eq!(k.ip_proto, 17);
+    }
+
+    #[test]
+    fn v6_flow_builds_v6_packets_and_keys() {
+        const SRC: u128 = 0x2001_0db8_0000_0000_0000_0000_0000_0005;
+        const DST: u128 = 0x2001_0db8_0000_0000_0000_0000_0000_0063;
+        let schema = FieldSchema::ovs_ipv6();
+        let f = VictimFlow::iperf_udp_v6("v6", SRC, DST, 2.0).with_src_port(777);
+        let k = FlowKey::from_packet(&f.representative_packet());
+        assert!(k.is_v6);
+        assert_eq!(k.ip_src, SRC);
+        assert_eq!(k.ip_dst, DST);
+        assert_eq!(k.ip_proto, 17);
+        assert_eq!(k.tp_src, 777);
+        let key = f.key(&schema);
+        assert_eq!(key.get(schema.field_index("ip6_src").unwrap()), SRC);
+        assert_eq!(key.get(schema.field_index("tp_dst").unwrap()), 80);
     }
 
     #[test]

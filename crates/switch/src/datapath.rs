@@ -28,6 +28,7 @@ use tse_classifier::strategy::MegaflowStrategy;
 use tse_classifier::tss::{MaskOrdering, TupleSpace};
 use tse_packet::fields::{FieldSchema, Key};
 use tse_packet::flowkey::{FlowKey, MicroflowKey};
+use tse_packet::wire::WireFault;
 use tse_packet::Packet;
 
 use crate::cost::CostModel;
@@ -352,6 +353,12 @@ impl<B: FastPathBackend> Datapath<B> {
         &self.stats
     }
 
+    /// Mutable statistics access for in-crate composition (the sharded datapath's wire
+    /// ingestion charges its decode bookkeeping through this).
+    pub(crate) fn stats_mut(&mut self) -> &mut DatapathStats {
+        &mut self.stats
+    }
+
     /// Reset the statistics (between measurement intervals).
     pub fn reset_stats(&mut self) {
         self.stats.reset();
@@ -396,6 +403,46 @@ impl<B: FastPathBackend> Datapath<B> {
         let micro = MicroflowKey::from_packet(pkt);
         self.maybe_expire(now);
         self.process_classified(&header, Some(micro), pkt.wire_len(), now)
+    }
+
+    /// Process one raw Ethernet frame at `now`: run the wire parser (VLAN/VXLAN
+    /// overlays included), then feed the decoded packet through the normal pipeline.
+    /// Frames the parser rejects never reach the ACL — they are charged via
+    /// [`Datapath::note_wire_fault`].
+    pub fn process_wire(&mut self, frame: &[u8], now: f64) -> ProcessOutcome {
+        match tse_packet::wire::decode(frame) {
+            Ok(pkt) => {
+                self.stats.record_decoded();
+                self.process_packet(&pkt, now)
+            }
+            Err(e) => self.note_wire_fault(WireFault::Decode(e), frame.len(), now),
+        }
+    }
+
+    /// Charge one unclassifiable frame of `bytes` wire bytes: a decode failure is
+    /// counted under its per-kind wire-error counter and **dropped** (a frame the
+    /// parser cannot even delimit is never forwarded); a family mismatch mirrors the
+    /// existing schema-mismatch path of [`Datapath::process_packet`] exactly —
+    /// [`PathTaken::Unclassified`], permitted, fixed cost. Neither kind runs the
+    /// idle-expiry sweep, also like that path.
+    pub fn note_wire_fault(&mut self, fault: WireFault, bytes: usize, now: f64) -> ProcessOutcome {
+        let _ = now;
+        let cost = self.config.cost.microflow();
+        let action = match fault {
+            WireFault::Decode(e) => {
+                self.stats.record_decode_error(e);
+                Action::Deny
+            }
+            WireFault::FamilyMismatch => Action::Allow,
+        };
+        self.stats
+            .record(PathTaken::Unclassified, action.permits(), 0, cost, bytes);
+        ProcessOutcome {
+            action,
+            path: PathTaken::Unclassified,
+            cost,
+            masks_scanned: 0,
+        }
     }
 
     /// Process a pre-extracted header key (used by the HYP-protocol experiments and unit
@@ -903,6 +950,49 @@ mod tests {
         assert_eq!(batched.stats(), looped.stats());
         assert_eq!(batched.mask_count(), looped.mask_count());
         assert_eq!(batched.entry_count(), looped.entry_count());
+    }
+
+    #[test]
+    fn process_wire_runs_the_frame_through_the_full_pipeline() {
+        let mut dp = Datapath::new(fig6_table());
+        let pkt = PacketBuilder::tcp_v4([10, 0, 0, 9], [10, 0, 0, 99], 5555, 80).build();
+        let frame = tse_packet::wire::encode(&pkt);
+        let first = dp.process_wire(&frame, 0.0);
+        assert_eq!(first.path, PathTaken::SlowPath);
+        assert_eq!(first.action, Action::Allow);
+        let second = dp.process_wire(&frame, 0.001);
+        assert_eq!(second.path, PathTaken::Megaflow);
+        assert_eq!(dp.stats().decoded, 2);
+        assert_eq!(dp.stats().wire_errors(), 0);
+        // A VLAN-tagged copy of the same packet classifies identically: the parser
+        // strips the overlay before key extraction.
+        let tagged = tse_packet::wire::Encap::Vlan { tci: 7 }.encode(&pkt);
+        assert_eq!(dp.process_wire(&tagged, 0.002).action, Action::Allow);
+    }
+
+    #[test]
+    fn undecodable_frames_are_dropped_and_counted_by_kind() {
+        let mut dp = Datapath::new(fig6_table());
+        let pkt = PacketBuilder::tcp_v4([10, 0, 0, 9], [10, 0, 0, 99], 5555, 80).build();
+        let frame = tse_packet::wire::encode(&pkt);
+        let out = dp.process_wire(&frame[..9], 0.0);
+        assert_eq!(out.action, Action::Deny);
+        assert_eq!(out.path, PathTaken::Unclassified);
+        assert_eq!(out.masks_scanned, 0);
+        assert_eq!(dp.stats().truncated, 1);
+        assert_eq!(dp.stats().decoded, 0);
+        // A decodable frame of the wrong family is *permitted* unclassified — the
+        // existing schema-mismatch semantics, now fed from raw bytes.
+        let v6 = PacketBuilder::tcp_v6([1, 0, 0, 0, 0, 0, 0, 2], [3, 0, 0, 0, 0, 0, 0, 4], 1, 80)
+            .build();
+        let out = dp.process_wire(&tse_packet::wire::encode(&v6), 0.1);
+        assert_eq!(out.action, Action::Allow);
+        assert_eq!(out.path, PathTaken::Unclassified);
+        assert_eq!(dp.stats().decoded, 1);
+        assert_eq!(dp.stats().unclassified, 2);
+        // No cache state was installed by any of it.
+        assert_eq!(dp.mask_count(), 0);
+        assert_eq!(dp.entry_count(), 0);
     }
 
     #[test]

@@ -27,9 +27,11 @@
 use tse_classifier::backend::FastPathBackend;
 use tse_classifier::flowtable::FlowTable;
 use tse_classifier::tss::TupleSpace;
+use tse_packet::extract::{extract_keys_into, ExtractScratch};
 use tse_packet::fields::{FieldSchema, Key};
 use tse_packet::flowkey::FlowKey;
 use tse_packet::rss;
+use tse_packet::wire::WireFault;
 use tse_packet::Packet;
 
 use crate::datapath::{BatchReport, Datapath, DatapathBuilder, ProcessOutcome};
@@ -710,6 +712,92 @@ impl<B: FastPathBackend> ShardedDatapath<B> {
         })
     }
 
+    /// Process one raw Ethernet frame: parse it (VLAN/VXLAN overlays included), steer
+    /// by RSS over the extracted key, and classify on the destination shard — the
+    /// sharded form of [`Datapath::process_wire`].
+    ///
+    /// Wire-ingestion bookkeeping always lands on **shard 0**, the ingestion point:
+    /// the `decoded` counter, the per-kind decode-error counters, and the charge for
+    /// every unclassifiable frame (decode failure → dropped; family mismatch →
+    /// permitted unclassified, exactly like [`ShardedDatapath::process_packet`]'s
+    /// schema-mismatch path). Classification work is steered per key as usual.
+    pub fn process_wire(&mut self, frame: &[u8], now: f64) -> ProcessOutcome {
+        match tse_packet::wire::decode(frame) {
+            Ok(pkt) => {
+                self.shards[0].stats_mut().record_decoded();
+                let flow = FlowKey::from_packet(&pkt);
+                let family_matches =
+                    (flow.is_v6 && self.schema_is_v6) || (!flow.is_v6 && self.schema_is_v4);
+                let shard = if family_matches {
+                    self.shard_of_key(&flow.to_key(self.shards[0].table().schema()))
+                } else {
+                    0
+                };
+                self.shards[shard].process_packet(&pkt, now)
+            }
+            Err(e) => self.shards[0].note_wire_fault(WireFault::Decode(e), frame.len(), now),
+        }
+    }
+
+    /// Charge one unclassifiable frame to shard 0 — the entry point the event-driven
+    /// runner uses for `Malformed` traffic events (frames a wire-level source could
+    /// not turn into a key). Same semantics as [`Datapath::note_wire_fault`] on the
+    /// ingestion shard.
+    pub fn note_wire_fault(&mut self, fault: WireFault, bytes: usize, now: f64) -> ProcessOutcome {
+        self.shards[0].note_wire_fault(fault, bytes, now)
+    }
+
+    /// Batched wire ingestion at a single timestamp: extract keys from `frames`
+    /// through the allocation-free batched extractor (reusing `scratch`), steer the
+    /// classifiable keys per shard with the ordinary pre-partitioned
+    /// [`ShardedDatapath::process_batch`] dispatch, and charge every unclassifiable
+    /// frame to shard 0 (see [`ShardedDatapath::process_wire`] for the bookkeeping
+    /// invariant). The returned report folds the shard-0 fault charges into
+    /// `per_shard[0]`.
+    pub fn process_wire_batch(
+        &mut self,
+        frames: &[&[u8]],
+        scratch: &mut ExtractScratch,
+        now: f64,
+    ) -> ShardedBatchReport {
+        extract_keys_into(frames, scratch);
+        let mut batch: Vec<(Key, usize)> = Vec::with_capacity(frames.len());
+        let mut faults: Vec<(WireFault, usize)> = Vec::new();
+        let mut decoded = 0u64;
+        {
+            let schema = self.shards[0].table().schema();
+            for (res, frame) in scratch.keys().iter().zip(frames) {
+                match res {
+                    Ok(flow) => {
+                        decoded += 1;
+                        let family_matches =
+                            (flow.is_v6 && self.schema_is_v6) || (!flow.is_v6 && self.schema_is_v4);
+                        if family_matches {
+                            batch.push((flow.to_key(schema), frame.len()));
+                        } else {
+                            faults.push((WireFault::FamilyMismatch, frame.len()));
+                        }
+                    }
+                    Err(e) => faults.push((WireFault::Decode(*e), frame.len())),
+                }
+            }
+        }
+        let mut report = self.process_batch(&batch, now);
+        self.shards[0].stats_mut().decoded += decoded;
+        for (fault, bytes) in faults {
+            let out = self.shards[0].note_wire_fault(fault, bytes, now);
+            let r = &mut report.per_shard[0];
+            r.processed += 1;
+            if out.action.permits() {
+                r.allowed += 1;
+            } else {
+                r.denied += 1;
+            }
+            r.total_cost += out.cost;
+        }
+        report
+    }
+
     /// Fan a single-timestamp batch out per shard (the [`Datapath::process_batch`]
     /// semantics — one expiry sweep per shard, consecutive identical headers within a
     /// shard's sub-batch deduplicated). Like [`ShardedDatapath::process_timed_batch`],
@@ -1115,6 +1203,85 @@ mod tests {
         for s in 0..4 {
             assert!(scratch.slice(s).is_empty());
         }
+    }
+
+    #[test]
+    fn wire_batch_matches_per_frame_wire_processing() {
+        let schema = FieldSchema::ovs_ipv4();
+        let table = fig6_table(&schema);
+        // 120 distinct frames spread over the shards, plus a truncated frame and a
+        // family mismatch in the middle.
+        let mut frames: Vec<Vec<u8>> = key_spread(&schema, 120)
+            .iter()
+            .map(|k| {
+                let tp_dst = schema.field_index("tp_dst").unwrap();
+                let ip_src = schema.field_index("ip_src").unwrap();
+                let pkt = PacketBuilder::from_numeric_v4(
+                    k.get(ip_src) as u32,
+                    0x0a00_0063,
+                    tse_packet::l4::IpProto::Tcp,
+                    999,
+                    k.get(tp_dst) as u16,
+                )
+                .build();
+                tse_packet::wire::encode(&pkt)
+            })
+            .collect();
+        frames.insert(40, frames[0][..9].to_vec());
+        let v6 = PacketBuilder::tcp_v6([1, 0, 0, 0, 0, 0, 0, 2], [3, 0, 0, 0, 0, 0, 0, 4], 1, 80)
+            .build();
+        frames.insert(80, tse_packet::wire::encode(&v6));
+        let views: Vec<&[u8]> = frames.iter().map(Vec::as_slice).collect();
+
+        let mut looped = ShardedDatapath::new(table.clone(), 4, Steering::Rss);
+        for frame in &views {
+            looped.process_wire(frame, 0.5);
+        }
+        let mut batched = ShardedDatapath::new(table, 4, Steering::Rss);
+        let mut scratch = ExtractScratch::new();
+        let report = batched.process_wire_batch(&views, &mut scratch, 0.5);
+
+        let agg = report.aggregate();
+        assert_eq!(agg.processed, frames.len());
+        assert_eq!(batched.stats().decoded, 121);
+        assert_eq!(batched.stats().truncated, 1);
+        assert_eq!(batched.stats().packets(), looped.stats().packets());
+        assert_eq!(batched.stats().allowed, looped.stats().allowed);
+        assert_eq!(batched.stats().denied, looped.stats().denied);
+        assert_eq!(batched.stats().decoded, looped.stats().decoded);
+        assert_eq!(batched.stats().truncated, looped.stats().truncated);
+        assert_eq!(batched.mask_count(), looped.mask_count());
+        // Ingestion bookkeeping (decode counters, fault charges) lands on shard 0.
+        assert_eq!(batched.shard_stats(0).decoded, 121);
+        for i in 1..4 {
+            assert_eq!(batched.shard_stats(i).decoded, 0);
+            assert_eq!(batched.shard_stats(i).wire_errors(), 0);
+        }
+        assert_eq!(batched.shard_stats(0).truncated, 1);
+        assert_eq!(batched.shard_stats(0).unclassified, 2);
+    }
+
+    #[test]
+    fn wire_faults_charge_shard_zero_only() {
+        let schema = FieldSchema::ovs_ipv4();
+        let mut sharded = ShardedDatapath::new(fig6_table(&schema), 4, Steering::Rss);
+        let out = sharded.note_wire_fault(
+            WireFault::Decode(tse_packet::wire::DecodeError::BadHeader),
+            60,
+            0.0,
+        );
+        assert_eq!(out.action, Action::Deny);
+        assert_eq!(out.path, PathTaken::Unclassified);
+        assert_eq!(sharded.shard_stats(0).bad_header, 1);
+        assert_eq!(sharded.shard_stats(0).denied, 1);
+        for i in 1..4 {
+            assert_eq!(sharded.shard_stats(i).packets(), 0);
+        }
+        // A family mismatch is permitted, mirroring the schema-mismatch path.
+        let out = sharded.note_wire_fault(WireFault::FamilyMismatch, 60, 0.1);
+        assert_eq!(out.action, Action::Allow);
+        assert_eq!(sharded.stats().unclassified, 2);
+        assert_eq!(sharded.entry_count(), 0);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Datapath statistics: per-path packet counters and processing-time accounting.
 
+use tse_packet::wire::DecodeError;
+
 /// Which level of the cache hierarchy handled a packet (Fig. 10's pipeline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PathTaken {
@@ -35,6 +37,16 @@ pub struct DatapathStats {
     pub busy_seconds: f64,
     /// Total bytes of permitted traffic.
     pub allowed_bytes: u64,
+    /// Raw frames decoded successfully by the wire-ingestion path. Key-level entry
+    /// points never touch this, so `decoded == 0` on a purely key-driven datapath.
+    pub decoded: u64,
+    /// Raw frames rejected because the buffer was shorter than the headers claim.
+    pub truncated: u64,
+    /// Raw frames rejected for a malformed header (bad version nibble, bad checksum,
+    /// or encapsulation nesting beyond the supported depth).
+    pub bad_header: u64,
+    /// Raw frames rejected for a non-IP ethertype.
+    pub unsupported_ethertype: u64,
 }
 
 impl DatapathStats {
@@ -88,6 +100,26 @@ impl DatapathStats {
         self.busy_seconds += cost;
     }
 
+    /// Count one successfully decoded raw frame (wire-ingestion entry points only).
+    pub fn record_decoded(&mut self) {
+        self.decoded += 1;
+    }
+
+    /// Count one wire-parser rejection under its per-kind counter. The frame itself is
+    /// still recorded (as [`PathTaken::Unclassified`]) by the caller.
+    pub fn record_decode_error(&mut self, err: DecodeError) {
+        match err {
+            DecodeError::Truncated => self.truncated += 1,
+            DecodeError::UnsupportedEtherType(_) => self.unsupported_ethertype += 1,
+            DecodeError::BadHeader => self.bad_header += 1,
+        }
+    }
+
+    /// Raw frames the wire parser rejected, all kinds summed.
+    pub fn wire_errors(&self) -> u64 {
+        self.truncated + self.bad_header + self.unsupported_ethertype
+    }
+
     /// Fold another accumulator into this one (used by the batch entry points, which
     /// accumulate into a batch-local instance and merge once, and by
     /// [`ShardedDatapath::stats`](crate::pmd::ShardedDatapath::stats) to aggregate
@@ -104,6 +136,10 @@ impl DatapathStats {
             masks_scanned,
             busy_seconds,
             allowed_bytes,
+            decoded,
+            truncated,
+            bad_header,
+            unsupported_ethertype,
         } = other;
         self.microflow_hits += microflow_hits;
         self.megaflow_hits += megaflow_hits;
@@ -114,6 +150,10 @@ impl DatapathStats {
         self.masks_scanned += masks_scanned;
         self.busy_seconds += busy_seconds;
         self.allowed_bytes += allowed_bytes;
+        self.decoded += decoded;
+        self.truncated += truncated;
+        self.bad_header += bad_header;
+        self.unsupported_ethertype += unsupported_ethertype;
     }
 
     /// Reset every counter (used between measurement intervals).
@@ -156,6 +196,10 @@ mod tests {
         s.record(PathTaken::Megaflow, true, 3, 1e-6, 200);
         s.record(PathTaken::SlowPath, false, 7, 1e-4, 60);
         s.record(PathTaken::Unclassified, true, 0, 1e-7, 42);
+        s.record_decoded();
+        s.record_decode_error(DecodeError::Truncated);
+        s.record_decode_error(DecodeError::BadHeader);
+        s.record_decode_error(DecodeError::UnsupportedEtherType(0x0806));
         assert!(
             s.microflow_hits > 0
                 && s.megaflow_hits > 0
@@ -165,7 +209,11 @@ mod tests {
                 && s.denied > 0
                 && s.masks_scanned > 0
                 && s.busy_seconds > 0.0
-                && s.allowed_bytes > 0,
+                && s.allowed_bytes > 0
+                && s.decoded > 0
+                && s.truncated > 0
+                && s.bad_header > 0
+                && s.unsupported_ethertype > 0,
             "fixture must exercise every counter"
         );
         s
@@ -192,6 +240,23 @@ mod tests {
         s.record(PathTaken::Unclassified, true, 0, 1e-7, 42);
         assert_eq!(s.unclassified, 1);
         assert_eq!(s.packets(), 1);
+    }
+
+    #[test]
+    fn decode_errors_count_by_kind() {
+        let mut s = DatapathStats::default();
+        s.record_decode_error(DecodeError::Truncated);
+        s.record_decode_error(DecodeError::Truncated);
+        s.record_decode_error(DecodeError::BadHeader);
+        s.record_decode_error(DecodeError::UnsupportedEtherType(0x88CC));
+        assert_eq!(
+            (s.truncated, s.bad_header, s.unsupported_ethertype),
+            (2, 1, 1)
+        );
+        assert_eq!(s.wire_errors(), 4);
+        // Path recording (Unclassified) is the caller's job; the per-kind counters are
+        // orthogonal to the packet totals.
+        assert_eq!(s.packets(), 0);
     }
 
     #[test]

@@ -91,6 +91,53 @@
 //! assert!(timeline.mean_total_between(20.0, 29.0) < timeline.mean_total_between(0.0, 5.0));
 //! ```
 //!
+//! ## Wire-level ingestion & overlay scenarios
+//!
+//! The same pipeline can be driven from raw Ethernet bytes instead of pre-parsed
+//! keys. [`prelude::WireTrace`] is a pcap-style frame buffer (timestamped frames
+//! packed into one contiguous allocation); [`prelude::extract_trace_into`] /
+//! [`prelude::extract_keys_into`] run the real header parser over a whole batch into
+//! a reusable [`prelude::ExtractScratch`] — zero per-frame heap allocations in
+//! steady state (pinned by `tests/alloc_audit.rs`) with per-batch
+//! [`prelude::DecodeError`] accounting. On the traffic side,
+//! [`prelude::WireSource`] replays a trace (or an [`prelude::AttackTrace`], via
+//! `WireSource::from_attack_trace`) as serialized frames — producing the identical
+//! event stream as its key-level twin — and the lazy [`prelude::WireGenerator`]
+//! crafts, serializes and re-parses explosion traffic on the fly, optionally inside
+//! an [`prelude::Encap`] envelope (802.1Q VLAN tag or VXLAN tunnel). The overlay is
+//! no defense: the decoder strips the envelope and classifies the attacker's inner
+//! header, so the explosion passes through untouched (`fig_overlay_explosion`),
+//! while undecodable frames are charged to shard 0 — the ingestion point — and
+//! surface as per-kind counters and the telemetry store's malformed-frame series.
+//!
+//! ```
+//! use tse::prelude::*;
+//!
+//! let schema = FieldSchema::ovs_ipv4();
+//! // Serialise a packet inside a VXLAN tunnel; the parser recovers the inner key.
+//! let pkt = PacketBuilder::tcp_v4([10, 0, 0, 5], [10, 0, 0, 99], 40_000, 80).build();
+//! let mut trace = WireTrace::new();
+//! trace.push_packet(0.0, &pkt, Encap::Vxlan { outer_src: 1, outer_dst: 2, vni: 42 });
+//! trace.push(0.1, &[0xDE; 9]); // garbage: accounted for, never panics
+//!
+//! let mut scratch = ExtractScratch::new();
+//! extract_trace_into(&trace, &mut scratch);
+//! assert_eq!(scratch.counts().decoded, 1);
+//! assert_eq!(scratch.counts().truncated, 1);
+//! assert_eq!(scratch.keys()[0], Ok(FlowKey::from_packet(&pkt)));
+//!
+//! // Raw frames drive the sharded datapath directly: classification is steered by
+//! // the extracted key, decode errors are charged to shard 0.
+//! let mut sharded = ShardedDatapath::from_builder(
+//!     Datapath::builder(Scenario::SipDp.flow_table(&schema)),
+//!     4,
+//!     Steering::Rss,
+//! );
+//! let frames: Vec<&[u8]> = trace.frames().collect();
+//! sharded.process_wire_batch(&frames, &mut scratch, 0.2);
+//! assert_eq!(sharded.shard(0).stats().truncated, 1);
+//! ```
+//!
 //! ## Sharded multi-PMD datapath
 //!
 //! [`prelude::ShardedDatapath`] models OVS-DPDK's one-megaflow-cache-per-PMD-thread
@@ -264,6 +311,7 @@ pub mod prelude {
         TrafficSource,
     };
     pub use tse_attack::trace::AttackTrace;
+    pub use tse_attack::wire::{wire_trace, WireGenerator, WireSource};
     pub use tse_classifier::backend::{
         BaselineBackend, FastPathBackend, HyperCutsBackend, LinearSearchBackend, TableBacked,
         TrieBackend,
@@ -279,8 +327,12 @@ pub mod prelude {
         Mitigation, MitigationAction, MitigationCtx, MitigationStack, PressureWindow,
     };
     pub use tse_packet::builder::PacketBuilder;
+    pub use tse_packet::extract::{
+        extract_keys_into, extract_trace_into, ExtractCounts, ExtractScratch,
+    };
     pub use tse_packet::fields::{FieldDef, FieldSchema, Key, Mask};
     pub use tse_packet::flowkey::FlowKey;
+    pub use tse_packet::wire::{DecodeError, Encap, WireFault, WireTrace};
     pub use tse_packet::Packet;
     pub use tse_simnet::cloud::CloudPlatform;
     pub use tse_simnet::fleet::{ChurnConfig, ChurnSource, FleetConfig, TenantFleet};

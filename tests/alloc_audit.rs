@@ -215,4 +215,60 @@ fn steady_state_fan_out_allocates_independently_of_batch_size() {
         "pooled fan-out allocations must not scale with batch size \
          (600 events: {p_small} allocs, 1200 events: {p_big})"
     );
+
+    // --- Wire ingestion: batched header extraction is allocation-free when warm. ---
+    // Frames live in two contiguous WireTraces; the scratch's result buffer is the
+    // only state the extractor touches, and after one warm pass over the *largest*
+    // batch it never grows again — decode itself builds `Packet`s entirely on the
+    // stack, so a warm `extract_keys_into` performs literally zero heap allocations,
+    // batch size notwithstanding.
+    let wire_small: Vec<Vec<u8>> = (0..600)
+        .map(|i: u32| {
+            tse::packet::wire::encode(
+                &PacketBuilder::tcp_v4(
+                    [10, (i >> 8) as u8, i as u8, 7],
+                    [10, 0, 0, 99],
+                    1024 + (i % 400) as u16,
+                    80,
+                )
+                .build(),
+            )
+        })
+        .collect();
+    let frames_small: Vec<&[u8]> = wire_small.iter().map(Vec::as_slice).collect();
+    let frames_big: Vec<&[u8]> = wire_small
+        .iter()
+        .chain(wire_small.iter())
+        .map(Vec::as_slice)
+        .collect();
+    let mut scratch = ExtractScratch::new();
+    extract_keys_into(&frames_big, &mut scratch); // warm to final capacity
+    extract_keys_into(&frames_small, &mut scratch);
+    let w_small = allocations_during(|| extract_keys_into(&frames_small, &mut scratch));
+    let w_big = allocations_during(|| extract_keys_into(&frames_big, &mut scratch));
+    assert_eq!(
+        (w_small, w_big),
+        (0, 0),
+        "warm batched extraction must be allocation-free \
+         (600 frames: {w_small} allocs, 1200 frames: {w_big})"
+    );
+
+    // On the full wire → steer → classify path, the *only* per-frame allocation is
+    // materialising each decoded frame's schema `Key` for the classifier — the very
+    // allocation a key-level caller performs when building its input batch, so wire
+    // ingestion adds nothing on top: the delta between a 1200- and a 600-frame batch
+    // is exactly the 600 extra keys.
+    let mut wire_dp = stub_datapath(&schema, SequentialExecutor);
+    wire_dp.process_wire_batch(&frames_big, &mut scratch, 0.0);
+    wire_dp.process_wire_batch(&frames_small, &mut scratch, 0.0);
+    let dw_small =
+        allocations_during(|| drop(wire_dp.process_wire_batch(&frames_small, &mut scratch, 0.0)));
+    let dw_big =
+        allocations_during(|| drop(wire_dp.process_wire_batch(&frames_big, &mut scratch, 0.0)));
+    assert_eq!(
+        dw_big - dw_small,
+        frames_small.len() as u64,
+        "wire ingestion must add exactly one key materialisation per extra frame \
+         (600 frames: {dw_small} allocs, 1200 frames: {dw_big})"
+    );
 }

@@ -351,6 +351,9 @@ fn reference_guarded_run(
                     chunk.push((ev.key, ev.bytes, ev.time));
                 }
                 EventPayload::Probe { .. } => probes.push((src, ev)),
+                EventPayload::Malformed { .. } => {
+                    unreachable!("the frozen reference mixes are key-level only")
+                }
             }
         }
         attack_packets += flush(

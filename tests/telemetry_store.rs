@@ -16,6 +16,7 @@ fn sample(time: f64, gbps: f64, pps: f64) -> TimelineSample {
         attacker_pps: pps,
         attacker_pps_by_source: vec![pps],
         background_pps: 0.0,
+        malformed_pps: 0.0,
         mask_count: 3,
         entry_count: 5,
         victim_masks_scanned: 1,
@@ -153,6 +154,7 @@ proptest! {
         prop_assert_eq!(seq.total_victim_series(), par.total_victim_series());
         prop_assert_eq!(seq.total_attacker_series(), par.total_attacker_series());
         prop_assert_eq!(seq.background_series(), par.background_series());
+        prop_assert_eq!(seq.malformed_series(), par.malformed_series());
         prop_assert_eq!(seq.mask_series(), par.mask_series());
         prop_assert_eq!(seq.entry_series(), par.entry_series());
         for s in 0..4 {

@@ -1,0 +1,135 @@
+//! The wire-ingestion acceptance path, end-to-end: an IPv6 explosion replayed as
+//! *raw Ethernet frames* — crafted, serialized and re-parsed per packet by
+//! [`WireGenerator`] — through the sharded datapath, with a garbage replay riding
+//! along. The timeline must be bit-for-bit identical across all three executors,
+//! the attack must degrade the victim, the guard+rekey stack must restore it, and
+//! every undecodable frame must be charged to shard 0's per-kind counters.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tse::attack::general::random_trace_on_fields;
+use tse::prelude::*;
+
+const ATTACK_START: f64 = 15.0;
+const ATTACK_PPS: f64 = 400.0;
+const DURATION: f64 = 50.0;
+const GARBAGE_FRAMES: usize = 120;
+const ALLOWED_SRC: u128 = 0xfd00_0000_0000_0000_0000_0000_0000_0001;
+const SERVICE_DST: u128 = 0xfd00_0000_0000_0000_0000_0000_0000_0063;
+
+/// One full wire-level experiment: IPv6 victim + serialized random SipDp-over-IPv6
+/// explosion + a burst of truncated garbage frames, on 4 shards under `executor`.
+/// Returns the timeline and the merged + shard-0 wire counters.
+fn run(executor: impl ShardExecutor + 'static, guarded: bool) -> (Timeline, u64, u64) {
+    let schema = FieldSchema::ovs_ipv6();
+    let tp_dst = schema.field_index("tp_dst").unwrap();
+    let ip6_src = schema.field_index("ip6_src").unwrap();
+    let table = FlowTable::whitelist_default_deny(&schema, &[(tp_dst, 80), (ip6_src, ALLOWED_SRC)]);
+    let sharded = ShardedDatapath::from_builder(
+        Datapath::builder(table)
+            .strategy(MegaflowStrategy::wildcarding(&schema))
+            .with_executor(executor),
+        4,
+        Steering::Rss,
+    );
+    let mut runner = ExperimentRunner::sharded(sharded, Vec::new(), OffloadConfig::gro_off());
+    if guarded {
+        runner = runner
+            .with_mitigation(GuardMitigation::new(GuardConfig::default()))
+            .with_mitigation(RssKeyRandomizer::new(10.0, 0xC0FFEE));
+    }
+
+    let keys = random_trace_on_fields(
+        &mut StdRng::seed_from_u64(99),
+        &schema,
+        &[ip6_src, tp_dst],
+        &schema.zero_value(),
+        ((DURATION - ATTACK_START) * ATTACK_PPS) as usize,
+    );
+    let mut garbage = WireTrace::new();
+    for i in 0..GARBAGE_FRAMES {
+        // 9 bytes: shorter than an Ethernet header, so every frame is Truncated.
+        garbage.push(ATTACK_START + i as f64 * 0.05, &[0xDE; 9]);
+    }
+    let mix = TrafficMix::new()
+        .with(VictimSource::new(
+            VictimFlow::iperf_tcp_v6("Victim", ALLOWED_SRC, SERVICE_DST, 10.0),
+            &schema,
+            1.0,
+        ))
+        .with(WireGenerator::new(
+            "Attacker",
+            &schema,
+            keys.into_iter(),
+            StdRng::seed_from_u64(7),
+            ATTACK_PPS,
+            ATTACK_START,
+        ))
+        .with(WireSource::replay("Garbage", garbage, &schema));
+    let tl = runner.run_mix(mix, DURATION);
+    let truncated_shard0 = runner.datapath.shard(0).stats().truncated;
+    let truncated_elsewhere: u64 = (1..4)
+        .map(|s| runner.datapath.shard(s).stats().truncated)
+        .sum();
+    (tl, truncated_shard0, truncated_elsewhere)
+}
+
+#[test]
+fn wire_replay_is_executor_invariant_degrades_and_recovers() {
+    for guarded in [false, true] {
+        let stack = if guarded { "guard+rekey" } else { "none" };
+        let (seq, seq_s0, seq_rest) = run(SequentialExecutor, guarded);
+        let (pool, pool_s0, pool_rest) = run(ThreadPoolExecutor::new(4), guarded);
+        let (pers, pers_s0, pers_rest) = run(PersistentPoolExecutor::new(4), guarded);
+
+        // Bit-for-bit executor parity, malformed series included: Vec<TimelineSample>
+        // equality compares every f64 of every sample.
+        assert_eq!(seq.samples, pool.samples, "{stack}: thread-pool diverged");
+        assert_eq!(
+            seq.samples, pers.samples,
+            "{stack}: persistent pool diverged"
+        );
+
+        // Every garbage frame is charged to shard 0 — the ingestion point — and
+        // nowhere else, under every executor.
+        for (who, s0, rest) in [
+            ("sequential", seq_s0, seq_rest),
+            ("thread-pool", pool_s0, pool_rest),
+            ("persistent", pers_s0, pers_rest),
+        ] {
+            assert_eq!(
+                s0, GARBAGE_FRAMES as u64,
+                "{stack}/{who}: shard-0 truncated"
+            );
+            assert_eq!(
+                rest, 0,
+                "{stack}/{who}: truncated frames leaked off shard 0"
+            );
+        }
+        let malformed: f64 = seq.samples.iter().map(|s| s.malformed_pps).sum();
+        assert_eq!(malformed.round() as usize, GARBAGE_FRAMES);
+
+        // The well-formed frames, meanwhile, explode the tuple space.
+        let peak_masks = seq.samples.iter().map(|s| s.mask_count).max().unwrap();
+        // Baseline window ends before the first rekey (t = 10 s), which re-steers
+        // the victim for one interval even with no attack underway.
+        let before = seq.mean_total_between(3.0, 9.0);
+        let during = seq.mean_total_between(ATTACK_START + 10.0, DURATION - 1.0);
+        assert!(
+            (before - 10.0).abs() < 0.5,
+            "{stack}: victim baseline {before}"
+        );
+        if guarded {
+            assert!(
+                during > before * 0.5,
+                "guard+rekey must restore the victim: {before} -> {during}"
+            );
+        } else {
+            assert!(peak_masks > 200, "explosion too small: {peak_masks} masks");
+            assert!(
+                during < before * 0.5,
+                "the wire-replayed explosion must degrade the victim: {before} -> {during}"
+            );
+        }
+    }
+}
